@@ -1,0 +1,168 @@
+//! # commchar-apps
+//!
+//! The seven application kernels the paper characterizes, implemented from
+//! scratch with the parallelization structure the paper describes:
+//!
+//! **Shared memory** (run on the execution-driven CC-NUMA simulator,
+//! [`commchar_spasm`]):
+//!
+//! - [`sm::fft1d`] — 1-D complex radix-2 FFT; three phases (local
+//!   butterflies, all-to-all exchange, local butterflies).
+//! - [`sm::is`] — Integer Sort: bucket-sort ranking with a shared bucket
+//!   accumulation phase (the source of its favorite-processor pattern).
+//! - [`sm::cholesky`] — banded sparse Cholesky factorization with a
+//!   lock-protected dynamic task queue (SPLASH-style, data-dependent).
+//! - [`sm::nbody`] — gravitational N-body; per-step phases: read all
+//!   positions, accumulate forces, update owned bodies.
+//! - [`sm::maxflow`] — Goldberg push–relabel maximum flow with a shared
+//!   work queue and per-vertex locks (Anderson–Setubal parallelization).
+//!
+//! **Message passing** (run on the SP2-modelled runtime, [`commchar_sp2`]):
+//!
+//! - [`mp::fft3d`] — NAS 3D-FFT: z-plane decomposition, all-to-all
+//!   transpose, p0-rooted broadcast/reduce each iteration.
+//! - [`mp::mg`] — NAS MG: V-cycle multigrid with nearest-neighbour ghost
+//!   exchange and a p0-rooted residual reduction.
+//!
+//! Every kernel checks its own numerical output (against closed forms or a
+//! sequential reference in tests) so the traffic being characterized comes
+//! from *correct* executions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mp;
+pub mod sm;
+pub mod util;
+
+use commchar_mesh::NetLog;
+use commchar_trace::CommTrace;
+
+/// Which strategy runs the application.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AppClass {
+    /// Dynamic strategy: execution-driven CC-NUMA simulation.
+    SharedMemory,
+    /// Static strategy: traced message-passing execution.
+    MessagePassing,
+}
+
+impl AppClass {
+    /// Label used in report tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppClass::SharedMemory => "shared-memory",
+            AppClass::MessagePassing => "message-passing",
+        }
+    }
+}
+
+/// Problem-size scaling for tests, experiments and benches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Smallest sizes, for unit/integration tests.
+    Tiny,
+    /// Default experiment sizes.
+    Small,
+    /// Larger runs for benchmark tables.
+    Full,
+}
+
+/// The uniform output of one application run.
+#[derive(Debug)]
+pub struct AppOutput {
+    /// Application name (lowercase, as in the paper's tables).
+    pub name: &'static str,
+    /// Strategy class.
+    pub class: AppClass,
+    /// Processor count used.
+    pub nprocs: usize,
+    /// The communication trace.
+    pub trace: CommTrace,
+    /// Network log (dynamic strategy only; static traces are replayed
+    /// through the mesh separately).
+    pub netlog: Option<NetLog>,
+    /// Simulated execution time in ticks (cycles or SP2 ticks).
+    pub exec_ticks: u64,
+    /// Application-specific correctness figure (e.g. residual, checksum).
+    pub check: f64,
+}
+
+/// Identifier for each of the seven applications.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AppId {
+    /// 1-D FFT (shared memory).
+    Fft1d,
+    /// Integer Sort (shared memory).
+    Is,
+    /// Sparse Cholesky factorization (shared memory).
+    Cholesky,
+    /// N-body (shared memory).
+    Nbody,
+    /// Goldberg maximum flow (shared memory).
+    Maxflow,
+    /// NAS 3D-FFT (message passing).
+    Fft3d,
+    /// NAS MG multigrid (message passing).
+    Mg,
+}
+
+impl AppId {
+    /// All applications in the paper's presentation order.
+    pub fn all() -> &'static [AppId] {
+        &[
+            AppId::Fft1d,
+            AppId::Is,
+            AppId::Cholesky,
+            AppId::Nbody,
+            AppId::Maxflow,
+            AppId::Fft3d,
+            AppId::Mg,
+        ]
+    }
+
+    /// Lowercase name as used in the tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppId::Fft1d => "1d-fft",
+            AppId::Is => "is",
+            AppId::Cholesky => "cholesky",
+            AppId::Nbody => "nbody",
+            AppId::Maxflow => "maxflow",
+            AppId::Fft3d => "3d-fft",
+            AppId::Mg => "mg",
+        }
+    }
+
+    /// Strategy class.
+    pub fn class(self) -> AppClass {
+        match self {
+            AppId::Fft3d | AppId::Mg => AppClass::MessagePassing,
+            _ => AppClass::SharedMemory,
+        }
+    }
+
+    /// Runs the application at the given processor count and scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid processor counts (each kernel documents its own
+    /// constraints; all accept powers of two between 2 and 32).
+    pub fn run(self, nprocs: usize, scale: Scale) -> AppOutput {
+        match self {
+            AppId::Fft1d => sm::fft1d::run(nprocs, scale),
+            AppId::Is => sm::is::run(nprocs, scale),
+            AppId::Cholesky => sm::cholesky::run(nprocs, scale),
+            AppId::Nbody => sm::nbody::run(nprocs, scale),
+            AppId::Maxflow => sm::maxflow::run(nprocs, scale),
+            AppId::Fft3d => mp::fft3d::run(nprocs, scale),
+            AppId::Mg => mp::mg::run(nprocs, scale),
+        }
+    }
+}
+
+impl std::fmt::Display for AppId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}

@@ -1,0 +1,4 @@
+//! Message-passing kernels (static strategy, SP2-modelled execution).
+
+pub mod fft3d;
+pub mod mg;

@@ -1,0 +1,7 @@
+//! Shared-memory kernels (dynamic strategy, execution-driven simulation).
+
+pub mod cholesky;
+pub mod fft1d;
+pub mod is;
+pub mod maxflow;
+pub mod nbody;

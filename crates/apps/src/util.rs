@@ -1,0 +1,355 @@
+//! Numeric helpers shared by the kernels: complex FFT, reference DFT,
+//! deterministic problem generators.
+
+/// In-place iterative radix-2 Cooley–Tukey FFT over separate re/im arrays.
+///
+/// # Panics
+///
+/// Panics unless the length is a power of two and the arrays match.
+pub fn fft_inplace(re: &mut [f64], im: &mut [f64], inverse: bool) {
+    let n = re.len();
+    assert_eq!(n, im.len(), "re/im length mismatch");
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    // Bit reversal.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() >> (64 - bits) as u64;
+        let j = j as usize;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut base = 0;
+        while base < n {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let a = base + k;
+                let b = base + k + len / 2;
+                let tr = re[b] * cr - im[b] * ci;
+                let ti = re[b] * ci + im[b] * cr;
+                re[b] = re[a] - tr;
+                im[b] = im[a] - ti;
+                re[a] += tr;
+                im[a] += ti;
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+            base += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv = 1.0 / n as f64;
+        for v in re.iter_mut().chain(im.iter_mut()) {
+            *v *= inv;
+        }
+    }
+}
+
+/// O(n²) reference DFT, for validating FFT implementations in tests.
+pub fn dft_reference(re: &[f64], im: &[f64], inverse: bool) -> (Vec<f64>, Vec<f64>) {
+    let n = re.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut out_re = vec![0.0; n];
+    let mut out_im = vec![0.0; n];
+    for (k, (or, oi)) in out_re.iter_mut().zip(out_im.iter_mut()).enumerate() {
+        for j in 0..n {
+            let ang = sign * 2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+            let (c, s) = (ang.cos(), ang.sin());
+            *or += re[j] * c - im[j] * s;
+            *oi += re[j] * s + im[j] * c;
+        }
+    }
+    if inverse {
+        let inv = 1.0 / n as f64;
+        for v in out_re.iter_mut().chain(out_im.iter_mut()) {
+            *v *= inv;
+        }
+    }
+    (out_re, out_im)
+}
+
+/// Deterministic xorshift generator for problem setup — keeps every
+/// application run reproducible without threading a rand RNG through the
+/// simulators.
+#[derive(Clone, Debug)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Creates a generator (seed 0 is remapped to a fixed constant).
+    pub fn new(seed: u64) -> Self {
+        XorShift { state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed } }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform usize in [0, bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Generates the banded SPD matrix used by the Cholesky kernel, in banded
+/// column-major storage: entry `(j, d)` with `d < band` holds `A[j+d][j]`
+/// at index `j * band + d`. Diagonally dominant, with `sparsity` of the
+/// off-diagonal entries zeroed (data-dependent structure).
+pub fn gen_band_spd(n: usize, band: usize, sparsity: f64, seed: u64) -> Vec<f64> {
+    let mut rng = XorShift::new(seed);
+    let mut a = vec![0.0; n * band];
+    for j in 0..n {
+        a[j * band] = 2.0 * band as f64; // diagonal
+        for d in 1..band.min(n - j) {
+            let v = if rng.next_f64() < sparsity { 0.0 } else { rng.next_f64() };
+            a[j * band + d] = v;
+        }
+    }
+    a
+}
+
+/// Sequential banded Cholesky in the same storage layout, used as the
+/// reference for the parallel kernel. Returns the factor L.
+///
+/// # Panics
+///
+/// Panics if the matrix is not positive definite (square root of a
+/// non-positive pivot).
+pub fn band_cholesky_reference(a: &[f64], n: usize, band: usize) -> Vec<f64> {
+    let mut l = a.to_vec();
+    for j in 0..n {
+        // cmod from previous columns k with j within k's band.
+        for k in j.saturating_sub(band - 1)..j {
+            let ljk = l[k * band + (j - k)];
+            if ljk == 0.0 {
+                continue;
+            }
+            for d in 0..band - (j - k) {
+                l[j * band + d] -= ljk * l[k * band + (j - k + d)];
+            }
+        }
+        let diag = l[j * band];
+        assert!(diag > 0.0, "matrix not positive definite at column {j}");
+        let s = diag.sqrt();
+        l[j * band] = s;
+        for d in 1..band.min(n - j) {
+            l[j * band + d] /= s;
+        }
+        for d in band.min(n - j)..band {
+            l[j * band + d] = 0.0;
+        }
+    }
+    l
+}
+
+/// Generates the layered random flow network used by the Maxflow kernel:
+/// vertex 0 is the source, `n-1` the sink, with `layers` layers of `width`
+/// vertices and random capacities. Returns `(n, edges)` with directed
+/// `(u, v, cap)` edges.
+pub fn gen_layered_graph(layers: usize, width: usize, seed: u64) -> (usize, Vec<(usize, usize, u64)>) {
+    let mut rng = XorShift::new(seed);
+    let n = 2 + layers * width;
+    let sink = n - 1;
+    let vid = |l: usize, w: usize| 1 + l * width + w;
+    let mut edges = Vec::new();
+    for w in 0..width {
+        edges.push((0, vid(0, w), 10 + rng.below(30) as u64));
+    }
+    for l in 0..layers - 1 {
+        for w in 0..width {
+            // Two or three outgoing edges to the next layer.
+            let fan = 2 + rng.below(2);
+            for _ in 0..fan {
+                let t = rng.below(width);
+                edges.push((vid(l, w), vid(l + 1, t), 5 + rng.below(20) as u64));
+            }
+        }
+    }
+    for w in 0..width {
+        edges.push((vid(layers - 1, w), sink, 10 + rng.below(30) as u64));
+    }
+    (n, edges)
+}
+
+/// Sequential Edmonds–Karp maximum flow — the reference for the parallel
+/// push–relabel kernel.
+pub fn max_flow_reference(n: usize, edges: &[(usize, usize, u64)]) -> u64 {
+    // Residual adjacency matrix is fine at kernel sizes.
+    let mut cap = vec![vec![0u64; n]; n];
+    for &(u, v, c) in edges {
+        cap[u][v] += c;
+    }
+    let (s, t) = (0, n - 1);
+    let mut flow = 0;
+    loop {
+        // BFS for an augmenting path.
+        let mut parent = vec![usize::MAX; n];
+        parent[s] = s;
+        let mut queue = std::collections::VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            for v in 0..n {
+                if parent[v] == usize::MAX && cap[u][v] > 0 {
+                    parent[v] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        if parent[t] == usize::MAX {
+            return flow;
+        }
+        let mut bottleneck = u64::MAX;
+        let mut v = t;
+        while v != s {
+            let u = parent[v];
+            bottleneck = bottleneck.min(cap[u][v]);
+            v = u;
+        }
+        let mut v = t;
+        while v != s {
+            let u = parent[v];
+            cap[u][v] -= bottleneck;
+            cap[v][u] += bottleneck;
+            v = u;
+        }
+        flow += bottleneck;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layered_graph_shape() {
+        let (n, edges) = gen_layered_graph(3, 4, 1);
+        assert_eq!(n, 14);
+        assert!(edges.iter().all(|&(u, v, c)| u < n && v < n && c > 0));
+        // Source fans to layer 0, sink is fed by the last layer.
+        assert_eq!(edges.iter().filter(|e| e.0 == 0).count(), 4);
+        assert_eq!(edges.iter().filter(|e| e.1 == n - 1).count(), 4);
+    }
+
+    #[test]
+    fn reference_maxflow_on_known_graph() {
+        // s->a (3), s->b (2), a->t (2), b->t (3), a->b (5): max flow = 5
+        // (a pushes 2 straight to t and reroutes 1 through b).
+        let edges = vec![(0, 1, 3), (0, 2, 2), (1, 3, 2), (2, 3, 3), (1, 2, 5)];
+        assert_eq!(max_flow_reference(4, &edges), 5);
+    }
+
+    #[test]
+    fn reference_maxflow_bounded_by_cuts(){
+        let (n, edges) = gen_layered_graph(3, 3, 9);
+        let f = max_flow_reference(n, &edges);
+        let source_cap: u64 = edges.iter().filter(|e| e.0 == 0).map(|e| e.2).sum();
+        let sink_cap: u64 = edges.iter().filter(|e| e.1 == n - 1).map(|e| e.2).sum();
+        assert!(f <= source_cap.min(sink_cap));
+        assert!(f > 0);
+    }
+
+    #[test]
+    fn fft_matches_dft() {
+        let n = 32;
+        let mut rng = XorShift::new(7);
+        let re0: Vec<f64> = (0..n).map(|_| rng.next_f64() - 0.5).collect();
+        let im0: Vec<f64> = (0..n).map(|_| rng.next_f64() - 0.5).collect();
+        let mut re = re0.clone();
+        let mut im = im0.clone();
+        fft_inplace(&mut re, &mut im, false);
+        let (er, ei) = dft_reference(&re0, &im0, false);
+        for i in 0..n {
+            assert!((re[i] - er[i]).abs() < 1e-9, "re[{i}]");
+            assert!((im[i] - ei[i]).abs() < 1e-9, "im[{i}]");
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip() {
+        let n = 64;
+        let mut rng = XorShift::new(3);
+        let re0: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        let im0: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        let mut re = re0.clone();
+        let mut im = im0.clone();
+        fft_inplace(&mut re, &mut im, false);
+        fft_inplace(&mut re, &mut im, true);
+        for i in 0..n {
+            assert!((re[i] - re0[i]).abs() < 1e-9);
+            assert!((im[i] - im0[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut re = vec![0.0; 16];
+        let mut im = vec![0.0; 16];
+        re[0] = 1.0;
+        fft_inplace(&mut re, &mut im, false);
+        for i in 0..16 {
+            assert!((re[i] - 1.0).abs() < 1e-12);
+            assert!(im[i].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn xorshift_is_deterministic() {
+        let mut a = XorShift::new(42);
+        let mut b = XorShift::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let f = a.next_f64();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn band_cholesky_reconstructs() {
+        let (n, band) = (12, 4);
+        let a = gen_band_spd(n, band, 0.3, 5);
+        let l = band_cholesky_reference(&a, n, band);
+        // Check A = L Lᵀ on the band: A[i][j] = Σ_k L[i][k] L[j][k].
+        for j in 0..n {
+            for d in 0..band.min(n - j) {
+                let i = j + d;
+                let mut sum = 0.0;
+                for k in 0..=j {
+                    let lik = if i >= k && i - k < band { l[k * band + (i - k)] } else { 0.0 };
+                    let ljk = if j >= k && j - k < band { l[k * band + (j - k)] } else { 0.0 };
+                    sum += lik * ljk;
+                }
+                assert!(
+                    (sum - a[j * band + d]).abs() < 1e-8,
+                    "A[{i}][{j}] = {} vs {}",
+                    a[j * band + d],
+                    sum
+                );
+            }
+        }
+    }
+}

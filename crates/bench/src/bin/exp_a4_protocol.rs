@@ -1,0 +1,82 @@
+//! Experiment A4 (ablation) — coherence protocol sensitivity of the
+//! traffic characterization: MSI vs MESI on the canonical sharing
+//! patterns. The communication signature the methodology extracts depends
+//! on the simulated machine's protocol; this quantifies by how much.
+
+use commchar_core::report::table;
+use commchar_spasm::{run, Ctx, MachineConfig, Protocol, Region};
+
+fn private_rmw(ctx: &mut Ctx, r: &Region) {
+    // Each processor read-modify-writes its own blocks (no sharing):
+    // the pattern MESI's Exclusive state exists for.
+    let p = ctx.proc_id();
+    for round in 0..8 {
+        for i in 0..16 {
+            let slot = (p * 16 + i) * 4;
+            let v = ctx.read(*r, slot);
+            ctx.write(*r, slot, v + round);
+        }
+    }
+}
+
+fn migratory(ctx: &mut Ctx, r: &Region) {
+    // A data block migrates processor to processor (lock-passing style).
+    let n = ctx.nprocs();
+    for round in 0..12u64 {
+        if ctx.proc_id() == (round as usize) % n {
+            for i in 0..8 {
+                let v = ctx.read(*r, i);
+                ctx.write(*r, i, v + 1);
+            }
+        }
+        ctx.barrier(round as u32);
+    }
+}
+
+fn producer_consumer(ctx: &mut Ctx, r: &Region) {
+    // p0 produces, everyone consumes each round.
+    for round in 0..12u64 {
+        if ctx.proc_id() == 0 {
+            for i in 0..8 {
+                ctx.write(*r, i, round * 10 + i as u64);
+            }
+        }
+        ctx.barrier(round as u32);
+        for i in 0..8 {
+            assert_eq!(ctx.read(*r, i), round * 10 + i as u64);
+        }
+        ctx.barrier(100 + round as u32);
+    }
+}
+
+fn main() {
+    println!("A4: MSI vs MESI protocol ablation (8 processors)\n");
+    type Body = fn(&mut Ctx, &Region);
+    let patterns: [(&str, Body); 3] = [
+        ("private-rmw", private_rmw),
+        ("migratory", migratory),
+        ("producer-consumer", producer_consumer),
+    ];
+    let mut rows = Vec::new();
+    for (name, body) in patterns {
+        for proto in [Protocol::Msi, Protocol::Mesi] {
+            let cfg = MachineConfig::new(8).with_protocol(proto);
+            let out = run(cfg, |m| m.alloc(2048), move |ctx, r| body(ctx, r));
+            rows.push(vec![
+                name.to_string(),
+                format!("{proto:?}"),
+                out.trace.len().to_string(),
+                out.misses.to_string(),
+                format!("{:.3}", out.miss_ratio()),
+                out.exec_cycles.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        table(&["pattern", "protocol", "messages", "misses", "miss ratio", "exec cycles"], &rows)
+    );
+    println!("(MESI's Exclusive state eliminates the upgrade traffic of private");
+    println!(" read-modify-write data; migratory and producer-consumer sharing keep");
+    println!(" paying invalidation costs under both protocols)");
+}

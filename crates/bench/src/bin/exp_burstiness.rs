@@ -1,0 +1,35 @@
+//! Experiment T-BURST — burstiness beyond the marginal fit: squared CV,
+//! index of dispersion for intervals, and lag-1 autocorrelation of each
+//! application's arrival process. Quantifies why open-loop renewal models
+//! (even with the right marginal) understate contention for
+//! barrier-synchronized codes like Nbody — the caveat the paper raises
+//! about capturing temporal behaviour with a single distribution.
+
+use commchar_bench::{run_suite, ExpOptions};
+use commchar_core::report::table;
+use commchar_stats::burstiness::{autocorrelation, cv2, idi};
+use commchar_trace::profile::interarrival_aggregate;
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    println!("T-BURST: arrival-process burstiness ({} processors, {:?})\n", opts.procs, opts.scale);
+    let mut rows = Vec::new();
+    for (w, sig) in run_suite(opts) {
+        let gaps = interarrival_aggregate(&w.trace);
+        let fmt = |x: Option<f64>| x.map_or("-".into(), |v| format!("{v:.2}"));
+        rows.push(vec![
+            sig.name.clone(),
+            format!("{:.2}", cv2(&gaps)),
+            fmt(idi(&gaps, 4)),
+            fmt(idi(&gaps, 16)),
+            fmt(idi(&gaps, 64)),
+            fmt(autocorrelation(&gaps, 1)),
+        ]);
+    }
+    println!(
+        "{}",
+        table(&["application", "CV²", "IDI(4)", "IDI(16)", "IDI(64)", "ρ₁"], &rows)
+    );
+    println!("(CV² = 1 and flat IDI would be Poisson; IDI growing with the lag reveals");
+    println!(" bursts that a fitted marginal distribution alone cannot reproduce)");
+}

@@ -1,0 +1,32 @@
+//! Experiment T1 — the application-suite summary table (paper Table 1):
+//! for each application, its class, message count, mean message length,
+//! simulated execution time, and overall generation rate.
+
+use commchar_bench::{run_suite, ExpOptions};
+use commchar_core::report::table;
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    println!("T1: application suite summary ({} processors, {:?})\n", opts.procs, opts.scale);
+    let rows: Vec<Vec<String>> = run_suite(opts)
+        .iter()
+        .map(|(w, sig)| {
+            let rate = sig.volume.messages as f64 / w.exec_ticks.max(1) as f64;
+            vec![
+                sig.name.clone(),
+                sig.class.name().to_string(),
+                sig.volume.messages.to_string(),
+                format!("{:.1}", sig.volume.mean_bytes),
+                w.exec_ticks.to_string(),
+                format!("{:.5}", rate),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["application", "class", "messages", "mean bytes", "exec ticks", "msgs/tick"],
+            &rows
+        )
+    );
+}

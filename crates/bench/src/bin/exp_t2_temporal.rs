@@ -1,0 +1,27 @@
+//! Experiment T2 — the temporal-attribute table (paper Table 2): the
+//! best-fit message inter-arrival time distribution per application, with
+//! parameters and goodness-of-fit, across processor counts.
+
+use commchar_apps::AppId;
+use commchar_bench::{run_and_characterize, ExpOptions};
+use commchar_core::report::{table, temporal_row};
+
+fn main() {
+    let base = ExpOptions::from_env();
+    println!("T2: message inter-arrival time distribution fits ({:?})\n", base.scale);
+    let mut rows = Vec::new();
+    for &procs in &[base.procs, base.procs * 2] {
+        for &app in AppId::all() {
+            let (_, sig) = run_and_characterize(app, ExpOptions { procs, ..base });
+            rows.push(temporal_row(&sig));
+        }
+    }
+    println!(
+        "{}",
+        table(
+            &["application", "class", "procs", "family", "parameters", "R²", "KS"],
+            &rows
+        )
+    );
+    println!("(R² of the fitted CDF against the empirical CDF; KS = sup-distance.)");
+}

@@ -1,0 +1,38 @@
+//! Experiment T-KIND — protocol-level decomposition of each application's
+//! traffic into control / data / synchronization classes, with per-class
+//! inter-arrival fits. For shared-memory codes this separates coherence
+//! control traffic (requests, invalidations, acks) from block transfers
+//! and lock/barrier traffic, the composition the paper's dynamic strategy
+//! exposes.
+
+use commchar_bench::{run_suite, ExpOptions};
+use commchar_core::report::table;
+use commchar_core::characterize_kind;
+use commchar_trace::EventKind;
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    println!("T-KIND: traffic decomposition by class ({} processors, {:?})\n", opts.procs, opts.scale);
+    let mut rows = Vec::new();
+    for (w, sig) in run_suite(opts) {
+        for kind in [EventKind::Control, EventKind::Data, EventKind::Sync] {
+            if let Some(k) = characterize_kind(&w, kind) {
+                rows.push(vec![
+                    sig.name.clone(),
+                    kind.name().to_string(),
+                    k.messages.to_string(),
+                    format!("{:.1}%", 100.0 * k.messages as f64 / sig.volume.messages as f64),
+                    format!("{:.1}", k.mean_bytes),
+                    format!("{}", k.interarrival.dist),
+                ]);
+            }
+        }
+    }
+    println!(
+        "{}",
+        table(
+            &["application", "class", "msgs", "share", "mean bytes", "inter-arrival fit"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,108 @@
+//! # commchar-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper (see
+//! `DESIGN.md` §5 for the experiment index) plus shared helpers, and
+//! criterion benches over the substrate hot paths.
+//!
+//! Run an experiment with e.g.
+//!
+//! ```text
+//! cargo run --release -p commchar-bench --bin exp_t2_temporal
+//! ```
+//!
+//! Every binary accepts `--procs <n>` and `--scale tiny|small|full`
+//! (defaults: 8 processors, small scale).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use commchar_apps::{AppId, Scale};
+use commchar_core::{characterize, run_workload, CommSignature, Workload};
+
+/// Command-line options shared by the experiment binaries.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpOptions {
+    /// Processor count.
+    pub procs: usize,
+    /// Problem scale.
+    pub scale: Scale,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions { procs: 8, scale: Scale::Small }
+    }
+}
+
+impl ExpOptions {
+    /// Parses `--procs N` and `--scale tiny|small|full` from `args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed arguments (these are developer tools).
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut opts = ExpOptions::default();
+        let mut args = args.peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--procs" => {
+                    opts.procs = args
+                        .next()
+                        .expect("--procs needs a value")
+                        .parse()
+                        .expect("--procs needs an integer");
+                }
+                "--scale" => {
+                    opts.scale = match args.next().expect("--scale needs a value").as_str() {
+                        "tiny" => Scale::Tiny,
+                        "small" => Scale::Small,
+                        "full" => Scale::Full,
+                        other => panic!("unknown scale {other:?}"),
+                    };
+                }
+                other => panic!("unknown argument {other:?}"),
+            }
+        }
+        opts
+    }
+
+    /// Parses from the process arguments (skipping argv[0]).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+}
+
+/// Runs and characterizes one application.
+pub fn run_and_characterize(app: AppId, opts: ExpOptions) -> (Workload, CommSignature) {
+    let w = run_workload(app, opts.procs, opts.scale);
+    let sig = characterize(&w);
+    (w, sig)
+}
+
+/// Runs the full suite at the given options, returning signatures in the
+/// paper's presentation order.
+pub fn run_suite(opts: ExpOptions) -> Vec<(Workload, CommSignature)> {
+    AppId::all().iter().map(|&app| run_and_characterize(app, opts)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_parsing() {
+        let o = ExpOptions::parse(
+            ["--procs", "4", "--scale", "tiny"].iter().map(|s| s.to_string()),
+        );
+        assert_eq!(o.procs, 4);
+        assert_eq!(o.scale, Scale::Tiny);
+        let d = ExpOptions::parse(std::iter::empty());
+        assert_eq!(d.procs, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_argument_rejected() {
+        ExpOptions::parse(["--bogus"].iter().map(|s| s.to_string()));
+    }
+}

@@ -1,0 +1,477 @@
+//! # commchar-core
+//!
+//! The end-to-end communication characterization pipeline — the paper's
+//! methodology as a library:
+//!
+//! 1. **Acquire** a communication workload ([`run_workload`]): shared-memory
+//!    applications execute on the execution-driven CC-NUMA simulator with
+//!    the mesh in the loop (*dynamic strategy*); message-passing
+//!    applications execute on the SP2-modelled runtime and their traces are
+//!    causally replayed through the same mesh (*static strategy*).
+//! 2. **Analyze** the network log ([`characterize`]): fit the message
+//!    inter-arrival time distribution (per source and aggregate), classify
+//!    each source's spatial distribution, and summarize the volume
+//!    attribute — producing a [`CommSignature`].
+//! 3. **Synthesize** ([`synthesize`]): turn the signature back into an
+//!    open-loop [`commchar_traffic::TrafficModel`], usable to drive network
+//!    studies with realistic workloads (and to validate the fits against
+//!    the original trace).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use commchar_apps::{AppId, Scale};
+//! use commchar_core::{characterize, run_workload};
+//!
+//! let w = run_workload(AppId::Is, 8, Scale::Tiny);
+//! let sig = characterize(&w);
+//! println!("{}", sig.temporal.aggregate.dist);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod phases;
+pub mod report;
+
+use commchar_apps::{AppClass, AppId, Scale};
+use commchar_mesh::{MeshConfig, NetLog, NetSummary};
+use commchar_stats::fit::{fit_best, FitResult};
+use commchar_stats::spatial::{classify_with_count, normalize, SpatialFit};
+use commchar_stats::Dist;
+use commchar_trace::profile::{interarrival_aggregate, interarrival_by_source};
+use commchar_trace::replay::CausalReplayer;
+use commchar_trace::CommTrace;
+use commchar_traffic::{LengthDist, SourceModel, TrafficModel};
+
+/// An acquired communication workload: the trace plus its network log.
+#[derive(Debug)]
+pub struct Workload {
+    /// Application name.
+    pub name: String,
+    /// Acquisition strategy.
+    pub class: AppClass,
+    /// Processors.
+    pub nprocs: usize,
+    /// Mesh the log was produced on.
+    pub mesh: MeshConfig,
+    /// The communication trace.
+    pub trace: CommTrace,
+    /// The network activity log.
+    pub netlog: NetLog,
+    /// Simulated execution time.
+    pub exec_ticks: u64,
+}
+
+/// Runs an application end-to-end and produces its workload, driving the
+/// 2-D mesh by the strategy appropriate to its class.
+///
+/// # Panics
+///
+/// Panics on invalid processor counts for the chosen kernel.
+pub fn run_workload(app: AppId, nprocs: usize, scale: Scale) -> Workload {
+    let mesh = MeshConfig::for_nodes(nprocs);
+    let out = app.run(nprocs, scale);
+    let netlog = match out.netlog {
+        Some(log) => log, // dynamic strategy: closed-loop co-simulation
+        None => CausalReplayer::new(mesh).replay(&out.trace), // static strategy
+    };
+    Workload {
+        name: out.name.to_string(),
+        class: out.class,
+        nprocs,
+        mesh,
+        trace: out.trace,
+        netlog,
+        exec_ticks: out.exec_ticks,
+    }
+}
+
+/// The temporal attribute: fitted inter-arrival distributions plus
+/// burstiness (correlation) measures a marginal fit cannot express.
+#[derive(Debug)]
+pub struct TemporalSig {
+    /// Best fit over all messages entering the network.
+    pub aggregate: FitResult,
+    /// Best fit per source (None when the source sent < 8 messages).
+    pub per_source: Vec<Option<FitResult>>,
+    /// Burstiness of the aggregate arrival process (CV², IDI(8), ρ₁).
+    pub burstiness: commchar_stats::burstiness::Burstiness,
+}
+
+/// The spatial attribute for one source.
+#[derive(Debug)]
+pub struct SpatialSig {
+    /// Observed destination probabilities.
+    pub observed: Vec<f64>,
+    /// The fitted model classification.
+    pub fit: SpatialFit,
+}
+
+/// The volume attribute.
+#[derive(Debug)]
+pub struct VolumeSig {
+    /// Total messages.
+    pub messages: u64,
+    /// Total payload bytes.
+    pub bytes: u64,
+    /// Mean message length.
+    pub mean_bytes: f64,
+    /// Empirical message-length distribution.
+    pub lengths: LengthDist,
+    /// Per-source message counts.
+    pub per_source_msgs: Vec<u64>,
+    /// Per-source byte counts.
+    pub per_source_bytes: Vec<u64>,
+}
+
+/// The complete communication signature of a workload — the paper's three
+/// attributes plus the network-level summary.
+#[derive(Debug)]
+pub struct CommSignature {
+    /// Application name.
+    pub name: String,
+    /// Acquisition strategy.
+    pub class: AppClass,
+    /// Processors.
+    pub nprocs: usize,
+    /// Temporal attribute.
+    pub temporal: TemporalSig,
+    /// Spatial attribute, per source (None when the source sent nothing).
+    pub spatial: Vec<Option<SpatialSig>>,
+    /// Volume attribute.
+    pub volume: VolumeSig,
+    /// Network behaviour summary (latency, contention, throughput).
+    pub network: NetSummary,
+    /// Simulated execution time of the acquisition run.
+    pub exec_ticks: u64,
+}
+
+/// Minimum messages from a source before its temporal fit is attempted.
+const MIN_SAMPLES: usize = 8;
+
+/// Analyzes a workload into its communication signature.
+///
+/// # Panics
+///
+/// Panics if the workload's trace is empty (nothing to characterize).
+pub fn characterize(w: &Workload) -> CommSignature {
+    assert!(!w.trace.is_empty(), "cannot characterize an empty trace");
+    let n = w.nprocs;
+
+    // Temporal: inter-arrival gaps, aggregate and per source.
+    let agg = interarrival_aggregate(&w.trace);
+    let aggregate = fit_best(&agg).expect("aggregate inter-arrival fit");
+    let per_source = interarrival_by_source(&w.trace)
+        .into_iter()
+        .map(|gaps| if gaps.len() >= MIN_SAMPLES { fit_best(&gaps) } else { None })
+        .collect();
+    let burstiness = commchar_stats::burstiness::burstiness(&agg);
+
+    // Spatial: per-source destination histograms, classified by regression
+    // against uniform / bimodal-uniform / locality-decay.
+    let shape = w.mesh.shape;
+    let dist_fn = move |a: usize, b: usize| {
+        shape.hop_distance(commchar_mesh::NodeId(a as u16), commchar_mesh::NodeId(b as u16)) as f64
+    };
+    let counts = w.netlog.spatial_counts(n);
+    let spatial: Vec<Option<SpatialSig>> = (0..n)
+        .map(|s| {
+            let observed = normalize(&counts[s], s)?;
+            let sent: u64 = counts[s].iter().sum();
+            let fit = classify_with_count(&observed, s, &dist_fn, Some(sent));
+            Some(SpatialSig { observed, fit })
+        })
+        .collect();
+
+    // Volume.
+    let lengths_raw = w.netlog.lengths();
+    let profile = commchar_trace::profile::profile(&w.trace);
+    let volume = VolumeSig {
+        messages: profile.messages,
+        bytes: profile.bytes,
+        mean_bytes: profile.mean_bytes,
+        lengths: LengthDist::from_observed(&lengths_raw),
+        per_source_msgs: profile.sources.iter().map(|s| s.messages).collect(),
+        per_source_bytes: profile.sources.iter().map(|s| s.bytes).collect(),
+    };
+
+    CommSignature {
+        name: w.name.clone(),
+        class: w.class,
+        nprocs: n,
+        temporal: TemporalSig { aggregate, per_source, burstiness },
+        spatial,
+        volume,
+        network: w.netlog.summary(),
+        exec_ticks: w.exec_ticks,
+    }
+}
+
+/// Characterizes one traffic class in isolation (control / data / sync),
+/// by filtering the trace before analysis — the paper's protocol-level
+/// decomposition of shared-memory traffic. Returns `None` if the class
+/// has no messages (or too few to fit).
+pub fn characterize_kind(w: &Workload, kind: commchar_trace::EventKind) -> Option<KindSig> {
+    let events: Vec<&commchar_trace::CommEvent> =
+        w.trace.events().iter().filter(|e| e.kind == kind).collect();
+    if events.len() < MIN_SAMPLES {
+        return None;
+    }
+    let mut times: Vec<u64> = events.iter().map(|e| e.t).collect();
+    times.sort_unstable();
+    let gaps: Vec<f64> = times.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+    let fit = fit_best(&gaps)?;
+    let bytes: u64 = events.iter().map(|e| e.bytes as u64).sum();
+    Some(KindSig {
+        kind,
+        messages: events.len() as u64,
+        bytes,
+        mean_bytes: bytes as f64 / events.len() as f64,
+        interarrival: fit,
+    })
+}
+
+/// The signature of one traffic class (see [`characterize_kind`]).
+#[derive(Debug)]
+pub struct KindSig {
+    /// The traffic class.
+    pub kind: commchar_trace::EventKind,
+    /// Messages of this class.
+    pub messages: u64,
+    /// Total payload bytes of this class.
+    pub bytes: u64,
+    /// Mean message length.
+    pub mean_bytes: f64,
+    /// Fitted inter-arrival distribution within the class.
+    pub interarrival: FitResult,
+}
+
+/// Turns a signature into an open-loop traffic model: per source, the
+/// fitted inter-arrival distribution, the *fitted* spatial model's
+/// predicted destination vector, and the empirical length distribution —
+/// exactly the "realistic performance model" input the paper advocates.
+///
+/// Sources without a temporal fit reuse the aggregate distribution scaled
+/// to the source's observed rate; sources that never sent are `None`.
+pub fn synthesize(sig: &CommSignature, mesh: MeshConfig) -> TrafficModel {
+    let n = sig.nprocs;
+    let shape = mesh.shape;
+    let dist_fn = move |a: usize, b: usize| {
+        shape.hop_distance(commchar_mesh::NodeId(a as u16), commchar_mesh::NodeId(b as u16)) as f64
+    };
+    let sources = (0..n)
+        .map(|s| {
+            let spatial_sig = sig.spatial[s].as_ref()?;
+            let interarrival = match &sig.temporal.per_source[s] {
+                Some(fit) => fit.dist,
+                None => {
+                    // Rescale the aggregate fit to this source's share.
+                    let share = sig.volume.per_source_msgs[s] as f64
+                        / sig.volume.messages.max(1) as f64;
+                    if share <= 0.0 {
+                        return None;
+                    }
+                    let mean = sig.temporal.aggregate.dist.mean() / share;
+                    Dist::exponential(1.0 / mean.max(1.0))
+                }
+            };
+            let spatial = spatial_sig.fit.model.predict(s, n, &dist_fn);
+            Some(SourceModel {
+                interarrival,
+                spatial,
+                length: sig.volume.lengths.clone(),
+            })
+        })
+        .collect();
+    TrafficModel::new(sources)
+}
+
+/// Phase-aware synthesis: one traffic model per execution window, so the
+/// generated stream reproduces the application's burst structure that a
+/// single whole-run renewal model averages away (the paper's caveat, and
+/// the reason barrier-heavy codes like Nbody defeat single-distribution
+/// models). Returns the generated trace directly.
+///
+/// Each window reuses the signature's spatial and length models but fits
+/// its own inter-arrival distribution; windows with no traffic stay
+/// silent.
+///
+/// # Panics
+///
+/// Panics if the workload's trace is empty or `windows == 0`.
+pub fn synthesize_phased(
+    w: &Workload,
+    sig: &CommSignature,
+    windows: usize,
+    seed: u64,
+) -> CommTrace {
+    let analysis = phases::phase_analysis(&w.trace, windows);
+    let base = synthesize(sig, w.mesh);
+
+    // Per-window, per-source message counts from the original trace: the
+    // rate envelope that carries the burst structure.
+    let mut counts = vec![vec![0u64; w.nprocs]; analysis.windows.len()];
+    for e in w.trace.events() {
+        let wi = analysis
+            .windows
+            .iter()
+            .position(|pw| e.t >= pw.start && e.t < pw.end)
+            .unwrap_or(analysis.windows.len() - 1);
+        counts[wi][e.src as usize] += 1;
+    }
+
+    let mut out = CommTrace::new(w.nprocs);
+    let mut id = 0u64;
+    for (wi, pw) in analysis.windows.iter().enumerate() {
+        let span = pw.end - pw.start;
+        if span == 0 || pw.messages == 0 {
+            continue;
+        }
+        // Within a window the process is near-stationary: each source
+        // sends at its observed window rate; the spatial and length models
+        // come from the whole-run signature.
+        let sources: Vec<Option<commchar_traffic::SourceModel>> = base
+            .sources()
+            .iter()
+            .enumerate()
+            .map(|(s, m)| {
+                let c = counts[wi][s];
+                let m = m.as_ref()?;
+                if c == 0 {
+                    return None;
+                }
+                Some(commchar_traffic::SourceModel {
+                    interarrival: Dist::exponential(c as f64 / span as f64),
+                    spatial: m.spatial.clone(),
+                    length: m.length.clone(),
+                })
+            })
+            .collect();
+        if sources.iter().all(Option::is_none) {
+            continue;
+        }
+        let model = TrafficModel::new(sources);
+        for e in model.generate(span, seed ^ pw.start).events() {
+            let mut ev = *e;
+            ev.id = id;
+            ev.t += pw.start;
+            out.push(ev);
+            id += 1;
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phased_synthesis_tracks_the_burst_structure() {
+        let w = run_workload(AppId::Nbody, 4, Scale::Tiny);
+        let sig = characterize(&w);
+        let synth = synthesize_phased(&w, &sig, 8, 5);
+        assert!(!synth.is_empty());
+        synth.check().unwrap();
+        // Rate variation of the phased synthetic trace should be much
+        // closer to the original than a flat renewal model's (≈1).
+        let orig = phases::phase_analysis(&w.trace, 8).rate_variation;
+        let phased = phases::phase_analysis(&synth, 8).rate_variation;
+        let flat_trace = synthesize(&sig, w.mesh).generate(w.netlog.summary().span, 5);
+        let flat = phases::phase_analysis(&flat_trace, 8).rate_variation;
+        assert!(
+            (phased.ln() - orig.ln()).abs() < (flat.ln() - orig.ln()).abs() + 0.2,
+            "phased {phased:.1} vs flat {flat:.1}, original {orig:.1}"
+        );
+    }
+
+    #[test]
+    fn pipeline_end_to_end_shared_memory() {
+        let w = run_workload(AppId::Is, 4, Scale::Tiny);
+        assert_eq!(w.class, AppClass::SharedMemory);
+        assert_eq!(w.trace.len(), w.netlog.records().len());
+        let sig = characterize(&w);
+        assert_eq!(sig.nprocs, 4);
+        assert!(sig.temporal.aggregate.r2 > 0.5, "aggregate fit too poor");
+        assert!(sig.volume.messages > 0);
+        assert!(sig.spatial.iter().any(|s| s.is_some()));
+    }
+
+    #[test]
+    fn pipeline_end_to_end_message_passing() {
+        let w = run_workload(AppId::Fft3d, 4, Scale::Tiny);
+        assert_eq!(w.class, AppClass::MessagePassing);
+        // Static strategy: trace replayed through the mesh.
+        assert_eq!(w.trace.len(), w.netlog.records().len());
+        let sig = characterize(&w);
+        assert!(sig.network.mean_latency > 0.0);
+    }
+
+    #[test]
+    fn synthesized_model_generates_comparable_traffic() {
+        let w = run_workload(AppId::Nbody, 4, Scale::Tiny);
+        let sig = characterize(&w);
+        let model = synthesize(&sig, w.mesh);
+        let span = w.netlog.summary().span;
+        let synth = model.generate(span, 11);
+        assert!(synth.len() > 0, "synthetic trace empty");
+        // Message rate within a factor of 3 of the original.
+        let ratio = synth.len() as f64 / w.trace.len() as f64;
+        assert!(ratio > 0.33 && ratio < 3.0, "rate ratio {ratio}");
+    }
+
+    #[test]
+    fn per_kind_characterization_partitions_the_trace() {
+        let w = run_workload(AppId::Is, 4, Scale::Tiny);
+        let kinds = [
+            commchar_trace::EventKind::Control,
+            commchar_trace::EventKind::Data,
+            commchar_trace::EventKind::Sync,
+        ];
+        let sigs: Vec<_> = kinds.iter().filter_map(|&k| characterize_kind(&w, k)).collect();
+        assert!(sigs.len() >= 2, "IS should have control, data and sync traffic");
+        let total: u64 = sigs.iter().map(|s| s.messages).sum();
+        // Classes with < MIN_SAMPLES messages are dropped, so total ≤ len.
+        assert!(total <= w.trace.len() as u64);
+        assert!(total > w.trace.len() as u64 / 2);
+        for s in &sigs {
+            assert!(s.mean_bytes > 0.0);
+            assert!(s.interarrival.r2 > 0.0, "{:?}: r2 = {}", s.kind, s.interarrival.r2);
+        }
+    }
+
+    #[test]
+    fn burstiness_is_computed() {
+        let w = run_workload(AppId::Nbody, 4, Scale::Tiny);
+        let sig = characterize(&w);
+        let b = sig.temporal.burstiness;
+        assert!(b.cv2 > 0.0, "nbody traffic must have variance");
+        assert!(b.cv2.is_finite());
+    }
+
+    #[test]
+    fn mp_collectives_make_p0_the_favorite() {
+        let w = run_workload(AppId::Fft3d, 4, Scale::Tiny);
+        let sig = characterize(&w);
+        // At least one non-zero source classifies p0 as favorite or shows
+        // p0-dominated observed traffic.
+        let mut favored = 0;
+        for (s, sp) in sig.spatial.iter().enumerate() {
+            if s == 0 {
+                continue;
+            }
+            if let Some(sp) = sp {
+                let max_j = (0..sig.nprocs)
+                    .filter(|&j| j != s)
+                    .max_by(|&a, &b| sp.observed[a].partial_cmp(&sp.observed[b]).unwrap())
+                    .unwrap();
+                if max_j == 0 {
+                    favored += 1;
+                }
+            }
+        }
+        assert!(favored >= 2, "p0 should dominate destination histograms, favored={favored}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Windowed (phase) analysis of a communication trace.
+//!
+//! The applications the paper characterizes are phase-structured (1D-FFT's
+//! local/exchange/local phases, Nbody's per-step phases, MG's V-cycle
+//! levels). A single whole-run distribution averages over those phases;
+//! slicing the run into time windows exposes them: message rate and the
+//! fitted family per window, plus a scalar *rate variation* summarizing
+//! how non-stationary the workload is.
+
+use commchar_stats::fit::{fit_best, FitResult};
+use commchar_trace::CommTrace;
+
+/// One time window of the analysis.
+#[derive(Debug)]
+pub struct PhaseWindow {
+    /// Window start (ticks, inclusive).
+    pub start: u64,
+    /// Window end (ticks, exclusive).
+    pub end: u64,
+    /// Messages generated in the window.
+    pub messages: u64,
+    /// Generation rate (messages per tick).
+    pub rate: f64,
+    /// Inter-arrival fit within the window (None if < 8 gaps).
+    pub fit: Option<FitResult>,
+}
+
+/// The result of a windowed analysis.
+#[derive(Debug)]
+pub struct PhaseAnalysis {
+    /// Equal-width windows spanning the trace.
+    pub windows: Vec<PhaseWindow>,
+    /// max/min non-zero window rate — 1.0 means stationary.
+    pub rate_variation: f64,
+}
+
+/// Slices the trace into `k` equal-width windows and analyzes each.
+///
+/// # Panics
+///
+/// Panics if the trace is empty or `k == 0`.
+pub fn phase_analysis(trace: &CommTrace, k: usize) -> PhaseAnalysis {
+    assert!(!trace.is_empty(), "cannot phase-analyze an empty trace");
+    assert!(k > 0, "need at least one window");
+    let mut times: Vec<u64> = trace.events().iter().map(|e| e.t).collect();
+    times.sort_unstable();
+    let first = times[0];
+    let last = *times.last().expect("non-empty");
+    let span = (last - first).max(1);
+    let width = span.div_ceil(k as u64).max(1);
+
+    let mut windows = Vec::with_capacity(k);
+    for w in 0..k as u64 {
+        let start = first + w * width;
+        let end = start + width;
+        let lo = times.partition_point(|&t| t < start);
+        // The final window is inclusive so the last event is not dropped.
+        let hi = if w == k as u64 - 1 { times.len() } else { times.partition_point(|&t| t < end) };
+        let in_window = &times[lo..hi];
+        let gaps: Vec<f64> = in_window.windows(2).map(|p| (p[1] - p[0]) as f64).collect();
+        windows.push(PhaseWindow {
+            start,
+            end,
+            messages: in_window.len() as u64,
+            rate: in_window.len() as f64 / width as f64,
+            fit: if gaps.len() >= 8 { fit_best(&gaps) } else { None },
+        });
+    }
+    let rates: Vec<f64> = windows.iter().map(|w| w.rate).filter(|&r| r > 0.0).collect();
+    let rate_variation = match (
+        rates.iter().cloned().fold(f64::INFINITY, f64::min),
+        rates.iter().cloned().fold(0.0f64, f64::max),
+    ) {
+        (min, max) if min.is_finite() && min > 0.0 => max / min,
+        _ => 1.0,
+    };
+    PhaseAnalysis { windows, rate_variation }
+}
+
+#[cfg(test)]
+mod tests {
+    use commchar_trace::{CommEvent, EventKind};
+
+    use super::*;
+
+    fn trace_with_times(times: &[u64]) -> CommTrace {
+        let mut tr = CommTrace::new(2);
+        for (i, &t) in times.iter().enumerate() {
+            tr.push(CommEvent::new(i as u64, t, 0, 1, 8, EventKind::Data));
+        }
+        tr
+    }
+
+    #[test]
+    fn windows_partition_the_messages() {
+        let times: Vec<u64> = (0..100).map(|i| i * 10).collect();
+        let tr = trace_with_times(&times);
+        let pa = phase_analysis(&tr, 4);
+        assert_eq!(pa.windows.len(), 4);
+        let total: u64 = pa.windows.iter().map(|w| w.messages).sum();
+        assert_eq!(total, 100);
+        // Uniform rate: variation near 1.
+        assert!(pa.rate_variation < 1.3, "variation = {}", pa.rate_variation);
+    }
+
+    #[test]
+    fn bursty_trace_has_high_variation() {
+        // All messages in the first tenth of the span.
+        let mut times: Vec<u64> = (0..200).collect();
+        times.push(10_000); // a single straggler stretching the span
+        let tr = trace_with_times(&times);
+        let pa = phase_analysis(&tr, 10);
+        assert!(pa.rate_variation > 10.0, "variation = {}", pa.rate_variation);
+        assert!(pa.windows[0].messages > 100);
+        assert_eq!(pa.windows[5].messages, 0);
+    }
+
+    #[test]
+    fn window_fits_where_data_allows() {
+        let times: Vec<u64> = (0..400).map(|i| i * 7).collect();
+        let tr = trace_with_times(&times);
+        let pa = phase_analysis(&tr, 2);
+        for w in &pa.windows {
+            let fit = w.fit.as_ref().expect("plenty of gaps per window");
+            assert_eq!(fit.dist.family_name(), "deterministic");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_trace_rejected() {
+        phase_analysis(&CommTrace::new(2), 4);
+    }
+}

@@ -1,0 +1,156 @@
+//! Plain-text table rendering for the experiment regenerators.
+
+use crate::CommSignature;
+
+/// Renders a fixed-width table: header row plus data rows.
+///
+/// # Example
+///
+/// ```
+/// use commchar_core::report::table;
+/// let s = table(
+///     &["app", "msgs"],
+///     &[vec!["is".into(), "35143".into()]],
+/// );
+/// assert!(s.contains("app"));
+/// assert!(s.contains("is"));
+/// ```
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| {
+        let mut line = String::new();
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!("{cell:<width$}  ", width = w));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// One-line temporal summary for a signature: family, parameters, R², KS.
+pub fn temporal_row(sig: &CommSignature) -> Vec<String> {
+    let fit = &sig.temporal.aggregate;
+    vec![
+        sig.name.clone(),
+        sig.class.name().to_string(),
+        sig.nprocs.to_string(),
+        fit.dist.family_name().to_string(),
+        fit.dist.describe(),
+        format!("{:.4}", fit.r2),
+        format!("{:.4}", fit.ks),
+    ]
+}
+
+/// Majority spatial classification across sources, e.g. `bimodal-uniform
+/// (6/8 sources)`.
+pub fn spatial_consensus(sig: &CommSignature) -> String {
+    let mut counts: std::collections::BTreeMap<&'static str, usize> = Default::default();
+    let mut total = 0;
+    for sp in sig.spatial.iter().flatten() {
+        *counts.entry(sp.fit.model.name()).or_insert(0) += 1;
+        total += 1;
+    }
+    match counts.iter().max_by_key(|&(_, &c)| c) {
+        Some((name, c)) => format!("{name} ({c}/{total} sources)"),
+        None => "no traffic".to_string(),
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Renders the full multi-section signature report (temporal, spatial,
+/// volume, network) — the standard human-readable view used by the CLI.
+pub fn signature_report(sig: &CommSignature) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "application : {} ({})", sig.name, sig.class.name());
+    let _ = writeln!(out, "processors  : {}", sig.nprocs);
+    let _ = writeln!(out, "exec ticks  : {}", sig.exec_ticks);
+    let _ = writeln!(out);
+    let _ = writeln!(out, "temporal attribute");
+    let _ = writeln!(
+        out,
+        "  inter-arrival ~ {}   (R² = {:.4}, KS = {:.4})",
+        sig.temporal.aggregate.dist, sig.temporal.aggregate.r2, sig.temporal.aggregate.ks
+    );
+    let b = sig.temporal.burstiness;
+    let _ =
+        writeln!(out, "  burstiness: CV² = {:.2}, IDI(8) = {:.2}, ρ₁ = {:.2}", b.cv2, b.idi8, b.rho1);
+    let _ = writeln!(out);
+    let _ = writeln!(out, "spatial attribute");
+    let _ = writeln!(out, "  consensus: {}", spatial_consensus(sig));
+    let mut rows = Vec::new();
+    for (s, sp) in sig.spatial.iter().enumerate() {
+        if let Some(sp) = sp {
+            rows.push(vec![
+                format!("p{s}"),
+                sp.fit.model.to_string(),
+                format!("{:.5}", sp.fit.sse),
+            ]);
+        }
+    }
+    let _ = writeln!(out, "{}", table(&["source", "model", "SSE"], &rows));
+    let _ = writeln!(out, "volume attribute");
+    let _ = writeln!(
+        out,
+        "  {} messages, {} bytes total, mean {:.1} bytes",
+        sig.volume.messages, sig.volume.bytes, sig.volume.mean_bytes
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "network behaviour");
+    let n = &sig.network;
+    let _ = writeln!(
+        out,
+        "  mean latency {:.1} (median {:.0}, p95 {:.0}), blocked {:.1}, {:.2} hops, {:.4} bytes/tick",
+        n.mean_latency, n.median_latency, n.p95_latency, n.mean_blocked, n.mean_hops, n.throughput
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let s = table(
+            &["a", "bbbb"],
+            &[vec!["xxxx".into(), "y".into()], vec!["z".into(), "w".into()]],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[2].starts_with("xxxx"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_rejected() {
+        table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn pct_format() {
+        assert_eq!(pct(0.1234), "12.3%");
+    }
+}

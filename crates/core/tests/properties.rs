@@ -1,0 +1,102 @@
+//! Property-based tests for the characterization pipeline, driven by
+//! synthetic traffic with known ground truth.
+
+use commchar_apps::AppClass;
+use commchar_core::{characterize, synthesize, Workload};
+use commchar_mesh::MeshConfig;
+use commchar_stats::spatial::SpatialModel;
+use commchar_trace::replay::CausalReplayer;
+use commchar_traffic::patterns::{hotspot, uniform_poisson};
+use proptest::prelude::*;
+
+fn workload_from(model: &commchar_traffic::TrafficModel, duration: u64, seed: u64) -> Workload {
+    let n = model.nodes();
+    let mesh = MeshConfig::for_nodes(n);
+    let trace = model.generate(duration, seed);
+    let netlog = CausalReplayer::new(mesh).replay(&trace);
+    Workload {
+        name: "synthetic".into(),
+        class: AppClass::MessagePassing,
+        nprocs: n,
+        mesh,
+        trace,
+        netlog,
+        exec_ticks: duration,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Characterizing uniform-Poisson traffic recovers: (a) an
+    /// exponential-family temporal fit whose mean matches the configured
+    /// rate, and (b) a uniform spatial classification.
+    #[test]
+    fn pipeline_recovers_uniform_poisson(seed in 0u64..200, n in 4usize..10) {
+        let rate = 0.004;
+        let model = uniform_poisson(n, rate, 32);
+        let w = workload_from(&model, 200_000, seed);
+        prop_assume!(w.trace.len() > 500);
+        let sig = characterize(&w);
+
+        // Temporal: aggregate rate = n * per-source rate.
+        let mean = sig.temporal.aggregate.dist.mean();
+        let expect = 1.0 / (rate * n as f64);
+        prop_assert!((mean - expect).abs() / expect < 0.25, "mean {mean} vs {expect}");
+        prop_assert!(sig.temporal.aggregate.r2 > 0.95);
+
+        // Spatial: uniform everywhere.
+        let uniform = sig
+            .spatial
+            .iter()
+            .flatten()
+            .filter(|s| s.fit.model == SpatialModel::Uniform)
+            .count();
+        prop_assert!(uniform * 3 >= n * 2, "only {uniform}/{n} classified uniform");
+
+        // Burstiness: near-Poisson.
+        prop_assert!((sig.temporal.burstiness.cv2 - 1.0).abs() < 0.4);
+    }
+
+    /// Characterizing hotspot traffic finds the favorite.
+    #[test]
+    fn pipeline_recovers_hotspot(seed in 0u64..200, hot in 0usize..8) {
+        let n = 8;
+        let hot = hot % n;
+        let model = hotspot(n, hot, 0.6, 0.004, 32);
+        let w = workload_from(&model, 150_000, seed);
+        prop_assume!(w.trace.len() > 400);
+        let sig = characterize(&w);
+        let mut favored = 0;
+        let mut classified = 0;
+        for (s, sp) in sig.spatial.iter().enumerate() {
+            if s == hot {
+                continue;
+            }
+            if let Some(sp) = sp {
+                classified += 1;
+                if let SpatialModel::BimodalUniform { favorite, .. } = sp.fit.model {
+                    if favorite == hot {
+                        favored += 1;
+                    }
+                }
+            }
+        }
+        prop_assert!(favored * 3 >= classified * 2, "{favored}/{classified} found the hotspot");
+    }
+
+    /// Synthesis round-trip: fitting the synthetic traffic of a fitted
+    /// model yields approximately the same aggregate rate (fixed point).
+    #[test]
+    fn synthesis_is_a_fixed_point_on_rate(seed in 0u64..100) {
+        let model = uniform_poisson(6, 0.005, 16);
+        let w = workload_from(&model, 120_000, seed);
+        prop_assume!(w.trace.len() > 400);
+        let sig = characterize(&w);
+        let again = synthesize(&sig, w.mesh);
+        let regen = again.generate(120_000, seed + 1);
+        let r1 = w.trace.len() as f64;
+        let r2 = regen.len() as f64;
+        prop_assert!((r2 - r1).abs() / r1 < 0.3, "rates diverge: {r1} vs {r2}");
+    }
+}

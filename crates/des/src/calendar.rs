@@ -1,0 +1,172 @@
+//! The event calendar.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// A pending event in the calendar.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. Sequence numbers break timestamp ties in insertion order,
+        // making the simulation deterministic.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A stable discrete-event calendar.
+///
+/// Events scheduled at equal timestamps are returned in the order they were
+/// scheduled (FIFO), which the simulators rely on for determinism.
+///
+/// # Example
+///
+/// ```
+/// use commchar_des::{Calendar, SimTime};
+///
+/// let mut cal = Calendar::new();
+/// cal.schedule(SimTime::from_ticks(5), 'x');
+/// cal.schedule(SimTime::from_ticks(5), 'y');
+/// cal.schedule(SimTime::from_ticks(1), 'z');
+/// let order: Vec<char> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['z', 'x', 'y']);
+/// ```
+pub struct Calendar<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Calendar<E> {
+    /// Creates an empty calendar positioned at `SimTime::ZERO`.
+    pub fn new() -> Self {
+        Calendar { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the time of the last popped event —
+    /// scheduling into the past would silently corrupt causality.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "scheduled event at {at:?} before current time {:?}", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time: at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, advancing the calendar clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Returns the timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// The time of the most recently popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the calendar has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for Calendar<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Calendar")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        for &t in &[30u64, 10, 20] {
+            cal.schedule(SimTime::from_ticks(t), t);
+        }
+        let times: Vec<u64> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut cal = Calendar::new();
+        for i in 0..100 {
+            cal.schedule(SimTime::from_ticks(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_ticks(4), ());
+        cal.schedule(SimTime::from_ticks(9), ());
+        cal.pop();
+        assert_eq!(cal.now(), SimTime::from_ticks(4));
+        cal.pop();
+        assert_eq!(cal.now(), SimTime::from_ticks(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_into_past_panics() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_ticks(10), ());
+        cal.pop();
+        cal.schedule(SimTime::from_ticks(5), ());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_ticks(3), 'a');
+        assert_eq!(cal.peek_time(), Some(SimTime::from_ticks(3)));
+        assert_eq!(cal.len(), 1);
+        assert!(!cal.is_empty());
+    }
+}

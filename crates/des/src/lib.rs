@@ -1,0 +1,39 @@
+//! # commchar-des
+//!
+//! A small, deterministic discrete-event simulation (DES) kernel, standing in
+//! for the CSIM package the original paper built its network simulator on.
+//!
+//! The kernel provides:
+//!
+//! - [`SimTime`] / [`SimDuration`] — integer simulated time (ticks).
+//! - [`Calendar`] — a stable event calendar: events with equal timestamps
+//!   dequeue in insertion order, which keeps simulations deterministic.
+//! - [`Facility`] — a single-server resource with a FIFO queue and
+//!   utilization accounting, mirroring CSIM's `facility` abstraction.
+//! - Statistics accumulators ([`RunningStats`], [`TimeWeighted`],
+//!   [`CountTable`]) used throughout the network and protocol simulators.
+//!
+//! # Example
+//!
+//! ```
+//! use commchar_des::{Calendar, SimTime};
+//!
+//! let mut cal: Calendar<&'static str> = Calendar::new();
+//! cal.schedule(SimTime::from_ticks(10), "b");
+//! cal.schedule(SimTime::from_ticks(5), "a");
+//! let (t, ev) = cal.pop().unwrap();
+//! assert_eq!((t.ticks(), ev), (5, "a"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod calendar;
+mod facility;
+mod stats;
+mod time;
+
+pub use calendar::Calendar;
+pub use facility::{Facility, FacilityStats};
+pub use stats::{CountTable, RunningStats, TimeWeighted};
+pub use time::{SimDuration, SimTime};

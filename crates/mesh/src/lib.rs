@@ -1,0 +1,80 @@
+//! # commchar-mesh
+//!
+//! A 2-D mesh, wormhole-routed interconnection network simulator — the
+//! network substrate of the HPCA'97 communication-characterization
+//! methodology. The paper's simulator was process-oriented (CSIM); this
+//! crate provides two interchangeable models sharing one log schema:
+//!
+//! - [`OnlineWormhole`] — an event/recurrence wormhole model at channel
+//!   granularity. Messages must be injected in nondecreasing time order and
+//!   each [`OnlineWormhole::send`] immediately returns the delivery time,
+//!   which is exactly what the execution-driven (closed-loop) simulator
+//!   needs: the network's feedback steers application time.
+//! - [`FlitLevel`] — a cycle-accurate router model (finite input buffers,
+//!   round-robin switch allocation, wormhole flow control) used for
+//!   cross-validation and ablation of the faster model.
+//!
+//! Both produce a [`NetLog`]: one record per message with injection time,
+//! delivery time, hop count and blocked (contention) time — the raw
+//! material the statistical analysis operates on.
+//!
+//! # Example
+//!
+//! ```
+//! use commchar_mesh::{MeshConfig, NetMessage, NodeId, OnlineWormhole};
+//! use commchar_des::SimTime;
+//!
+//! let cfg = MeshConfig::new(4, 2); // 4x2 mesh, 8 nodes
+//! let mut net = OnlineWormhole::new(cfg);
+//! let delivered = net.send(NetMessage {
+//!     id: 0,
+//!     src: NodeId(0),
+//!     dst: NodeId(7),
+//!     bytes: 40,
+//!     inject: SimTime::ZERO,
+//! });
+//! assert!(delivered > SimTime::ZERO);
+//! let log = net.into_log();
+//! assert_eq!(log.records().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod flit;
+mod log;
+mod topology;
+mod wormhole;
+
+pub use config::MeshConfig;
+pub use flit::FlitLevel;
+pub use log::{MsgRecord, NetLog, NetSummary};
+pub use topology::{ChannelId, Coord, MeshShape, NodeId, Topology};
+pub use wormhole::OnlineWormhole;
+
+use commchar_des::SimTime;
+
+/// A message presented to the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetMessage {
+    /// Caller-chosen identifier, preserved in the log.
+    pub id: u64,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node. Must differ from `src`.
+    pub dst: NodeId,
+    /// Payload length in bytes (headers are added by the model).
+    pub bytes: u32,
+    /// Time the message is handed to the source network interface.
+    pub inject: SimTime,
+}
+
+/// A batch network model: simulate a whole message list and produce a log.
+///
+/// Implemented by both network models so experiments can swap them.
+pub trait MeshModel {
+    /// Simulates `msgs` (any order; they are sorted by injection time) and
+    /// returns the completed network log.
+    fn simulate(&mut self, msgs: &[NetMessage]) -> NetLog;
+}

@@ -1,0 +1,360 @@
+//! The network activity log — the methodology's raw observable.
+
+use commchar_des::{RunningStats, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::{MeshShape, NodeId};
+
+/// One completed message, as recorded by a network model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MsgRecord {
+    /// Caller-supplied message id.
+    pub id: u64,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Payload bytes.
+    pub bytes: u32,
+    /// Injection time (ticks).
+    pub inject: u64,
+    /// Delivery time of the tail flit at the destination NI (ticks).
+    pub delivered: u64,
+    /// Inter-router hops traversed.
+    pub hops: u32,
+    /// Contention-free latency for this size and distance (ticks).
+    pub zero_load: u64,
+}
+
+impl MsgRecord {
+    /// Total network latency (injection to tail delivery).
+    pub fn latency(&self) -> u64 {
+        self.delivered - self.inject
+    }
+
+    /// Time lost to contention (latency above the contention-free bound).
+    pub fn blocked(&self) -> u64 {
+        self.latency().saturating_sub(self.zero_load)
+    }
+}
+
+/// Aggregate statistics over a [`NetLog`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NetSummary {
+    /// Number of messages.
+    pub messages: u64,
+    /// Mean network latency (ticks).
+    pub mean_latency: f64,
+    /// Median network latency (ticks).
+    pub median_latency: f64,
+    /// 95th-percentile network latency (ticks).
+    pub p95_latency: f64,
+    /// Mean contention (blocked) time per message (ticks).
+    pub mean_blocked: f64,
+    /// Mean payload length (bytes).
+    pub mean_bytes: f64,
+    /// Mean hop count.
+    pub mean_hops: f64,
+    /// Total simulated span: last delivery − first injection (ticks).
+    pub span: u64,
+    /// Aggregate injected throughput over the span (bytes/tick).
+    pub throughput: f64,
+}
+
+/// The log of all network activity from one simulation.
+///
+/// Records are kept in delivery order as produced by the model; accessors
+/// provide the per-source and per-pair views the characterization needs.
+///
+/// # Example
+///
+/// ```
+/// use commchar_mesh::{MeshConfig, MeshModel, NetMessage, NodeId, OnlineWormhole};
+/// use commchar_des::SimTime;
+///
+/// let msgs = vec![
+///     NetMessage { id: 0, src: NodeId(0), dst: NodeId(1), bytes: 8, inject: SimTime::ZERO },
+///     NetMessage { id: 1, src: NodeId(0), dst: NodeId(3), bytes: 8, inject: SimTime::from_ticks(5) },
+/// ];
+/// let log = OnlineWormhole::new(MeshConfig::new(2, 2)).simulate(&msgs);
+/// assert_eq!(log.summary().messages, 2);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct NetLog {
+    records: Vec<MsgRecord>,
+    #[serde(skip)]
+    utilization: Vec<(u32, f64)>,
+}
+
+impl NetLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        NetLog::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, rec: MsgRecord) {
+        debug_assert!(rec.delivered >= rec.inject);
+        self.records.push(rec);
+    }
+
+    /// Attaches per-channel utilization figures `(channel id, fraction)`.
+    pub fn set_utilization(&mut self, util: Vec<(u32, f64)>) {
+        self.utilization = util;
+    }
+
+    /// Per-channel utilization, if the model recorded it.
+    pub fn utilization(&self) -> &[(u32, f64)] {
+        &self.utilization
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[MsgRecord] {
+        &self.records
+    }
+
+    /// Consumes the log, returning the records.
+    pub fn into_records(self) -> Vec<MsgRecord> {
+        self.records
+    }
+
+    /// Messages sourced at `src`, in record order.
+    pub fn from_source(&self, src: NodeId) -> impl Iterator<Item = &MsgRecord> + '_ {
+        self.records.iter().filter(move |r| r.src == src)
+    }
+
+    /// Per-source injection-time sequences, sorted by time — the input to
+    /// inter-arrival analysis.
+    pub fn injection_times_by_source(&self, nodes: usize) -> Vec<Vec<u64>> {
+        let mut by_src = vec![Vec::new(); nodes];
+        for r in &self.records {
+            by_src[r.src.index()].push(r.inject);
+        }
+        for v in &mut by_src {
+            v.sort_unstable();
+        }
+        by_src
+    }
+
+    /// All injection times, sorted — aggregate inter-arrival analysis.
+    pub fn injection_times(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.records.iter().map(|r| r.inject).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// `counts[src][dst]` message counts — the spatial distribution.
+    pub fn spatial_counts(&self, nodes: usize) -> Vec<Vec<u64>> {
+        let mut m = vec![vec![0u64; nodes]; nodes];
+        for r in &self.records {
+            m[r.src.index()][r.dst.index()] += 1;
+        }
+        m
+    }
+
+    /// `bytes[src][dst]` payload byte totals — the volume distribution.
+    pub fn volume_bytes(&self, nodes: usize) -> Vec<Vec<u64>> {
+        let mut m = vec![vec![0u64; nodes]; nodes];
+        for r in &self.records {
+            m[r.src.index()][r.dst.index()] += r.bytes as u64;
+        }
+        m
+    }
+
+    /// Message length observations in bytes.
+    pub fn lengths(&self) -> Vec<u32> {
+        self.records.iter().map(|r| r.bytes).collect()
+    }
+
+    /// Latency histogram as `(upper bound, count)` rows over `bins`
+    /// equal-width bins — the latency-distribution figures of network
+    /// evaluations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    pub fn latency_histogram(&self, bins: usize) -> Vec<(u64, u64)> {
+        assert!(bins > 0, "need at least one bin");
+        if self.records.is_empty() {
+            return Vec::new();
+        }
+        let max = self.records.iter().map(|r| r.latency()).max().unwrap_or(0).max(1);
+        let width = max.div_ceil(bins as u64).max(1);
+        let mut counts = vec![0u64; bins];
+        for r in &self.records {
+            let idx = ((r.latency() / width) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        counts.into_iter().enumerate().map(|(i, c)| ((i as u64 + 1) * width, c)).collect()
+    }
+
+    /// Aggregate summary statistics.
+    pub fn summary(&self) -> NetSummary {
+        let mut lat = RunningStats::new();
+        let mut blk = RunningStats::new();
+        let mut len = RunningStats::new();
+        let mut hops = RunningStats::new();
+        let mut first = u64::MAX;
+        let mut last = 0u64;
+        let mut total_bytes = 0u64;
+        for r in &self.records {
+            lat.record(r.latency() as f64);
+            blk.record(r.blocked() as f64);
+            len.record(r.bytes as f64);
+            hops.record(r.hops as f64);
+            first = first.min(r.inject);
+            last = last.max(r.delivered);
+            total_bytes += r.bytes as u64;
+        }
+        let span = if self.records.is_empty() { 0 } else { last - first };
+        let mut latencies: Vec<u64> = self.records.iter().map(|r| r.latency()).collect();
+        latencies.sort_unstable();
+        let pick = |q: f64| -> f64 {
+            if latencies.is_empty() {
+                0.0
+            } else {
+                let idx = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+                latencies[idx - 1] as f64
+            }
+        };
+        NetSummary {
+            messages: self.records.len() as u64,
+            mean_latency: lat.mean(),
+            median_latency: pick(0.5),
+            p95_latency: pick(0.95),
+            mean_blocked: blk.mean(),
+            mean_bytes: len.mean(),
+            mean_hops: hops.mean(),
+            span,
+            throughput: if span == 0 { 0.0 } else { total_bytes as f64 / span as f64 },
+        }
+    }
+
+    /// Validates internal consistency against a mesh shape (used by tests
+    /// and by the replayer): all node ids in range, delivery ≥ injection,
+    /// latency ≥ zero-load bound.
+    pub fn check_invariants(&self, shape: MeshShape) -> Result<(), String> {
+        for r in &self.records {
+            if r.src.index() >= shape.nodes() || r.dst.index() >= shape.nodes() {
+                return Err(format!("record {} has out-of-range node", r.id));
+            }
+            if r.delivered < r.inject {
+                return Err(format!("record {} delivered before injection", r.id));
+            }
+            if r.latency() < r.zero_load {
+                return Err(format!(
+                    "record {} beats the zero-load bound: {} < {}",
+                    r.id,
+                    r.latency(),
+                    r.zero_load
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<MsgRecord> for NetLog {
+    fn from_iter<I: IntoIterator<Item = MsgRecord>>(iter: I) -> Self {
+        NetLog { records: iter.into_iter().collect(), utilization: Vec::new() }
+    }
+}
+
+impl Extend<MsgRecord> for NetLog {
+    fn extend<I: IntoIterator<Item = MsgRecord>>(&mut self, iter: I) {
+        self.records.extend(iter);
+    }
+}
+
+/// Helper to convert a `SimTime` when building records.
+pub(crate) fn ticks(t: SimTime) -> u64 {
+    t.ticks()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, src: u16, dst: u16, bytes: u32, inject: u64, delivered: u64) -> MsgRecord {
+        MsgRecord { id, src: NodeId(src), dst: NodeId(dst), bytes, inject, delivered, hops: 1, zero_load: 5 }
+    }
+
+    #[test]
+    fn latency_and_blocked() {
+        let r = rec(0, 0, 1, 16, 10, 25);
+        assert_eq!(r.latency(), 15);
+        assert_eq!(r.blocked(), 10);
+        let fast = rec(1, 0, 1, 16, 10, 15);
+        assert_eq!(fast.blocked(), 0);
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let log: NetLog = vec![rec(0, 0, 1, 10, 0, 10), rec(1, 1, 0, 30, 5, 25)].into_iter().collect();
+        let s = log.summary();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.mean_latency, 15.0);
+        assert_eq!(s.mean_bytes, 20.0);
+        assert_eq!(s.span, 25);
+        assert!((s.throughput - 40.0 / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spatial_and_volume_views() {
+        let log: NetLog = vec![rec(0, 0, 1, 10, 0, 10), rec(1, 0, 1, 30, 5, 25), rec(2, 1, 0, 8, 6, 30)]
+            .into_iter()
+            .collect();
+        let counts = log.spatial_counts(2);
+        assert_eq!(counts[0][1], 2);
+        assert_eq!(counts[1][0], 1);
+        let vol = log.volume_bytes(2);
+        assert_eq!(vol[0][1], 40);
+        let by_src = log.injection_times_by_source(2);
+        assert_eq!(by_src[0], vec![0, 5]);
+        assert_eq!(by_src[1], vec![6]);
+    }
+
+    #[test]
+    fn invariants_catch_bad_records() {
+        let shape = MeshShape::new(2, 1);
+        let ok: NetLog = vec![rec(0, 0, 1, 4, 0, 10)].into_iter().collect();
+        assert!(ok.check_invariants(shape).is_ok());
+        let bad: NetLog = vec![rec(1, 0, 1, 4, 0, 3)].into_iter().collect();
+        assert!(bad.check_invariants(shape).is_err()); // beats zero-load 5
+        let out: NetLog = vec![rec(2, 0, 9, 4, 0, 10)].into_iter().collect();
+        assert!(out.check_invariants(shape).is_err());
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = NetLog::new().summary();
+        assert_eq!(s.messages, 0);
+        assert_eq!(s.span, 0);
+        assert_eq!(s.throughput, 0.0);
+        assert_eq!(s.median_latency, 0.0);
+        assert_eq!(s.p95_latency, 0.0);
+    }
+
+    #[test]
+    fn latency_histogram_covers_everything() {
+        let log: NetLog = (1..=100u64).map(|i| rec(i, 0, 1, 8, 0, i)).collect();
+        let hist = log.latency_histogram(10);
+        assert_eq!(hist.len(), 10);
+        let total: u64 = hist.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 100);
+        assert!(hist.windows(2).all(|w| w[1].0 > w[0].0));
+        assert!(NetLog::new().latency_histogram(4).is_empty());
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        // Latencies 1..=100.
+        let log: NetLog = (1..=100u64)
+            .map(|i| rec(i, 0, 1, 8, 0, i))
+            .collect();
+        let s = log.summary();
+        assert_eq!(s.median_latency, 50.0);
+        assert_eq!(s.p95_latency, 95.0);
+        assert_eq!(s.mean_latency, 50.5);
+    }
+}

@@ -1,0 +1,412 @@
+//! Mesh topology: node naming, coordinates, channel enumeration, XY routing.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A node (processor + router + network interface) in the mesh.
+///
+/// Nodes are numbered row-major: `id = y * width + x`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The numeric index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(i: usize) -> Self {
+        NodeId(u16::try_from(i).expect("node index exceeds u16"))
+    }
+}
+
+/// An (x, y) mesh coordinate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Coord {
+    /// Column, `0..width`.
+    pub x: u16,
+    /// Row, `0..height`.
+    pub y: u16,
+}
+
+/// A directed channel in the mesh.
+///
+/// Inter-router channels are identified by their source node and direction;
+/// each node also has one *injection* channel (NI → router) and one
+/// *ejection* channel (router → NI), so traffic sourced at or sinked into a
+/// node serializes at its network interface, as in the paper's simulator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChannelId(pub u32);
+
+impl fmt::Debug for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// Direction of an inter-router hop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// +x
+    East,
+    /// −x
+    West,
+    /// +y
+    South,
+    /// −y
+    North,
+}
+
+impl Dir {
+    fn code(self) -> u32 {
+        match self {
+            Dir::East => 0,
+            Dir::West => 1,
+            Dir::South => 2,
+            Dir::North => 3,
+        }
+    }
+}
+
+/// Whether the 2-D grid wraps around (torus) or not (mesh).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Topology {
+    /// Open grid: edge nodes have no wraparound links (the paper's network).
+    #[default]
+    Mesh,
+    /// Wraparound grid: every row and column is a ring, halving the
+    /// average distance. Supported by the recurrence network model; the
+    /// flit-accurate router requires escape virtual channels for torus
+    /// deadlock freedom and currently rejects it.
+    Torus,
+}
+
+/// The shape of a 2-D mesh and its routing/enumeration rules.
+///
+/// # Example
+///
+/// ```
+/// use commchar_mesh::{MeshShape, NodeId};
+/// let shape = MeshShape::new(4, 4);
+/// assert_eq!(shape.nodes(), 16);
+/// assert_eq!(shape.hop_distance(NodeId(0), NodeId(15)), 6);
+/// let path = shape.xy_route(NodeId(0), NodeId(5));
+/// // injection + 2 inter-router hops + ejection
+/// assert_eq!(path.len(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeshShape {
+    width: u16,
+    height: u16,
+    #[serde(default)]
+    topology: Topology,
+}
+
+impl MeshShape {
+    /// Creates a `width × height` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u16, height: u16) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be positive");
+        MeshShape { width, height, topology: Topology::Mesh }
+    }
+
+    /// Creates a `width × height` torus (wraparound grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new_torus(width: u16, height: u16) -> Self {
+        assert!(width > 0 && height > 0, "torus dimensions must be positive");
+        MeshShape { width, height, topology: Topology::Torus }
+    }
+
+    /// The grid's topology.
+    pub fn topology(self) -> Topology {
+        self.topology
+    }
+
+    /// Chooses a near-square shape for `n` nodes (e.g. 8 → 4×2, 16 → 4×4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or not expressible as a near-square grid
+    /// (all powers of two and perfect squares are accepted).
+    pub fn for_nodes(n: usize) -> Self {
+        assert!(n > 0, "node count must be positive");
+        let mut w = (n as f64).sqrt().ceil() as usize;
+        while w <= n {
+            if n % w == 0 {
+                return MeshShape::new(w as u16, (n / w) as u16);
+            }
+            w += 1;
+        }
+        unreachable!("w = n always divides n");
+    }
+
+    /// Mesh width (columns).
+    pub fn width(self) -> u16 {
+        self.width
+    }
+
+    /// Mesh height (rows).
+    pub fn height(self) -> u16 {
+        self.height
+    }
+
+    /// Number of nodes.
+    pub fn nodes(self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Total channel-id space (inter-router, injection and ejection slots).
+    pub fn channel_slots(self) -> usize {
+        self.nodes() * 6
+    }
+
+    /// Coordinate of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range.
+    pub fn coord(self, node: NodeId) -> Coord {
+        assert!(node.index() < self.nodes(), "node {node:?} out of range");
+        Coord { x: node.0 % self.width, y: node.0 / self.width }
+    }
+
+    /// Node at a coordinate.
+    pub fn node_at(self, c: Coord) -> NodeId {
+        assert!(c.x < self.width && c.y < self.height, "coordinate out of range");
+        NodeId(c.y * self.width + c.x)
+    }
+
+    /// The inter-router channel leaving `node` in direction `dir`.
+    pub fn channel(self, node: NodeId, dir: Dir) -> ChannelId {
+        ChannelId(node.0 as u32 * 6 + dir.code())
+    }
+
+    /// The injection channel (NI → router) of `node`.
+    pub fn injection(self, node: NodeId) -> ChannelId {
+        ChannelId(node.0 as u32 * 6 + 4)
+    }
+
+    /// The ejection channel (router → NI) of `node`.
+    pub fn ejection(self, node: NodeId) -> ChannelId {
+        ChannelId(node.0 as u32 * 6 + 5)
+    }
+
+    /// Manhattan (hop) distance between two nodes, excluding NI channels
+    /// (wrap-aware on a torus).
+    pub fn hop_distance(self, a: NodeId, b: NodeId) -> u32 {
+        let ca = self.coord(a);
+        let cb = self.coord(b);
+        let dx = ca.x.abs_diff(cb.x);
+        let dy = ca.y.abs_diff(cb.y);
+        match self.topology {
+            Topology::Mesh => (dx + dy) as u32,
+            Topology::Torus => {
+                (dx.min(self.width - dx) + dy.min(self.height - dy)) as u32
+            }
+        }
+    }
+
+    /// Deterministic dimension-ordered (XY) route from `src` to `dst`:
+    /// injection channel, inter-router channels (x first, then y), ejection
+    /// channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` — the network never sees self-messages.
+    pub fn xy_route(self, src: NodeId, dst: NodeId) -> Vec<ChannelId> {
+        assert_ne!(src, dst, "self-messages do not enter the network");
+        let mut path = Vec::with_capacity(2 + self.hop_distance(src, dst) as usize);
+        path.push(self.injection(src));
+        let mut cur = self.coord(src);
+        let goal = self.coord(dst);
+        // Per-dimension step: on a torus pick the shorter way around;
+        // equidistant ties split by endpoint parity so tied pairs do not
+        // all pile onto the same ring direction.
+        let tie_forward = (src.0 ^ dst.0) & 1 == 0;
+        let step_x = |cur: u16| -> (Dir, u16) {
+            let fwd = (goal.x + self.width - cur) % self.width;
+            let bwd = self.width - fwd;
+            let use_east = match self.topology {
+                Topology::Mesh => goal.x > cur,
+                Topology::Torus => fwd < bwd || (fwd == bwd && tie_forward),
+            };
+            if use_east {
+                (Dir::East, (cur + 1) % self.width)
+            } else {
+                (Dir::West, (cur + self.width - 1) % self.width)
+            }
+        };
+        let step_y = |cur: u16| -> (Dir, u16) {
+            let fwd = (goal.y + self.height - cur) % self.height;
+            let bwd = self.height - fwd;
+            let use_south = match self.topology {
+                Topology::Mesh => goal.y > cur,
+                Topology::Torus => fwd < bwd || (fwd == bwd && tie_forward),
+            };
+            if use_south {
+                (Dir::South, (cur + 1) % self.height)
+            } else {
+                (Dir::North, (cur + self.height - 1) % self.height)
+            }
+        };
+        while cur.x != goal.x {
+            let (dir, nx) = step_x(cur.x);
+            path.push(self.channel(self.node_at(cur), dir));
+            cur.x = nx;
+        }
+        while cur.y != goal.y {
+            let (dir, ny) = step_y(cur.y);
+            path.push(self.channel(self.node_at(cur), dir));
+            cur.y = ny;
+        }
+        path.push(self.ejection(dst));
+        path
+    }
+
+    /// The neighbour of `node` in direction `dir`, if it exists (wraps on
+    /// a torus, so a torus always has a neighbour in every direction).
+    pub fn neighbour(self, node: NodeId, dir: Dir) -> Option<NodeId> {
+        let c = self.coord(node);
+        let n = match (self.topology, dir) {
+            (_, Dir::East) if c.x + 1 < self.width => Coord { x: c.x + 1, y: c.y },
+            (_, Dir::West) if c.x > 0 => Coord { x: c.x - 1, y: c.y },
+            (_, Dir::South) if c.y + 1 < self.height => Coord { x: c.x, y: c.y + 1 },
+            (_, Dir::North) if c.y > 0 => Coord { x: c.x, y: c.y - 1 },
+            (Topology::Torus, Dir::East) => Coord { x: 0, y: c.y },
+            (Topology::Torus, Dir::West) => Coord { x: self.width - 1, y: c.y },
+            (Topology::Torus, Dir::South) => Coord { x: c.x, y: 0 },
+            (Topology::Torus, Dir::North) => Coord { x: c.x, y: self.height - 1 },
+            _ => return None,
+        };
+        Some(self.node_at(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_coords() {
+        let s = MeshShape::new(4, 2);
+        assert_eq!(s.coord(NodeId(0)), Coord { x: 0, y: 0 });
+        assert_eq!(s.coord(NodeId(5)), Coord { x: 1, y: 1 });
+        assert_eq!(s.node_at(Coord { x: 3, y: 1 }), NodeId(7));
+    }
+
+    #[test]
+    fn for_nodes_shapes() {
+        assert_eq!(MeshShape::for_nodes(8), MeshShape::new(4, 2));
+        assert_eq!(MeshShape::for_nodes(16), MeshShape::new(4, 4));
+        assert_eq!(MeshShape::for_nodes(32), MeshShape::new(8, 4));
+        assert_eq!(MeshShape::for_nodes(9), MeshShape::new(3, 3));
+        assert_eq!(MeshShape::for_nodes(1), MeshShape::new(1, 1));
+    }
+
+    #[test]
+    fn xy_route_goes_x_then_y() {
+        let s = MeshShape::new(4, 4);
+        // 0 (0,0) -> 10 (2,2): inj, E, E, S, S, ej
+        let path = s.xy_route(NodeId(0), NodeId(10));
+        assert_eq!(path.len(), 6);
+        assert_eq!(path[0], s.injection(NodeId(0)));
+        assert_eq!(path[1], s.channel(NodeId(0), Dir::East));
+        assert_eq!(path[2], s.channel(NodeId(1), Dir::East));
+        assert_eq!(path[3], s.channel(NodeId(2), Dir::South));
+        assert_eq!(path[4], s.channel(NodeId(6), Dir::South));
+        assert_eq!(path[5], s.ejection(NodeId(10)));
+    }
+
+    #[test]
+    fn route_length_matches_distance() {
+        let s = MeshShape::new(5, 3);
+        for a in 0..s.nodes() {
+            for b in 0..s.nodes() {
+                if a == b {
+                    continue;
+                }
+                let (a, b) = (NodeId::from(a), NodeId::from(b));
+                assert_eq!(s.xy_route(a, b).len() as u32, s.hop_distance(a, b) + 2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self-messages")]
+    fn self_route_panics() {
+        MeshShape::new(2, 2).xy_route(NodeId(1), NodeId(1));
+    }
+
+    #[test]
+    fn channels_are_unique() {
+        let s = MeshShape::new(3, 3);
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..s.nodes() {
+            let n = NodeId::from(n);
+            for dir in [Dir::East, Dir::West, Dir::South, Dir::North] {
+                assert!(seen.insert(s.channel(n, dir)));
+            }
+            assert!(seen.insert(s.injection(n)));
+            assert!(seen.insert(s.ejection(n)));
+        }
+        assert!(seen.iter().all(|c| (c.0 as usize) < s.channel_slots()));
+    }
+
+    #[test]
+    fn torus_distance_wraps() {
+        let t = MeshShape::new_torus(4, 4);
+        // Opposite corners: 2 hops on a torus, 6 on a mesh.
+        assert_eq!(t.hop_distance(NodeId(0), NodeId(15)), 2);
+        assert_eq!(MeshShape::new(4, 4).hop_distance(NodeId(0), NodeId(15)), 6);
+        // Route length matches the wrapped distance for every pair.
+        for a in 0..t.nodes() {
+            for b in 0..t.nodes() {
+                if a == b {
+                    continue;
+                }
+                let (a, b) = (NodeId::from(a), NodeId::from(b));
+                assert_eq!(t.xy_route(a, b).len() as u32, t.hop_distance(a, b) + 2);
+            }
+        }
+    }
+
+    #[test]
+    fn torus_neighbours_wrap() {
+        let t = MeshShape::new_torus(3, 2);
+        assert_eq!(t.neighbour(NodeId(0), Dir::West), Some(NodeId(2)));
+        assert_eq!(t.neighbour(NodeId(0), Dir::North), Some(NodeId(3)));
+        assert_eq!(t.neighbour(NodeId(2), Dir::East), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn neighbours_respect_edges() {
+        let s = MeshShape::new(3, 2);
+        assert_eq!(s.neighbour(NodeId(0), Dir::West), None);
+        assert_eq!(s.neighbour(NodeId(0), Dir::North), None);
+        assert_eq!(s.neighbour(NodeId(0), Dir::East), Some(NodeId(1)));
+        assert_eq!(s.neighbour(NodeId(0), Dir::South), Some(NodeId(3)));
+        assert_eq!(s.neighbour(NodeId(5), Dir::East), None);
+        assert_eq!(s.neighbour(NodeId(5), Dir::South), None);
+    }
+}

@@ -1,0 +1,96 @@
+//! SP2 communication cost model parameters.
+
+/// Configuration of the message-passing machine model.
+///
+/// Logical clocks tick at `ticks_per_us` per microsecond; the defaults
+/// encode the paper's measured SP2 software overhead (`73.42 µs + 0.0463
+/// µs/byte`, split evenly between sender and receiver) and a simple wire
+/// model for the SP2's high-performance switch.
+#[derive(Clone, Copy, Debug)]
+pub struct Sp2Config {
+    /// Number of ranks.
+    pub nprocs: usize,
+    /// Fixed software overhead per transfer, microseconds.
+    pub base_overhead_us: f64,
+    /// Per-byte software overhead, microseconds.
+    pub per_byte_us: f64,
+    /// Wire (switch) latency per message, microseconds.
+    pub wire_latency_us: f64,
+    /// Wire time per byte, microseconds (≈ 1/40 MB/s).
+    pub wire_per_byte_us: f64,
+    /// Clock resolution: ticks per microsecond.
+    pub ticks_per_us: f64,
+}
+
+impl Sp2Config {
+    /// Creates a model with the paper's SP2 constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nprocs` is zero.
+    pub fn new(nprocs: usize) -> Self {
+        assert!(nprocs > 0, "need at least one rank");
+        Sp2Config {
+            nprocs,
+            base_overhead_us: 73.42,
+            per_byte_us: 4.63e-2,
+            wire_latency_us: 1.0,
+            wire_per_byte_us: 0.025,
+            ticks_per_us: 100.0,
+        }
+    }
+
+    /// Total software overhead for an `x`-byte transfer, in microseconds —
+    /// the paper's validated `4.63e-2·x + 73.42`.
+    pub fn software_overhead_us(&self, bytes: u32) -> f64 {
+        self.base_overhead_us + self.per_byte_us * bytes as f64
+    }
+
+    /// Converts microseconds to clock ticks (rounded).
+    pub fn us_to_ticks(&self, us: f64) -> u64 {
+        (us * self.ticks_per_us).round() as u64
+    }
+
+    /// Sender-side overhead in ticks (half the software overhead).
+    pub fn send_ticks(&self, bytes: u32) -> u64 {
+        self.us_to_ticks(self.software_overhead_us(bytes) / 2.0)
+    }
+
+    /// Receiver-side overhead in ticks (the other half).
+    pub fn recv_ticks(&self, bytes: u32) -> u64 {
+        self.us_to_ticks(self.software_overhead_us(bytes) / 2.0)
+    }
+
+    /// Wire transit time in ticks.
+    pub fn wire_ticks(&self, bytes: u32) -> u64 {
+        self.us_to_ticks(self.wire_latency_us + self.wire_per_byte_us * bytes as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let c = Sp2Config::new(8);
+        assert!((c.software_overhead_us(0) - 73.42).abs() < 1e-12);
+        assert!((c.software_overhead_us(1000) - (73.42 + 46.3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tick_conversion_rounds() {
+        let c = Sp2Config::new(2);
+        assert_eq!(c.us_to_ticks(1.0), 100);
+        assert_eq!(c.us_to_ticks(0.004), 0);
+        assert_eq!(c.us_to_ticks(0.006), 1);
+    }
+
+    #[test]
+    fn halves_sum_to_whole() {
+        let c = Sp2Config::new(2);
+        let total = c.send_ticks(500) + c.recv_ticks(500);
+        let direct = c.us_to_ticks(c.software_overhead_us(500));
+        assert!((total as i64 - direct as i64).abs() <= 1);
+    }
+}

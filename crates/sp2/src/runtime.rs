@@ -1,0 +1,578 @@
+//! The rank threads, point-to-point layer, collectives and tracing.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use commchar_trace::{CommEvent, CommTrace, EventKind};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::Sp2Config;
+
+/// Tag reserved for fault propagation: a dying rank poisons its peers so
+/// blocked receives fail fast instead of hanging.
+const POISON_TAG: u32 = u32::MAX;
+
+/// A message in flight between ranks.
+#[derive(Clone, Debug)]
+struct Packet {
+    id: u64,
+    src: usize,
+    tag: u32,
+    /// Arrival time at the destination (sender clock + overhead + wire).
+    arrival: u64,
+    data: Vec<f64>,
+}
+
+/// The output of a message-passing run.
+#[derive(Debug)]
+pub struct MpRun {
+    /// Application-level communication trace (with causal annotations).
+    pub trace: CommTrace,
+    /// Final logical clock of the slowest rank, in ticks.
+    pub exec_ticks: u64,
+    /// Number of ranks.
+    pub nprocs: usize,
+}
+
+/// Per-rank execution context: point-to-point operations, collectives,
+/// logical clock, and tracing.
+///
+/// Payloads are `f64` slices (the NAS kernels ship doubles); a message of
+/// `k` values costs `8k` bytes in the model.
+pub struct Rank {
+    id: usize,
+    n: usize,
+    clock: u64,
+    cfg: Sp2Config,
+    seq: u64,
+    last_recv: Option<u64>,
+    inbox: Receiver<Packet>,
+    pending: VecDeque<Packet>,
+    outs: Vec<Sender<Packet>>,
+    events: Arc<Mutex<Vec<CommEvent>>>,
+    sent: u64,
+}
+
+impl std::fmt::Debug for Rank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rank").field("id", &self.id).field("clock", &self.clock).finish()
+    }
+}
+
+impl Rank {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.id
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Current logical clock in ticks.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Accounts local computation time in microseconds.
+    pub fn compute_us(&mut self, us: f64) {
+        self.clock += self.cfg.us_to_ticks(us);
+    }
+
+    fn next_id(&mut self) -> u64 {
+        let id = ((self.id as u64) << 40) | self.seq;
+        self.seq += 1;
+        id
+    }
+
+    /// Sends `data` to `dst` with a matching `tag`. Non-blocking in real
+    /// time; the logical clock advances by the sender-side SP2 overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range or equals this rank.
+    pub fn send(&mut self, dst: usize, data: &[f64], tag: u32) {
+        assert!(dst < self.n, "rank {dst} out of range");
+        assert_ne!(dst, self.id, "self-send is not allowed");
+        let bytes = (data.len() * 8).max(8) as u32;
+        let t_issue = self.clock;
+        self.clock += self.cfg.send_ticks(bytes);
+        let arrival = self.clock + self.cfg.wire_ticks(bytes);
+        let id = self.next_id();
+        let kind = if data.len() <= 2 { EventKind::Control } else { EventKind::Data };
+        let mut ev = CommEvent::new(id, t_issue, self.id as u16, dst as u16, bytes, kind);
+        if let Some(dep) = self.last_recv {
+            ev = ev.after(dep);
+        }
+        self.events.lock().push(ev);
+        self.sent += 1;
+        self.outs[dst]
+            .send(Packet { id, src: self.id, tag, arrival, data: data.to_vec() })
+            .expect("rank hung up");
+    }
+
+    /// Receives the next message from `src` with `tag`, blocking until it
+    /// arrives. The logical clock advances to the message arrival plus the
+    /// receiver-side overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range, equals this rank, or if the peer
+    /// exits without sending (runtime teardown).
+    pub fn recv(&mut self, src: usize, tag: u32) -> Vec<f64> {
+        assert!(src < self.n, "rank {src} out of range");
+        assert_ne!(src, self.id, "self-receive is not allowed");
+        // Check buffered out-of-order packets first.
+        if let Some(pos) = self.pending.iter().position(|p| p.src == src && p.tag == tag) {
+            let p = self.pending.remove(pos).unwrap();
+            return self.consume(p);
+        }
+        loop {
+            let p = self.inbox.recv().expect("peer rank terminated while we were receiving");
+            assert_ne!(p.tag, POISON_TAG, "peer rank {} panicked while we were receiving", p.src);
+            if p.src == src && p.tag == tag {
+                return self.consume(p);
+            }
+            self.pending.push_back(p);
+        }
+    }
+
+    fn consume(&mut self, p: Packet) -> Vec<f64> {
+        let bytes = (p.data.len() * 8).max(8) as u32;
+        self.clock = self.clock.max(p.arrival) + self.cfg.recv_ticks(bytes);
+        self.last_recv = Some(p.id);
+        p.data
+    }
+
+    /// Linear barrier rooted at rank 0: everyone reports to p0, p0 releases
+    /// everyone — the flat algorithm of the period's MPL runtimes.
+    pub fn barrier(&mut self) {
+        const TAG: u32 = u32::MAX - 1;
+        if self.id == 0 {
+            for q in 1..self.n {
+                let _ = self.recv(q, TAG);
+            }
+            for q in 1..self.n {
+                self.send(q, &[0.0], TAG);
+            }
+        } else {
+            self.send(0, &[0.0], TAG);
+            let _ = self.recv(0, TAG);
+        }
+    }
+
+    /// Linear broadcast from `root`: the root sends to every other rank.
+    /// Non-roots pass anything (typically `vec![]`) and receive the data.
+    pub fn bcast(&mut self, root: usize, data: Vec<f64>) -> Vec<f64> {
+        const TAG: u32 = u32::MAX - 2;
+        if self.id == root {
+            for q in 0..self.n {
+                if q != root {
+                    self.send(q, &data, TAG);
+                }
+            }
+            data
+        } else {
+            self.recv(root, TAG)
+        }
+    }
+
+    /// Binomial-tree broadcast from `root`: log₂(n) rounds; rank r (in
+    /// root-relative numbering) receives from `r − 2^k` and forwards to
+    /// `r + 2^k`. The modern algorithm — used by the collective-algorithm
+    /// ablation to show how the spatial "favorite processor" signature
+    /// depends on the library's implementation, not just the application.
+    pub fn bcast_tree(&mut self, root: usize, data: Vec<f64>) -> Vec<f64> {
+        const TAG: u32 = u32::MAX - 6;
+        let n = self.n;
+        let rel = (self.id + n - root) % n;
+        let mut data = data;
+        if rel != 0 {
+            // Receive from the parent: clear the lowest set bit.
+            let parent_rel = rel & (rel - 1);
+            let parent = (parent_rel + root) % n;
+            data = self.recv(parent, TAG);
+        }
+        // Forward to children: set bits above the lowest set bit of rel.
+        let lowest = if rel == 0 { n.next_power_of_two() } else { rel & rel.wrapping_neg() };
+        let mut bit = 1;
+        while bit < lowest && rel + bit < n {
+            let child = (rel + bit + root) % n;
+            self.send(child, &data, TAG);
+            bit <<= 1;
+        }
+        data
+    }
+
+    /// Linear element-wise sum reduction to `root`. Every rank contributes
+    /// a slice of equal length; the root returns the sums (others get their
+    /// own contribution back).
+    ///
+    /// # Panics
+    ///
+    /// Panics (on the root) if contributions disagree in length.
+    pub fn reduce_sum(&mut self, root: usize, contrib: &[f64]) -> Vec<f64> {
+        const TAG: u32 = u32::MAX - 3;
+        if self.id == root {
+            let mut acc = contrib.to_vec();
+            for q in 0..self.n {
+                if q == root {
+                    continue;
+                }
+                let part = self.recv(q, TAG);
+                assert_eq!(part.len(), acc.len(), "reduce contribution length mismatch");
+                for (a, b) in acc.iter_mut().zip(&part) {
+                    *a += b;
+                }
+            }
+            acc
+        } else {
+            self.send(root, contrib, TAG);
+            contrib.to_vec()
+        }
+    }
+
+    /// Binomial-tree sum reduction to `root`: log₂(n) rounds; partial sums
+    /// combine up the tree, spreading the receive load that the linear
+    /// algorithm concentrates at the root.
+    pub fn reduce_sum_tree(&mut self, root: usize, contrib: &[f64]) -> Vec<f64> {
+        const TAG: u32 = u32::MAX - 7;
+        let n = self.n;
+        let rel = (self.id + n - root) % n;
+        let mut acc = contrib.to_vec();
+        // Receive from children (mirror of bcast_tree's sends), largest
+        // subtree first so child sends complete in tree order.
+        let lowest = if rel == 0 { n.next_power_of_two() } else { rel & rel.wrapping_neg() };
+        let mut bits = Vec::new();
+        let mut bit = 1;
+        while bit < lowest && rel + bit < n {
+            bits.push(bit);
+            bit <<= 1;
+        }
+        for &bit in bits.iter().rev() {
+            let child = (rel + bit + root) % n;
+            let part = self.recv(child, TAG);
+            assert_eq!(part.len(), acc.len(), "reduce contribution length mismatch");
+            for (a, b) in acc.iter_mut().zip(&part) {
+                *a += b;
+            }
+        }
+        if rel != 0 {
+            let parent_rel = rel & (rel - 1);
+            let parent = (parent_rel + root) % n;
+            self.send(parent, &acc, TAG);
+        }
+        acc
+    }
+
+    /// All-reduce: reduce to rank 0, then broadcast — both rooted at p0,
+    /// reinforcing the favorite-processor pattern the paper observes.
+    pub fn allreduce_sum(&mut self, contrib: &[f64]) -> Vec<f64> {
+        let reduced = self.reduce_sum(0, contrib);
+        if self.id == 0 {
+            self.bcast(0, reduced)
+        } else {
+            self.bcast(0, Vec::new())
+        }
+    }
+
+    /// Personalized all-to-all: `chunks[q]` goes to rank `q`; returns the
+    /// chunks received (index = sender). Pairwise ring exchange.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks.len() != size()`.
+    pub fn alltoall(&mut self, chunks: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        const TAG: u32 = u32::MAX - 4;
+        assert_eq!(chunks.len(), self.n, "need one chunk per rank");
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); self.n];
+        out[self.id] = chunks[self.id].clone();
+        for k in 1..self.n {
+            let to = (self.id + k) % self.n;
+            let from = (self.id + self.n - k) % self.n;
+            self.send(to, &chunks[to], TAG + 0);
+            out[from] = self.recv(from, TAG + 0);
+        }
+        out
+    }
+
+    /// Linear gather to `root` (index = sender).
+    pub fn gather(&mut self, root: usize, contrib: &[f64]) -> Vec<Vec<f64>> {
+        const TAG: u32 = u32::MAX - 5;
+        if self.id == root {
+            let mut out = vec![Vec::new(); self.n];
+            out[root] = contrib.to_vec();
+            for q in 0..self.n {
+                if q != root {
+                    out[q] = self.recv(q, TAG);
+                }
+            }
+            out
+        } else {
+            self.send(root, contrib, TAG);
+            Vec::new()
+        }
+    }
+}
+
+/// Runs `body` on every rank and collects the application-level trace.
+///
+/// # Panics
+///
+/// Panics if any rank thread panics.
+pub fn run_mp<B>(cfg: Sp2Config, body: B) -> MpRun
+where
+    B: Fn(&mut Rank) + Send + Sync + 'static,
+{
+    let n = cfg.nprocs;
+    let mut senders: Vec<Sender<Packet>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Option<Receiver<Packet>>> = Vec::with_capacity(n);
+    // Keep one clone of every receiver alive until all ranks have joined,
+    // so a fire-and-forget send to an already-finished rank (legal, e.g.
+    // the last round of a ping-pong) does not error.
+    let mut keepalive: Vec<Receiver<Packet>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        keepalive.push(rx.clone());
+        receivers.push(Some(rx));
+    }
+    let events = Arc::new(Mutex::new(Vec::new()));
+    let body = Arc::new(body);
+    let mut handles = Vec::with_capacity(n);
+    for id in 0..n {
+        let mut rank = Rank {
+            id,
+            n,
+            clock: 0,
+            cfg,
+            seq: 0,
+            last_recv: None,
+            inbox: receivers[id].take().expect("receiver taken twice"),
+            pending: VecDeque::new(),
+            outs: senders.clone(),
+            events: Arc::clone(&events),
+            sent: 0,
+        };
+        let body = Arc::clone(&body);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("sp2-r{id}"))
+                .spawn(move || {
+                    // A panicking rank must poison its peers before dying,
+                    // or their blocked receives would hang forever.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        body(&mut rank);
+                    }));
+                    match result {
+                        Ok(()) => rank.clock,
+                        Err(payload) => {
+                            for (q, out) in rank.outs.iter().enumerate() {
+                                if q != rank.id {
+                                    let _ = out.send(Packet {
+                                        id: u64::MAX,
+                                        src: rank.id,
+                                        tag: POISON_TAG,
+                                        arrival: rank.clock,
+                                        data: Vec::new(),
+                                    });
+                                }
+                            }
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                })
+                .expect("failed to spawn rank thread"),
+        );
+    }
+    drop(senders);
+
+    let mut exec_ticks = 0;
+    for h in handles {
+        exec_ticks = exec_ticks.max(h.join().expect("rank thread panicked"));
+    }
+    drop(keepalive);
+    let mut evs = Arc::try_unwrap(events).expect("all ranks joined").into_inner();
+    evs.sort_by_key(|e| (e.t, e.id));
+    let mut trace = CommTrace::new(n);
+    for e in evs {
+        trace.push(e);
+    }
+    trace.check().expect("runtime produced an inconsistent trace");
+    MpRun { trace, exec_ticks, nprocs: n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong_clock_matches_model() {
+        let cfg = Sp2Config::new(2);
+        let out = run_mp(cfg, |r| {
+            if r.rank() == 0 {
+                r.send(1, &[1.0; 100], 7);
+                let back = r.recv(1, 8);
+                assert_eq!(back.len(), 100);
+            } else {
+                let data = r.recv(0, 7);
+                r.send(0, &data, 8);
+            }
+        });
+        assert_eq!(out.trace.len(), 2);
+        let bytes = 800u32;
+        let one_way =
+            cfg.send_ticks(bytes) + cfg.wire_ticks(bytes) + cfg.recv_ticks(bytes);
+        // Round trip ≈ 2 one-way transfers.
+        assert_eq!(out.exec_ticks, 2 * one_way);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let out = run_mp(Sp2Config::new(2), |r| {
+            if r.rank() == 0 {
+                r.send(1, &[1.0], 1);
+                r.send(1, &[2.0], 2);
+            } else {
+                // Receive in reverse tag order.
+                let b = r.recv(0, 2);
+                let a = r.recv(0, 1);
+                assert_eq!((a[0], b[0]), (1.0, 2.0));
+            }
+        });
+        assert_eq!(out.trace.len(), 2);
+    }
+
+    #[test]
+    fn collectives_compute_correctly() {
+        run_mp(Sp2Config::new(5), |r| {
+            let me = r.rank() as f64;
+            // reduce
+            let sum = r.reduce_sum(0, &[me, 2.0 * me]);
+            if r.rank() == 0 {
+                assert_eq!(sum, vec![10.0, 20.0]);
+            }
+            // bcast
+            let v = r.bcast(2, if r.rank() == 2 { vec![9.0] } else { vec![] });
+            assert_eq!(v, vec![9.0]);
+            // allreduce
+            let all = r.allreduce_sum(&[1.0]);
+            assert_eq!(all, vec![5.0]);
+            // barrier (smoke)
+            r.barrier();
+            // gather
+            let g = r.gather(0, &[me]);
+            if r.rank() == 0 {
+                assert_eq!(g.iter().map(|v| v[0]).collect::<Vec<_>>(), vec![0., 1., 2., 3., 4.]);
+            }
+        });
+    }
+
+    #[test]
+    fn alltoall_permutes_chunks() {
+        run_mp(Sp2Config::new(4), |r| {
+            let me = r.rank() as f64;
+            let chunks: Vec<Vec<f64>> =
+                (0..4).map(|q| vec![me * 10.0 + q as f64; 3]).collect();
+            let got = r.alltoall(chunks);
+            for (q, chunk) in got.iter().enumerate() {
+                assert_eq!(chunk, &vec![q as f64 * 10.0 + me; 3], "from rank {q}");
+            }
+        });
+    }
+
+    #[test]
+    fn tree_collectives_compute_correctly() {
+        for n in [2usize, 3, 4, 5, 7, 8] {
+            run_mp(Sp2Config::new(n), move |r| {
+                let me = r.rank() as f64;
+                for root in 0..n.min(3) {
+                    // Tree broadcast.
+                    let v = r.bcast_tree(root, if r.rank() == root { vec![root as f64, 9.0] } else { vec![] });
+                    assert_eq!(v, vec![root as f64, 9.0], "bcast_tree root {root} rank {me}");
+                    // Tree reduce.
+                    let sum = r.reduce_sum_tree(root, &[me]);
+                    if r.rank() == root {
+                        let expect: f64 = (0..n).map(|q| q as f64).sum();
+                        assert_eq!(sum, vec![expect], "reduce_sum_tree root {root}");
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn tree_bcast_spreads_the_load() {
+        // Linear bcast: root sends n−1 messages. Tree bcast: root sends
+        // only ⌈log₂ n⌉.
+        let count_root_sends = |tree: bool| {
+            let out = run_mp(Sp2Config::new(8), move |r| {
+                for _ in 0..4 {
+                    let data = if r.rank() == 0 { vec![1.0; 8] } else { vec![] };
+                    if tree {
+                        let _ = r.bcast_tree(0, data);
+                    } else {
+                        let _ = r.bcast(0, data);
+                    }
+                }
+            });
+            out.trace.events().iter().filter(|e| e.src == 0).count()
+        };
+        let linear = count_root_sends(false);
+        let tree = count_root_sends(true);
+        assert_eq!(linear, 4 * 7);
+        assert_eq!(tree, 4 * 3, "root forwards to log2(8) children");
+    }
+
+    #[test]
+    fn trace_records_dependencies() {
+        let out = run_mp(Sp2Config::new(2), |r| {
+            if r.rank() == 0 {
+                r.send(1, &[1.0], 0);
+            } else {
+                let _ = r.recv(0, 0);
+                r.send(0, &[2.0], 1); // causally after the receive
+            }
+        });
+        let reply = out.trace.events().iter().find(|e| e.src == 1).unwrap();
+        let first = out.trace.events().iter().find(|e| e.src == 0).unwrap();
+        assert_eq!(reply.depends_on, Some(first.id));
+    }
+
+    #[test]
+    fn deterministic_clocks() {
+        let go = || {
+            run_mp(Sp2Config::new(4), |r| {
+                let contrib = vec![r.rank() as f64; 16];
+                let _ = r.allreduce_sum(&contrib);
+                r.barrier();
+                let chunks: Vec<Vec<f64>> = (0..4).map(|q| vec![q as f64; 8]).collect();
+                let _ = r.alltoall(chunks);
+            })
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.exec_ticks, b.exec_ticks);
+        assert_eq!(a.trace.len(), b.trace.len());
+        for (x, y) in a.trace.events().iter().zip(b.trace.events()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn p0_is_the_collective_favorite() {
+        // Many reduces: every rank's destination histogram should be
+        // dominated by p0.
+        let out = run_mp(Sp2Config::new(8), |r| {
+            for _ in 0..20 {
+                let _ = r.reduce_sum(0, &[1.0]);
+            }
+        });
+        let p = commchar_trace::profile::profile(&out.trace);
+        for s in &p.sources[1..] {
+            assert_eq!(s.dest_counts[0], 20, "rank {} must send everything to p0", s.src);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! The application-facing API: shared regions and the per-processor
+//! context whose operations trap into the simulation engine.
+
+use crossbeam::channel::{Receiver, Sender};
+
+/// A handle to a contiguous shared-memory region of 64-bit words.
+///
+/// Regions are allocated during setup (see [`Setup::alloc`]) and captured
+/// by the application closure; accesses go through [`Ctx`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    pub(crate) base: usize,
+    pub(crate) len: usize,
+}
+
+impl Region {
+    /// Number of words in the region.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Machine handle available during the setup phase, before the processors
+/// start: allocate shared regions and write initial contents (without
+/// generating coherence traffic, like a program's initialized data).
+#[derive(Debug)]
+pub struct Setup {
+    pub(crate) mem: Vec<u64>,
+    pub(crate) nprocs: usize,
+}
+
+impl Setup {
+    /// Number of processors in the machine.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Allocates a zero-initialized shared region of `words` words.
+    pub fn alloc(&mut self, words: usize) -> Region {
+        let base = self.mem.len();
+        self.mem.resize(base + words, 0);
+        Region { base, len: words }
+    }
+
+    /// Writes an initial word value (no coherence traffic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds for the region.
+    pub fn init(&mut self, region: Region, idx: usize, value: u64) {
+        assert!(idx < region.len, "init index {idx} out of bounds");
+        self.mem[region.base + idx] = value;
+    }
+
+    /// Writes an initial f64 value (bit-cast into the word).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds for the region.
+    pub fn init_f64(&mut self, region: Region, idx: usize, value: f64) {
+        self.init(region, idx, value.to_bits());
+    }
+}
+
+/// Requests a processor thread can make of the engine.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum ProcRequest {
+    Read { addr: usize },
+    Write { addr: usize, value: u64 },
+    Barrier { id: u32 },
+    Lock { id: u32 },
+    Unlock { id: u32 },
+    Finish,
+    /// The processor thread panicked; the payload describes the fault.
+    Fault,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ProcMsg {
+    pub proc: usize,
+    pub elapsed: u64,
+    pub req: ProcRequest,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Reply {
+    pub time: u64,
+    pub value: u64,
+}
+
+/// The per-processor execution context.
+///
+/// Every shared access or synchronization call blocks the calling thread
+/// until the simulation engine has carried the operation through the cache,
+/// directory protocol and network — this is what makes the simulation
+/// execution-driven: the application's control flow sees simulated
+/// latencies.
+#[derive(Debug)]
+pub struct Ctx {
+    pub(crate) proc: usize,
+    pub(crate) nprocs: usize,
+    pub(crate) elapsed: u64,
+    pub(crate) now: u64,
+    pub(crate) tx: Sender<ProcMsg>,
+    pub(crate) rx: Receiver<Reply>,
+}
+
+impl Ctx {
+    /// This processor's id, `0..nprocs`.
+    pub fn proc_id(&self) -> usize {
+        self.proc
+    }
+
+    /// Number of processors.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Current simulated time in cycles (as of the last trap).
+    pub fn now(&self) -> u64 {
+        self.now + self.elapsed
+    }
+
+    /// Accounts `cycles` of local computation.
+    pub fn compute(&mut self, cycles: u64) {
+        self.elapsed += cycles;
+    }
+
+    fn rpc(&mut self, req: ProcRequest) -> Reply {
+        let msg = ProcMsg { proc: self.proc, elapsed: self.elapsed, req };
+        self.elapsed = 0;
+        self.tx.send(msg).expect("engine hung up");
+        let reply = self.rx.recv().expect("engine hung up");
+        self.now = reply.time;
+        reply
+    }
+
+    /// Reads a shared word (simulated LOAD).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds for the region.
+    pub fn read(&mut self, region: Region, idx: usize) -> u64 {
+        assert!(idx < region.len, "read index {idx} out of bounds");
+        self.elapsed += 1; // issue cost
+        self.rpc(ProcRequest::Read { addr: region.base + idx }).value
+    }
+
+    /// Writes a shared word (simulated STORE).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds for the region.
+    pub fn write(&mut self, region: Region, idx: usize, value: u64) {
+        assert!(idx < region.len, "write index {idx} out of bounds");
+        self.elapsed += 1;
+        self.rpc(ProcRequest::Write { addr: region.base + idx, value });
+    }
+
+    /// Reads a shared f64 (bit-cast from the word).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds for the region.
+    pub fn read_f64(&mut self, region: Region, idx: usize) -> f64 {
+        f64::from_bits(self.read(region, idx))
+    }
+
+    /// Writes a shared f64 (bit-cast into the word).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds for the region.
+    pub fn write_f64(&mut self, region: Region, idx: usize, value: f64) {
+        self.write(region, idx, value.to_bits());
+    }
+
+    /// Waits at barrier `id` until all processors arrive.
+    pub fn barrier(&mut self, id: u32) {
+        self.rpc(ProcRequest::Barrier { id });
+    }
+
+    /// Acquires lock `id` (FIFO-granted at the lock's home node).
+    pub fn lock(&mut self, id: u32) {
+        self.rpc(ProcRequest::Lock { id });
+    }
+
+    /// Releases lock `id`.
+    ///
+    /// # Panics
+    ///
+    /// The engine panics if the caller does not hold the lock.
+    pub fn unlock(&mut self, id: u32) {
+        self.rpc(ProcRequest::Unlock { id });
+    }
+
+    pub(crate) fn finish(&mut self) {
+        let msg = ProcMsg { proc: self.proc, elapsed: self.elapsed, req: ProcRequest::Finish };
+        let _ = self.tx.send(msg);
+    }
+
+    pub(crate) fn fault(&mut self) {
+        let msg = ProcMsg { proc: self.proc, elapsed: self.elapsed, req: ProcRequest::Fault };
+        let _ = self.tx.send(msg);
+    }
+}

@@ -1,0 +1,983 @@
+//! The execution-driven simulation engine: event loop, MSI directory
+//! protocol, synchronization, and the closed-loop network co-simulation.
+//!
+//! One OS thread runs per simulated processor; each shared access sends a
+//! request to this engine and blocks until the engine has simulated the
+//! access to completion. The engine only ever advances to the globally
+//! earliest action (pending processor request or protocol event), so the
+//! simulation is deterministic regardless of host scheduling, and network
+//! messages are injected in nondecreasing time order as the wormhole model
+//! requires.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use commchar_des::{Calendar, SimTime};
+use commchar_mesh::{NetLog, NetMessage, NodeId, OnlineWormhole};
+use commchar_trace::{CommEvent, CommTrace, EventKind};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::api::{Ctx, ProcMsg, ProcRequest, Reply, Setup};
+use crate::protocol::{iter_mask, Cache, DirState, LineState, Protocol};
+use crate::MachineConfig;
+
+/// The output of an execution-driven run.
+#[derive(Debug)]
+pub struct SpasmRun {
+    /// Every network message injected during the run (the communication
+    /// trace the methodology analyzes).
+    pub trace: CommTrace,
+    /// The network simulator's log (latency/contention per message).
+    pub netlog: NetLog,
+    /// Total simulated execution time in cycles.
+    pub exec_cycles: u64,
+    /// Number of processors.
+    pub nprocs: usize,
+    /// Shared reads issued.
+    pub reads: u64,
+    /// Shared writes issued.
+    pub writes: u64,
+    /// Cache hits (reads + writes).
+    pub hits: u64,
+    /// Cache misses (including upgrades).
+    pub misses: u64,
+    /// Barrier episodes completed.
+    pub barriers: u64,
+    /// Lock acquisitions granted.
+    pub locks: u64,
+}
+
+impl SpasmRun {
+    /// Miss ratio over all shared accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// Runs `body` on every simulated processor of a machine configured by
+/// `cfg`, after `setup` has allocated and initialized shared memory.
+///
+/// The value returned by `setup` (typically a tuple of [`Region`]s plus
+/// problem parameters) is cloned into every processor's closure.
+///
+/// # Panics
+///
+/// Panics if a processor thread panics, or on protocol-level misuse
+/// (e.g. unlocking a lock the caller does not hold).
+pub fn run<R, S, B>(cfg: MachineConfig, setup: S, body: B) -> SpasmRun
+where
+    R: Clone + Send + 'static,
+    S: FnOnce(&mut Setup) -> R,
+    B: Fn(&mut Ctx, &R) + Send + Sync + 'static,
+{
+    let mut s = Setup { mem: Vec::new(), nprocs: cfg.nprocs };
+    let shared = setup(&mut s);
+
+    let (req_tx, req_rx) = unbounded::<ProcMsg>();
+    let mut reply_txs: Vec<Sender<Reply>> = Vec::with_capacity(cfg.nprocs);
+    let mut handles = Vec::with_capacity(cfg.nprocs);
+    let body = Arc::new(body);
+    for p in 0..cfg.nprocs {
+        let (tx, rx) = unbounded::<Reply>();
+        reply_txs.push(tx);
+        let mut ctx =
+            Ctx { proc: p, nprocs: cfg.nprocs, elapsed: 0, now: 0, tx: req_tx.clone(), rx };
+        let body = Arc::clone(&body);
+        let shared = shared.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("spasm-p{p}"))
+                .spawn(move || {
+                    // A panicking processor must tell the engine before it
+                    // dies, or every other processor would wait forever.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        body(&mut ctx, &shared);
+                    }));
+                    match result {
+                        Ok(()) => ctx.finish(),
+                        Err(payload) => {
+                            ctx.fault();
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                })
+                .expect("failed to spawn processor thread"),
+        );
+    }
+    drop(req_tx);
+
+    let engine = Engine::new(cfg, s.mem, req_rx, reply_txs);
+    let result = engine.run_loop();
+    for h in handles {
+        h.join().expect("processor thread panicked");
+    }
+    result
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Running,
+    Pending,
+    Blocked,
+    Done,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Txn {
+    proc: usize,
+    block: u64,
+    addr: usize,
+    write: bool,
+    /// Write value (ignored for reads).
+    value: u64,
+    /// Requester already held the line Shared (upgrade: control reply).
+    upgrade: bool,
+    acks_left: usize,
+    /// Owner that was recalled for a read and stays a sharer.
+    owner_kept: Option<usize>,
+    /// MESI: the reply grants the line exclusively.
+    exclusive: bool,
+}
+
+#[derive(Debug)]
+enum Event {
+    HomeReq(usize),
+    Inval(usize, usize),
+    AckHome(usize),
+    Recall(usize, usize),
+    WbHome(usize),
+    /// The home's reply is ready to leave for the requester (after the
+    /// directory/memory latency): inject it into the network now.
+    ReplySend(usize, u32, EventKind),
+    ReplyArrive(usize),
+    VictimWb { block: u64, proc: usize },
+    BarArrive { id: u32 },
+    BarRelease { proc: usize },
+    LockReq { id: u32, proc: usize },
+    LockGrant { proc: usize },
+    LockRel { id: u32, proc: usize },
+}
+
+#[derive(Debug, Default)]
+struct LockSt {
+    held: Option<usize>,
+    waiters: VecDeque<usize>,
+}
+
+struct Engine {
+    cfg: MachineConfig,
+    mem: Vec<u64>,
+    caches: Vec<Cache>,
+    dir: HashMap<u64, DirState>,
+    active: HashMap<u64, usize>,
+    deferred: HashMap<u64, VecDeque<usize>>,
+    txns: Vec<Txn>,
+    net: OnlineWormhole,
+    cal: Calendar<Event>,
+    trace: CommTrace,
+    resume_time: Vec<u64>,
+    pending: Vec<Option<(u64, ProcRequest)>>,
+    status: Vec<Status>,
+    reply_tx: Vec<Sender<Reply>>,
+    rx: Receiver<ProcMsg>,
+    running: usize,
+    msg_seq: u64,
+    locks: HashMap<u32, LockSt>,
+    bars: HashMap<u32, usize>,
+    max_time: u64,
+    reads: u64,
+    writes: u64,
+    hits: u64,
+    misses: u64,
+    barrier_episodes: u64,
+    lock_grants: u64,
+}
+
+impl Engine {
+    fn new(
+        cfg: MachineConfig,
+        mem: Vec<u64>,
+        rx: Receiver<ProcMsg>,
+        reply_tx: Vec<Sender<Reply>>,
+    ) -> Self {
+        let n = cfg.nprocs;
+        Engine {
+            mem,
+            caches: (0..n).map(|_| Cache::new(cfg.cache_lines, cfg.associativity)).collect(),
+            dir: HashMap::new(),
+            active: HashMap::new(),
+            deferred: HashMap::new(),
+            txns: Vec::new(),
+            net: OnlineWormhole::new(cfg.mesh),
+            cal: Calendar::new(),
+            trace: CommTrace::new(n),
+            resume_time: vec![0; n],
+            pending: vec![None; n],
+            status: vec![Status::Running; n],
+            reply_tx,
+            rx,
+            running: n,
+            msg_seq: 0,
+            locks: HashMap::new(),
+            bars: HashMap::new(),
+            max_time: 0,
+            reads: 0,
+            writes: 0,
+            hits: 0,
+            misses: 0,
+            barrier_episodes: 0,
+            lock_grants: 0,
+            cfg,
+        }
+    }
+
+    fn block_of(&self, addr: usize) -> u64 {
+        (addr / self.cfg.block_words()) as u64
+    }
+
+    fn home_of(&self, block: u64) -> usize {
+        (block % self.cfg.nprocs as u64) as usize
+    }
+
+    /// Sends a protocol message through the mesh (or locally, if source
+    /// equals destination) and returns its delivery time.
+    fn send(&mut self, t: u64, src: usize, dst: usize, bytes: u32, kind: EventKind) -> u64 {
+        if src == dst {
+            return t + self.cfg.dir_latency;
+        }
+        let id = self.msg_seq;
+        self.msg_seq += 1;
+        let delivered = self.net.send(NetMessage {
+            id,
+            src: NodeId(src as u16),
+            dst: NodeId(dst as u16),
+            bytes,
+            inject: SimTime::from_ticks(t),
+        });
+        self.trace.push(CommEvent::new(id, t, src as u16, dst as u16, bytes, kind));
+        delivered.ticks()
+    }
+
+    fn schedule(&mut self, t: u64, ev: Event) {
+        self.cal.schedule(SimTime::from_ticks(t), ev);
+    }
+
+    fn resume(&mut self, proc: usize, time: u64, value: u64) {
+        self.reply_tx[proc].send(Reply { time, value }).expect("processor thread hung up");
+        self.resume_time[proc] = time;
+        self.max_time = self.max_time.max(time);
+        self.status[proc] = Status::Running;
+        self.running += 1;
+    }
+
+    /// Blocks until every Running processor has delivered its next request.
+    fn gather(&mut self) {
+        while self.running > 0 {
+            let msg = self.rx.recv().expect("a processor thread died before finishing");
+            let t = self.resume_time[msg.proc] + msg.elapsed;
+            self.running -= 1;
+            match msg.req {
+                ProcRequest::Fault => {
+                    panic!("simulated processor p{} panicked; aborting the run", msg.proc);
+                }
+                ProcRequest::Finish => {
+                    self.status[msg.proc] = Status::Done;
+                    self.max_time = self.max_time.max(t);
+                }
+                req => {
+                    self.pending[msg.proc] = Some((t, req));
+                    self.status[msg.proc] = Status::Pending;
+                }
+            }
+        }
+    }
+
+    fn run_loop(mut self) -> SpasmRun {
+        loop {
+            self.gather();
+            let ev_t = self.cal.peek_time().map(SimTime::ticks);
+            let req = self
+                .pending
+                .iter()
+                .enumerate()
+                .filter_map(|(p, o)| o.as_ref().map(|&(t, _)| (t, p)))
+                .min();
+            match (ev_t, req) {
+                (None, None) => break,
+                (Some(et), Some((rt, _))) if et <= rt => self.process_event(),
+                (_, Some((rt, p))) => self.process_request(p, rt),
+                (Some(_), None) => self.process_event(),
+            }
+        }
+        assert!(
+            self.status.iter().all(|&s| s == Status::Done),
+            "application deadlock: simulation drained with blocked processors ({:?})",
+            self.status
+        );
+        let nprocs = self.cfg.nprocs;
+        SpasmRun {
+            trace: self.trace,
+            netlog: self.net.into_log(),
+            exec_cycles: self.max_time,
+            nprocs,
+            reads: self.reads,
+            writes: self.writes,
+            hits: self.hits,
+            misses: self.misses,
+            barriers: self.barrier_episodes,
+            locks: self.lock_grants,
+        }
+    }
+
+    fn process_request(&mut self, p: usize, t: u64) {
+        let (_, req) = self.pending[p].take().expect("request vanished");
+        self.status[p] = Status::Blocked;
+        match req {
+            ProcRequest::Read { addr } => {
+                self.reads += 1;
+                let block = self.block_of(addr);
+                if self.caches[p].lookup(block).is_some() {
+                    self.hits += 1;
+                    let v = self.mem[addr];
+                    self.resume(p, t + self.cfg.hit_latency, v);
+                } else {
+                    self.misses += 1;
+                    self.start_txn(p, block, addr, false, false, 0, t);
+                }
+            }
+            ProcRequest::Write { addr, value } => {
+                self.writes += 1;
+                let block = self.block_of(addr);
+                match self.caches[p].lookup(block) {
+                    Some(LineState::Modified) => {
+                        self.hits += 1;
+                        self.mem[addr] = value;
+                        self.resume(p, t + self.cfg.hit_latency, 0);
+                    }
+                    Some(LineState::Exclusive) => {
+                        // MESI: silent Exclusive -> Modified promotion.
+                        self.hits += 1;
+                        self.caches[p].set_state(block, LineState::Modified);
+                        self.mem[addr] = value;
+                        self.resume(p, t + self.cfg.hit_latency, 0);
+                    }
+                    Some(LineState::Shared) => {
+                        self.misses += 1;
+                        self.start_txn(p, block, addr, true, true, value, t);
+                    }
+                    None => {
+                        self.misses += 1;
+                        self.start_txn(p, block, addr, true, false, value, t);
+                    }
+                }
+            }
+            ProcRequest::Barrier { id } => {
+                let home = (id as usize) % self.cfg.nprocs;
+                let at = if p == home {
+                    t + self.cfg.sync_latency
+                } else {
+                    self.send(t, p, home, self.cfg.ctrl_bytes, EventKind::Sync)
+                };
+                self.schedule(at, Event::BarArrive { id });
+            }
+            ProcRequest::Lock { id } => {
+                let home = (id as usize) % self.cfg.nprocs;
+                let at = if p == home {
+                    t + self.cfg.sync_latency
+                } else {
+                    self.send(t, p, home, self.cfg.ctrl_bytes, EventKind::Sync)
+                };
+                self.schedule(at, Event::LockReq { id, proc: p });
+            }
+            ProcRequest::Unlock { id } => {
+                // Release is fire-and-forget from the processor's view.
+                self.resume(p, t + 1, 0);
+                let home = (id as usize) % self.cfg.nprocs;
+                let at = if p == home {
+                    t + self.cfg.sync_latency
+                } else {
+                    self.send(t, p, home, self.cfg.ctrl_bytes, EventKind::Sync)
+                };
+                self.schedule(at, Event::LockRel { id, proc: p });
+            }
+            ProcRequest::Finish | ProcRequest::Fault => {
+                unreachable!("finish/fault handled in gather")
+            }
+        }
+    }
+
+    fn start_txn(
+        &mut self,
+        p: usize,
+        block: u64,
+        addr: usize,
+        write: bool,
+        upgrade: bool,
+        value: u64,
+        t: u64,
+    ) {
+        let txn = self.txns.len();
+        self.txns.push(Txn {
+            proc: p,
+            block,
+            addr,
+            write,
+            value,
+            upgrade,
+            acks_left: 0,
+            owner_kept: None,
+            exclusive: false,
+        });
+        let home = self.home_of(block);
+        let at = if p == home {
+            t + self.cfg.dir_latency
+        } else {
+            self.send(t, p, home, self.cfg.ctrl_bytes, EventKind::Control)
+                + self.cfg.dir_latency
+        };
+        self.schedule(at, Event::HomeReq(txn));
+    }
+
+    fn process_event(&mut self) {
+        let (time, ev) = self.cal.pop().expect("event queue empty");
+        let t = time.ticks();
+        self.max_time = self.max_time.max(t);
+        match ev {
+            Event::HomeReq(txn) => self.home_req(txn, t),
+            Event::Recall(txn, owner) => self.recall_at_owner(txn, owner, t),
+            Event::WbHome(txn) => self.finish_home(txn, t),
+            Event::ReplySend(txn, bytes, kind) => {
+                let home = self.home_of(self.txns[txn].block);
+                let proc = self.txns[txn].proc;
+                let at = self.send(t, home, proc, bytes, kind);
+                self.schedule(at, Event::ReplyArrive(txn));
+            }
+            Event::Inval(txn, sharer) => self.inval_at_sharer(txn, sharer, t),
+            Event::AckHome(txn) => {
+                self.txns[txn].acks_left -= 1;
+                if self.txns[txn].acks_left == 0 {
+                    self.finish_home(txn, t);
+                }
+            }
+            Event::ReplyArrive(txn) => self.reply_arrive(txn, t),
+            Event::VictimWb { block, proc } => {
+                if self.dir.get(&block) == Some(&DirState::Modified(proc as u16)) {
+                    self.dir.insert(block, DirState::Uncached);
+                }
+            }
+            Event::BarArrive { id } => {
+                let count = self.bars.entry(id).or_insert(0);
+                *count += 1;
+                if *count == self.cfg.nprocs {
+                    *count = 0;
+                    self.barrier_episodes += 1;
+                    let home = (id as usize) % self.cfg.nprocs;
+                    for q in 0..self.cfg.nprocs {
+                        let at = if q == home {
+                            t + self.cfg.sync_latency
+                        } else {
+                            self.send(t, home, q, self.cfg.ctrl_bytes, EventKind::Sync)
+                        };
+                        self.schedule(at, Event::BarRelease { proc: q });
+                    }
+                }
+            }
+            Event::BarRelease { proc } => {
+                let at = t + self.cfg.sync_latency;
+                self.resume(proc, at, 0);
+            }
+            Event::LockReq { id, proc } => {
+                let home = (id as usize) % self.cfg.nprocs;
+                let st = self.locks.entry(id).or_default();
+                if st.held.is_none() {
+                    st.held = Some(proc);
+                    self.lock_grants += 1;
+                    let at = if proc == home {
+                        t + self.cfg.sync_latency
+                    } else {
+                        self.send(t, home, proc, self.cfg.ctrl_bytes, EventKind::Sync)
+                    };
+                    self.schedule(at, Event::LockGrant { proc });
+                } else {
+                    st.waiters.push_back(proc);
+                }
+            }
+            Event::LockGrant { proc } => {
+                self.resume(proc, t + self.cfg.sync_latency, 0);
+            }
+            Event::LockRel { id, proc } => {
+                let home = (id as usize) % self.cfg.nprocs;
+                let st = self.locks.get_mut(&id).expect("release of unknown lock");
+                assert_eq!(st.held, Some(proc), "lock {id} released by non-holder p{proc}");
+                st.held = None;
+                if let Some(q) = st.waiters.pop_front() {
+                    st.held = Some(q);
+                    self.lock_grants += 1;
+                    let at = if q == home {
+                        t + self.cfg.sync_latency
+                    } else {
+                        self.send(t, home, q, self.cfg.ctrl_bytes, EventKind::Sync)
+                    };
+                    self.schedule(at, Event::LockGrant { proc: q });
+                }
+            }
+        }
+    }
+
+    /// A coherence request (re)arrives at the home directory.
+    fn home_req(&mut self, txn_id: usize, t: u64) {
+        let txn = self.txns[txn_id];
+        if self.active.contains_key(&txn.block) {
+            self.deferred.entry(txn.block).or_default().push_back(txn_id);
+            return;
+        }
+        self.active.insert(txn.block, txn_id);
+        let home = self.home_of(txn.block);
+        let dir = self.dir.get(&txn.block).copied().unwrap_or(DirState::Uncached);
+        match dir {
+            DirState::Modified(owner) if owner as usize != txn.proc => {
+                let owner = owner as usize;
+                if !txn.write {
+                    self.txns[txn_id].owner_kept = Some(owner);
+                }
+                let at = if home == owner {
+                    t + self.cfg.dir_latency
+                } else {
+                    self.send(t, home, owner, self.cfg.ctrl_bytes, EventKind::Control)
+                };
+                self.schedule(at, Event::Recall(txn_id, owner));
+            }
+            DirState::Shared(_) if txn.write => {
+                let others = dir.sharers_except(txn.proc);
+                let count = others.count_ones() as usize;
+                if count == 0 {
+                    self.finish_home(txn_id, t);
+                } else {
+                    self.txns[txn_id].acks_left = count;
+                    for q in iter_mask(others) {
+                        let at = if q == home {
+                            t + self.cfg.dir_latency
+                        } else {
+                            self.send(t, home, q, self.cfg.ctrl_bytes, EventKind::Control)
+                        };
+                        self.schedule(at, Event::Inval(txn_id, q));
+                    }
+                }
+            }
+            _ => self.finish_home(txn_id, t),
+        }
+    }
+
+    /// The recall (flush/downgrade) arrives at the current owner.
+    fn recall_at_owner(&mut self, txn_id: usize, owner: usize, t: u64) {
+        let txn = self.txns[txn_id];
+        if txn.write {
+            self.caches[owner].invalidate(txn.block);
+        } else {
+            self.caches[owner].downgrade(txn.block);
+        }
+        let home = self.home_of(txn.block);
+        let at = if owner == home {
+            t + self.cfg.dir_latency
+        } else {
+            self.send(t, owner, home, self.cfg.block_bytes, EventKind::Data)
+        };
+        self.schedule(at, Event::WbHome(txn_id));
+    }
+
+    /// An invalidation arrives at a sharer: drop the line, acknowledge to
+    /// home.
+    fn inval_at_sharer(&mut self, txn_id: usize, sharer: usize, t: u64) {
+        let txn = self.txns[txn_id];
+        self.caches[sharer].invalidate(txn.block);
+        let home = self.home_of(txn.block);
+        let at = if sharer == home {
+            t + self.cfg.dir_latency
+        } else {
+            self.send(t, sharer, home, self.cfg.ctrl_bytes, EventKind::Control)
+        };
+        self.schedule(at, Event::AckHome(txn_id));
+    }
+
+    /// All protocol preconditions satisfied: update the directory and send
+    /// the reply to the requester.
+    fn finish_home(&mut self, txn_id: usize, t: u64) {
+        let txn = self.txns[txn_id];
+        let home = self.home_of(txn.block);
+        let entry = self.dir.entry(txn.block).or_insert(DirState::Uncached);
+        if txn.write {
+            *entry = DirState::Modified(txn.proc as u16);
+        } else if self.cfg.protocol == Protocol::Mesi
+            && txn.owner_kept.is_none()
+            && matches!(*entry, DirState::Uncached)
+        {
+            // MESI: a read miss to an uncached block is granted
+            // exclusively, so a subsequent write by this processor hits.
+            *entry = DirState::Modified(txn.proc as u16);
+            self.txns[txn_id].exclusive = true;
+        } else {
+            let mut st = match *entry {
+                DirState::Modified(_) => DirState::Uncached, // recalled above
+                other => other,
+            };
+            if let Some(owner) = txn.owner_kept {
+                st.add_sharer(owner);
+            }
+            st.add_sharer(txn.proc);
+            *entry = st;
+        }
+        // Data fetch unless this was a pure upgrade.
+        let (latency, bytes, kind) = if txn.upgrade {
+            (self.cfg.dir_latency, self.cfg.ctrl_bytes, EventKind::Control)
+        } else {
+            (self.cfg.mem_latency, self.cfg.block_bytes, EventKind::Data)
+        };
+        let inject = t + latency;
+        if txn.proc == home {
+            self.schedule(inject, Event::ReplyArrive(txn_id));
+        } else {
+            // The reply leaves at `inject > t`; other actions may be
+            // processed in between, so route the send through a calendar
+            // hop to keep network injections time-ordered.
+            self.schedule(inject, Event::ReplySend(txn_id, bytes, kind));
+        }
+    }
+
+    /// The reply reaches the requester: install the line and resume.
+    fn reply_arrive(&mut self, txn_id: usize, t: u64) {
+        let txn = self.txns[txn_id];
+        let p = txn.proc;
+        let state = if txn.write {
+            LineState::Modified
+        } else if txn.exclusive {
+            LineState::Exclusive
+        } else {
+            LineState::Shared
+        };
+        if let Some((vblock, vstate)) = self.caches[p].insert(txn.block, state) {
+            if vstate == LineState::Modified {
+                let vhome = self.home_of(vblock);
+                let at = if p == vhome {
+                    t + self.cfg.dir_latency
+                } else {
+                    self.send(t, p, vhome, self.cfg.block_bytes, EventKind::Data)
+                };
+                self.schedule(at, Event::VictimWb { block: vblock, proc: p });
+            }
+            // Shared victims are dropped silently; stale directory entries
+            // just cost a harmless extra invalidation later.
+        }
+        if txn.write {
+            self.mem[txn.addr] = txn.value;
+        }
+        let value = self.mem[txn.addr];
+        self.resume(p, t + self.cfg.fill_latency, value);
+
+        // Unblock the next deferred request for this block, if any.
+        self.active.remove(&txn.block);
+        let next = self.deferred.get_mut(&txn.block).and_then(|q| {
+            let next = q.pop_front();
+            next
+        });
+        if self.deferred.get(&txn.block).is_some_and(|q| q.is_empty()) {
+            self.deferred.remove(&txn.block);
+        }
+        if let Some(next) = next {
+            self.schedule(t, Event::HomeReq(next));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use commchar_trace::EventKind;
+
+    use super::*;
+
+    fn cfg(n: usize) -> MachineConfig {
+        MachineConfig::new(n)
+    }
+
+    #[test]
+    fn single_proc_no_network_traffic_except_home_misses() {
+        // One processor: every block's home is itself, so no messages.
+        let out = run(cfg(1), |m| m.alloc(128), |ctx, &r| {
+            for i in 0..128 {
+                ctx.write(r, i, i as u64);
+            }
+            for i in 0..128 {
+                assert_eq!(ctx.read(r, i), i as u64);
+            }
+        });
+        assert_eq!(out.trace.len(), 0);
+        assert!(out.exec_cycles > 0);
+        assert_eq!(out.reads, 128);
+        assert_eq!(out.writes, 128);
+    }
+
+    #[test]
+    fn values_flow_between_processors() {
+        let out = run(cfg(4), |m| m.alloc(64), |ctx, &r| {
+            let p = ctx.proc_id();
+            ctx.write(r, p * 4, (p * 100) as u64);
+            ctx.barrier(0);
+            for q in 0..ctx.nprocs() {
+                assert_eq!(ctx.read(r, q * 4), (q * 100) as u64);
+            }
+        });
+        assert!(out.trace.len() > 0, "cross-processor traffic expected");
+        assert_eq!(out.barriers, 1);
+        out.netlog.check_invariants(cfg(4).mesh.shape).unwrap();
+    }
+
+    #[test]
+    fn cache_hits_do_not_generate_traffic() {
+        let out = run(cfg(2), |m| m.alloc(4), |ctx, &r| {
+            if ctx.proc_id() == 0 {
+                ctx.write(r, 0, 7);
+                for _ in 0..100 {
+                    assert_eq!(ctx.read(r, 0), 7);
+                }
+            }
+        });
+        // p0's writes/reads to block 0 (home p0): no network messages, and
+        // after the first write, all accesses hit.
+        assert_eq!(out.trace.len(), 0);
+        assert!(out.hits >= 100);
+    }
+
+    #[test]
+    fn invalidation_protocol_counts() {
+        // All procs read a block, then one writes it: expect an
+        // invalidation round trip per sharer.
+        let n = 4;
+        let out = run(cfg(n), |m| m.alloc(4), |ctx, &r| {
+            ctx.read(r, 0);
+            ctx.barrier(0);
+            if ctx.proc_id() == 1 {
+                ctx.write(r, 0, 42);
+            }
+            ctx.barrier(1);
+            assert_eq!(ctx.read(r, 0), 42);
+        });
+        let ctrl = out
+            .trace
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Control)
+            .count();
+        assert!(ctrl >= 2 * (n - 2), "invalidations + acks expected, saw {ctrl} control msgs");
+    }
+
+    #[test]
+    fn locks_provide_mutual_exclusion() {
+        let n = 4;
+        let iters = 25;
+        let out = run(cfg(n), |m| m.alloc(4), move |ctx, &r| {
+            for _ in 0..iters {
+                ctx.lock(0);
+                let v = ctx.read(r, 0);
+                ctx.compute(3);
+                ctx.write(r, 0, v + 1);
+                ctx.unlock(0);
+            }
+        });
+        assert_eq!(out.locks, (n * iters) as u64);
+        // Verify the final counter value via a fresh run reading it... we
+        // can't read memory post-hoc here, so assert through a second phase
+        // in another test below.
+        assert!(out.trace.len() > 0);
+    }
+
+    #[test]
+    fn lock_protected_counter_is_exact() {
+        let n = 4;
+        let iters = 10;
+        run(cfg(n), |m| m.alloc(4), move |ctx, &r| {
+            for _ in 0..iters {
+                ctx.lock(3);
+                let v = ctx.read(r, 0);
+                ctx.write(r, 0, v + 1);
+                ctx.unlock(3);
+            }
+            ctx.barrier(0);
+            let total = ctx.read(r, 0);
+            assert_eq!(total, (n * iters) as u64, "lost update under lock");
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "non-holder")]
+    fn unlocking_unheld_lock_panics() {
+        run(cfg(2), |m| m.alloc(1), |ctx, _| {
+            if ctx.proc_id() == 0 {
+                ctx.lock(0);
+                ctx.unlock(0);
+            } else {
+                ctx.compute(10_000);
+                ctx.unlock(0);
+            }
+        });
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let go = || {
+            run(cfg(8), |m| m.alloc(256), |ctx, &r| {
+                let p = ctx.proc_id();
+                for i in 0..32 {
+                    ctx.write(r, (p * 32 + i) % 256, (p + i) as u64);
+                    ctx.compute(2);
+                }
+                ctx.barrier(0);
+                let mut acc = 0u64;
+                for i in 0..64 {
+                    acc = acc.wrapping_add(ctx.read(r, (p * 7 + i * 3) % 256));
+                }
+                ctx.write(r, p, acc);
+            })
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.exec_cycles, b.exec_cycles);
+        assert_eq!(a.trace.len(), b.trace.len());
+        for (x, y) in a.trace.events().iter().zip(b.trace.events()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn barrier_separates_phases() {
+        // After a barrier, all prior writes are visible to all readers.
+        run(cfg(8), |m| m.alloc(64), |ctx, &r| {
+            let p = ctx.proc_id();
+            for round in 0..4u64 {
+                ctx.write(r, p, round * 10 + p as u64);
+                ctx.barrier(round as u32);
+                for q in 0..ctx.nprocs() {
+                    assert_eq!(ctx.read(r, q), round * 10 + q as u64);
+                }
+                ctx.barrier(100 + round as u32);
+            }
+        });
+    }
+
+    #[test]
+    fn false_sharing_generates_invalidations() {
+        // Two procs write adjacent words in the same 4-word block.
+        let out = run(cfg(2), |m| m.alloc(4), |ctx, &r| {
+            let p = ctx.proc_id();
+            for _ in 0..20 {
+                ctx.write(r, p, 1);
+            }
+        });
+        assert!(out.misses > 2, "ping-ponging block must miss repeatedly");
+        assert!(out.trace.len() > 0);
+    }
+
+    #[test]
+    fn capacity_misses_with_tiny_cache() {
+        let small = cfg(1).with_cache_lines(2);
+        let out = run(small, |m| m.alloc(1024), |ctx, &r| {
+            for i in 0..256 {
+                ctx.read(r, i * 4); // distinct blocks
+            }
+            for i in 0..256 {
+                ctx.read(r, i * 4);
+            }
+        });
+        // Direct-mapped 2-line cache, 256 distinct blocks: everything
+        // misses both passes.
+        assert_eq!(out.misses, 512);
+    }
+
+    #[test]
+    fn netlog_and_trace_are_consistent() {
+        let out = run(cfg(4), |m| m.alloc(64), |ctx, &r| {
+            let p = ctx.proc_id();
+            ctx.write(r, p, p as u64);
+            ctx.barrier(0);
+            ctx.read(r, (p + 1) % 4);
+        });
+        assert_eq!(out.trace.len(), out.netlog.records().len());
+        out.trace.check().unwrap();
+    }
+
+    #[test]
+    fn mesi_read_then_write_hits_silently() {
+        // Private read-modify-write: under MESI the write after the read
+        // miss is a hit; under MSI it is an upgrade miss.
+        let body = |ctx: &mut crate::Ctx, r: &crate::Region| {
+            let p = ctx.proc_id();
+            for i in 0..16 {
+                let slot = p * 64 + i * 4; // distinct blocks, private
+                let v = ctx.read(*r, slot);
+                ctx.write(*r, slot, v + 1);
+            }
+        };
+        let msi = run(cfg(2).with_protocol(crate::Protocol::Msi), |m| m.alloc(256), move |c, r| {
+            body(c, r)
+        });
+        let mesi = run(cfg(2).with_protocol(crate::Protocol::Mesi), |m| m.alloc(256), move |c, r| {
+            body(c, r)
+        });
+        assert!(
+            mesi.misses < msi.misses,
+            "MESI should remove upgrade misses: {} vs {}",
+            mesi.misses,
+            msi.misses
+        );
+        assert!(mesi.trace.len() < msi.trace.len(), "MESI should cut protocol traffic");
+    }
+
+    #[test]
+    fn mesi_preserves_coherence_under_sharing() {
+        // The MESI exclusive grant must not break invalidation coherence.
+        run(cfg(4).with_protocol(crate::Protocol::Mesi), |m| m.alloc(16), |ctx, &r| {
+            let p = ctx.proc_id();
+            for round in 0..3u64 {
+                if p == (round as usize) % 4 {
+                    ctx.write(r, 0, round * 7 + 1);
+                }
+                ctx.barrier(round as u32);
+                assert_eq!(ctx.read(r, 0), round * 7 + 1);
+                ctx.barrier(10 + round as u32);
+            }
+        });
+    }
+
+    #[test]
+    fn associativity_reduces_conflict_misses() {
+        // Two blocks mapping to the same direct-mapped set, accessed
+        // alternately: 2-way associativity removes the thrashing.
+        let body = |ctx: &mut crate::Ctx, r: &crate::Region| {
+            if ctx.proc_id() == 0 {
+                for _ in 0..32 {
+                    let _ = ctx.read(*r, 0); // block 0
+                    let _ = ctx.read(*r, 16); // block 4 -> same set (4 lines)
+                }
+            }
+        };
+        let direct = run(
+            cfg(1).with_cache_lines(4).with_associativity(1),
+            |m| m.alloc(64),
+            move |c, r| body(c, r),
+        );
+        let twoway = run(
+            cfg(1).with_cache_lines(4).with_associativity(2),
+            |m| m.alloc(64),
+            move |c, r| body(c, r),
+        );
+        assert!(
+            twoway.misses < direct.misses,
+            "2-way should kill conflict misses: {} vs {}",
+            twoway.misses,
+            direct.misses
+        );
+    }
+}

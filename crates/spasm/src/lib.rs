@@ -1,0 +1,54 @@
+//! # commchar-spasm
+//!
+//! An execution-driven CC-NUMA multiprocessor simulator — the *dynamic
+//! strategy* of the HPCA'97 characterization methodology, standing in for
+//! the SPASM simulator the paper ran its shared-memory applications on.
+//!
+//! Like SPASM, the simulator does not interpret instructions: application
+//! code runs natively (here, as Rust closures on one OS thread per
+//! simulated processor) and only the "interesting" operations — shared
+//! memory LOADs/STOREs and synchronization — trap into the simulation
+//! engine. The engine simulates, per access:
+//!
+//! - a private direct-mapped cache per processor,
+//! - a full-map directory, invalidation-based MSI coherence protocol with
+//!   sequential consistency (the processor blocks until its access
+//!   completes), and
+//! - every protocol message (request, data reply, invalidation, ack,
+//!   recall, write-back) traveling through the 2-D wormhole mesh of
+//!   [`commchar_mesh`], whose latency feeds back into simulated time — the
+//!   closed loop between event generator and network simulator that
+//!   distinguishes execution-driven from trace-driven simulation.
+//!
+//! The run produces a [`SpasmRun`]: the [`commchar_trace::CommTrace`] of
+//! injected messages, the network's [`commchar_mesh::NetLog`], and summary
+//! counters — the raw material of the characterization pipeline.
+//!
+//! # Example
+//!
+//! ```
+//! use commchar_spasm::{run, MachineConfig};
+//!
+//! let cfg = MachineConfig::new(4);
+//! let out = run(cfg, |m| m.alloc(64), |ctx, &region| {
+//!     let p = ctx.proc_id();
+//!     ctx.write(region, p, p as u64);
+//!     ctx.barrier(0);
+//!     // Read a neighbour's slot: guaranteed visible after the barrier.
+//!     let v = ctx.read(region, (p + 1) % ctx.nprocs());
+//!     assert_eq!(v, ((p + 1) % ctx.nprocs()) as u64);
+//! });
+//! assert!(!out.trace.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod api;
+mod config;
+mod engine;
+mod protocol;
+
+pub use api::{Ctx, Region, Setup};
+pub use config::{MachineConfig, Protocol};
+pub use engine::{run, SpasmRun};

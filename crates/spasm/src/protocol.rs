@@ -1,0 +1,221 @@
+//! Cache and directory state for the invalidation protocols (MSI / MESI).
+
+/// State of a cached line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum LineState {
+    Shared,
+    /// MESI only: clean exclusive — a write promotes it to Modified with
+    /// no coherence traffic.
+    Exclusive,
+    Modified,
+}
+
+/// Which coherence protocol the directory runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Protocol {
+    /// Three-state invalidation protocol (the paper's machine).
+    #[default]
+    Msi,
+    /// Adds the Exclusive state: an uncached block is granted exclusively
+    /// on a read miss, so a subsequent write by the same processor hits.
+    Mesi,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    block: u64,
+    state: LineState,
+}
+
+/// A set-associative private cache with LRU replacement, tracking tags and
+/// coherence states only (data values live in the engine's global memory
+/// image). `assoc == 1` gives the paper's direct-mapped cache.
+#[derive(Debug)]
+pub(crate) struct Cache {
+    /// `sets[s]` holds up to `assoc` lines, most-recently-used first.
+    sets: Vec<Vec<Line>>,
+    assoc: usize,
+}
+
+impl Cache {
+    pub fn new(nlines: usize, assoc: usize) -> Self {
+        assert!(assoc >= 1 && nlines >= assoc, "invalid cache geometry");
+        let nsets = nlines / assoc;
+        Cache { sets: (0..nsets).map(|_| Vec::with_capacity(assoc)).collect(), assoc }
+    }
+
+    fn set_of(&self, block: u64) -> usize {
+        (block % self.sets.len() as u64) as usize
+    }
+
+    /// State of `block` if present; touches LRU.
+    pub fn lookup(&mut self, block: u64) -> Option<LineState> {
+        let s = self.set_of(block);
+        let pos = self.sets[s].iter().position(|l| l.block == block)?;
+        let line = self.sets[s].remove(pos);
+        let state = line.state;
+        self.sets[s].insert(0, line);
+        Some(state)
+    }
+
+    /// State of `block` without touching LRU (used by tests).
+    #[cfg(test)]
+    pub fn peek(&self, block: u64) -> Option<LineState> {
+        let s = self.set_of(block);
+        self.sets[s].iter().find(|l| l.block == block).map(|l| l.state)
+    }
+
+    /// Installs `block` with `state` as MRU, returning the evicted line
+    /// `(block, state)` if the set overflowed.
+    pub fn insert(&mut self, block: u64, state: LineState) -> Option<(u64, LineState)> {
+        let s = self.set_of(block);
+        if let Some(pos) = self.sets[s].iter().position(|l| l.block == block) {
+            self.sets[s].remove(pos);
+        }
+        self.sets[s].insert(0, Line { block, state });
+        if self.sets[s].len() > self.assoc {
+            let victim = self.sets[s].pop().expect("set overflow implies a victim");
+            Some((victim.block, victim.state))
+        } else {
+            None
+        }
+    }
+
+    /// Updates the state of a resident block in place (e.g. the silent
+    /// Exclusive→Modified promotion). No-op if absent.
+    pub fn set_state(&mut self, block: u64, state: LineState) {
+        let s = self.set_of(block);
+        if let Some(line) = self.sets[s].iter_mut().find(|l| l.block == block) {
+            line.state = state;
+        }
+    }
+
+    /// Drops `block` if present (invalidation).
+    pub fn invalidate(&mut self, block: u64) {
+        let s = self.set_of(block);
+        self.sets[s].retain(|l| l.block != block);
+    }
+
+    /// Downgrades `block` to Shared if present (recall for a read).
+    pub fn downgrade(&mut self, block: u64) {
+        self.set_state(block, LineState::Shared);
+    }
+}
+
+/// Full-map directory entry for one block. The sharer set is a 64-bit
+/// bitmask (hence the 64-processor limit). `Modified` also stands for a
+/// clean-exclusive owner under MESI — the recall path is identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum DirState {
+    Uncached,
+    Shared(u64),
+    Modified(u16),
+}
+
+impl DirState {
+    /// Sharer bitmask excluding `except`.
+    pub fn sharers_except(&self, except: usize) -> u64 {
+        match *self {
+            DirState::Shared(mask) => mask & !(1u64 << except),
+            _ => 0,
+        }
+    }
+
+    pub fn add_sharer(&mut self, proc: usize) {
+        *self = match *self {
+            DirState::Shared(mask) => DirState::Shared(mask | (1u64 << proc)),
+            _ => DirState::Shared(1u64 << proc),
+        };
+    }
+}
+
+/// Iterates the set bits of a sharer mask in ascending processor order.
+pub(crate) fn iter_mask(mut mask: u64) -> impl Iterator<Item = usize> {
+    std::iter::from_fn(move || {
+        if mask == 0 {
+            None
+        } else {
+            let p = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            Some(p)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_mapped_conflicts_evict() {
+        let mut c = Cache::new(4, 1);
+        assert_eq!(c.insert(1, LineState::Shared), None);
+        assert_eq!(c.lookup(1), Some(LineState::Shared));
+        // Block 5 maps to the same set as 1.
+        let victim = c.insert(5, LineState::Modified);
+        assert_eq!(victim, Some((1, LineState::Shared)));
+        assert_eq!(c.lookup(1), None);
+        assert_eq!(c.lookup(5), Some(LineState::Modified));
+    }
+
+    #[test]
+    fn two_way_set_keeps_both() {
+        let mut c = Cache::new(4, 2); // 2 sets of 2 ways
+        c.insert(0, LineState::Shared); // set 0
+        c.insert(2, LineState::Shared); // set 0
+        assert_eq!(c.lookup(0), Some(LineState::Shared));
+        assert_eq!(c.lookup(2), Some(LineState::Shared));
+        // Third block in set 0 evicts the LRU (block 0 after 2 was touched
+        // last... 0 was looked up first, then 2 → LRU is 0).
+        let victim = c.insert(4, LineState::Modified);
+        assert_eq!(victim, Some((0, LineState::Shared)));
+        assert_eq!(c.peek(2), Some(LineState::Shared));
+    }
+
+    #[test]
+    fn lru_order_follows_lookups() {
+        let mut c = Cache::new(4, 2);
+        c.insert(0, LineState::Shared);
+        c.insert(2, LineState::Shared);
+        // Touch 0 so 2 becomes LRU.
+        assert!(c.lookup(0).is_some());
+        let victim = c.insert(4, LineState::Shared);
+        assert_eq!(victim, Some((2, LineState::Shared)));
+    }
+
+    #[test]
+    fn reinsert_same_block_is_not_eviction() {
+        let mut c = Cache::new(4, 1);
+        c.insert(2, LineState::Shared);
+        assert_eq!(c.insert(2, LineState::Modified), None);
+        assert_eq!(c.lookup(2), Some(LineState::Modified));
+    }
+
+    #[test]
+    fn state_transitions() {
+        let mut c = Cache::new(4, 1);
+        c.insert(3, LineState::Exclusive);
+        c.set_state(3, LineState::Modified);
+        assert_eq!(c.peek(3), Some(LineState::Modified));
+        c.downgrade(3);
+        assert_eq!(c.peek(3), Some(LineState::Shared));
+        c.invalidate(3);
+        assert_eq!(c.peek(3), None);
+        // No-ops on absent blocks.
+        c.invalidate(3);
+        c.downgrade(7);
+        c.set_state(9, LineState::Shared);
+    }
+
+    #[test]
+    fn dir_sharer_sets() {
+        let mut d = DirState::Uncached;
+        d.add_sharer(0);
+        d.add_sharer(5);
+        assert_eq!(d, DirState::Shared(0b100001));
+        assert_eq!(d.sharers_except(0), 0b100000);
+        assert_eq!(iter_mask(d.sharers_except(9)).collect::<Vec<_>>(), vec![0, 5]);
+        let m = DirState::Modified(3);
+        assert_eq!(m.sharers_except(1), 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Burstiness measures for point processes.
+//!
+//! A single marginal distribution (the paper's Table 2 fits) cannot
+//! capture *correlation* between successive inter-arrival times — the
+//! burst structure that barrier-synchronized programs produce. These
+//! classic teletraffic measures quantify it:
+//!
+//! - [`cv2`] — squared coefficient of variation of the gaps (1 for a
+//!   Poisson process, > 1 for bursty processes).
+//! - [`idi`] — index of dispersion for intervals at lag `k`:
+//!   `Var(S_k) / (k·mean²)` with `S_k` the sum of `k` consecutive gaps.
+//!   For a renewal process IDI(k) = CV² for every k; growth with `k`
+//!   reveals positive correlation (bursts).
+//! - [`autocorrelation`] — lag-k autocorrelation of the gap sequence.
+
+/// Squared coefficient of variation of a gap sample. Returns 0 for fewer
+/// than two observations or a zero mean.
+pub fn cv2(gaps: &[f64]) -> f64 {
+    if gaps.len() < 2 {
+        return 0.0;
+    }
+    let n = gaps.len() as f64;
+    let mean = gaps.iter().sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / (n - 1.0);
+    var / (mean * mean)
+}
+
+/// Index of dispersion for intervals at lag `k`.
+///
+/// Returns `None` when there are fewer than `2k` gaps (not enough blocks
+/// to estimate a variance).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn idi(gaps: &[f64], k: usize) -> Option<f64> {
+    assert!(k > 0, "lag must be positive");
+    let blocks: Vec<f64> = gaps.chunks_exact(k).map(|c| c.iter().sum()).collect();
+    if blocks.len() < 2 {
+        return None;
+    }
+    let n = blocks.len() as f64;
+    let total_mean = gaps.iter().take(blocks.len() * k).sum::<f64>() / (blocks.len() * k) as f64;
+    if total_mean == 0.0 {
+        return Some(0.0);
+    }
+    let block_mean = blocks.iter().sum::<f64>() / n;
+    let var = blocks.iter().map(|b| (b - block_mean) * (b - block_mean)).sum::<f64>() / (n - 1.0);
+    Some(var / (k as f64 * total_mean * total_mean))
+}
+
+/// Lag-`k` autocorrelation of the gap sequence. Returns `None` with fewer
+/// than `k + 2` gaps or zero variance.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn autocorrelation(gaps: &[f64], k: usize) -> Option<f64> {
+    assert!(k > 0, "lag must be positive");
+    if gaps.len() < k + 2 {
+        return None;
+    }
+    let n = gaps.len() as f64;
+    let mean = gaps.iter().sum::<f64>() / n;
+    let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / n;
+    if var == 0.0 {
+        return None;
+    }
+    let cov = gaps
+        .windows(k + 1)
+        .map(|w| (w[0] - mean) * (w[k] - mean))
+        .sum::<f64>()
+        / (n - k as f64);
+    Some(cov / var)
+}
+
+/// Summary of the burstiness of a gap sample.
+#[derive(Clone, Copy, Debug)]
+pub struct Burstiness {
+    /// Squared coefficient of variation.
+    pub cv2: f64,
+    /// IDI at lag 8 (NaN when the sample is too short).
+    pub idi8: f64,
+    /// Lag-1 autocorrelation (NaN when the sample is too short).
+    pub rho1: f64,
+}
+
+/// Computes the standard burstiness summary.
+pub fn burstiness(gaps: &[f64]) -> Burstiness {
+    Burstiness {
+        cv2: cv2(gaps),
+        idi8: idi(gaps, 8).unwrap_or(f64::NAN),
+        rho1: autocorrelation(gaps, 1).unwrap_or(f64::NAN),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::SeedableRng;
+
+    use super::*;
+    use crate::Dist;
+
+    fn exp_gaps(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let d = Dist::exponential(0.1);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn poisson_has_unit_cv2_and_flat_idi() {
+        let gaps = exp_gaps(20_000, 1);
+        let c = cv2(&gaps);
+        assert!((c - 1.0).abs() < 0.1, "cv2 = {c}");
+        let i1 = idi(&gaps, 1).unwrap();
+        let i16 = idi(&gaps, 16).unwrap();
+        assert!((i1 - 1.0).abs() < 0.12, "idi(1) = {i1}");
+        assert!((i16 - 1.0).abs() < 0.3, "idi(16) = {i16}");
+        let rho = autocorrelation(&gaps, 1).unwrap();
+        assert!(rho.abs() < 0.05, "rho1 = {rho}");
+    }
+
+    #[test]
+    fn deterministic_process_has_zero_cv2() {
+        let gaps = vec![5.0; 100];
+        assert_eq!(cv2(&gaps), 0.0);
+        assert_eq!(idi(&gaps, 4).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn correlated_process_grows_idi() {
+        // Regime persistence: each random rate holds for 24 consecutive
+        // gaps — positive correlation that IDI exposes and a marginal fit
+        // cannot.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut gaps = Vec::new();
+        for _ in 0..200 {
+            let regime = Dist::exponential(0.1).sample(&mut rng).max(0.1);
+            gaps.extend(std::iter::repeat(regime).take(24));
+        }
+        let i1 = idi(&gaps, 1).unwrap();
+        let i16 = idi(&gaps, 16).unwrap();
+        assert!(i16 > 3.0 * i1, "idi should grow with lag: {i1} -> {i16}");
+        let rho = autocorrelation(&gaps, 1).unwrap();
+        assert!(rho > 0.8, "rho1 = {rho}");
+    }
+
+    #[test]
+    fn alternating_gaps_have_negative_rho1() {
+        let gaps: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { 9.0 }).collect();
+        let rho = autocorrelation(&gaps, 1).unwrap();
+        assert!(rho < -0.9, "rho1 = {rho}");
+        // And lag-2 is strongly positive.
+        let rho2 = autocorrelation(&gaps, 2).unwrap();
+        assert!(rho2 > 0.9, "rho2 = {rho2}");
+    }
+
+    #[test]
+    fn short_samples_degrade_gracefully() {
+        assert!(idi(&[1.0, 2.0], 8).is_none());
+        assert!(autocorrelation(&[1.0, 2.0], 3).is_none());
+        let b = burstiness(&[1.0]);
+        assert_eq!(b.cv2, 0.0);
+        assert!(b.idi8.is_nan());
+    }
+}

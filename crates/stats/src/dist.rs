@@ -1,0 +1,747 @@
+//! The candidate distribution families.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::special::{gamma_p, ln_gamma, phi};
+
+/// The distribution family, without parameters — used for selection tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// Exponential(rate).
+    Exponential,
+    /// Two-phase hyperexponential (mixture of two exponentials).
+    HyperExp2,
+    /// Erlang-k (sum of k exponentials).
+    Erlang,
+    /// Gamma(shape, rate) — the Erlang family with non-integer shape.
+    Gamma,
+    /// Weibull(shape, scale).
+    Weibull,
+    /// Lognormal(μ, σ of the underlying normal).
+    Lognormal,
+    /// Pareto(x_m, α) — the heavy-tailed family.
+    Pareto,
+    /// Normal(μ, σ).
+    Normal,
+    /// Continuous uniform on [a, b].
+    Uniform,
+    /// Point mass at v.
+    Deterministic,
+}
+
+impl Family {
+    /// Lowercase name used in report tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Exponential => "exponential",
+            Family::HyperExp2 => "hyperexponential",
+            Family::Erlang => "erlang",
+            Family::Gamma => "gamma",
+            Family::Weibull => "weibull",
+            Family::Lognormal => "lognormal",
+            Family::Pareto => "pareto",
+            Family::Normal => "normal",
+            Family::Uniform => "uniform",
+            Family::Deterministic => "deterministic",
+        }
+    }
+
+    /// All families, in fitting order.
+    pub fn all() -> &'static [Family] {
+        &[
+            Family::Exponential,
+            Family::HyperExp2,
+            Family::Erlang,
+            Family::Gamma,
+            Family::Weibull,
+            Family::Lognormal,
+            Family::Pareto,
+            Family::Normal,
+            Family::Uniform,
+            Family::Deterministic,
+        ]
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A parameterized distribution from one of the candidate [`Family`]s.
+///
+/// Invalid parameters are rejected at construction, so every `Dist` value
+/// has a well-defined pdf/cdf.
+///
+/// # Example
+///
+/// ```
+/// use commchar_stats::Dist;
+/// let d = Dist::exponential(0.5);
+/// assert!((d.mean() - 2.0).abs() < 1e-12);
+/// assert!((d.cdf(2.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Dist {
+    /// Exponential with the given rate λ.
+    Exponential {
+        /// Rate λ > 0.
+        rate: f64,
+    },
+    /// Mixture: with probability `p` an Exponential(r1), else Exponential(r2).
+    HyperExp2 {
+        /// Mixing probability, 0 < p < 1.
+        p: f64,
+        /// First phase rate.
+        r1: f64,
+        /// Second phase rate.
+        r2: f64,
+    },
+    /// Erlang-k: sum of `k` iid Exponential(rate) phases.
+    Erlang {
+        /// Number of phases, k ≥ 1.
+        k: u32,
+        /// Per-phase rate.
+        rate: f64,
+    },
+    /// Gamma with non-integer shape and rate.
+    Gamma {
+        /// Shape parameter α > 0.
+        shape: f64,
+        /// Rate parameter λ > 0.
+        rate: f64,
+    },
+    /// Weibull with the given shape and scale.
+    Weibull {
+        /// Shape parameter κ > 0.
+        shape: f64,
+        /// Scale parameter λ > 0.
+        scale: f64,
+    },
+    /// Lognormal: exp(N(mu, sigma²)).
+    Lognormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Std-dev of the underlying normal, σ > 0.
+        sigma: f64,
+    },
+    /// Pareto: support [xm, ∞), tail exponent α.
+    Pareto {
+        /// Scale (minimum value), x_m > 0.
+        xm: f64,
+        /// Tail exponent α > 0.
+        alpha: f64,
+    },
+    /// Normal(mu, sigma²).
+    Normal {
+        /// Mean.
+        mu: f64,
+        /// Standard deviation σ > 0.
+        sigma: f64,
+    },
+    /// Uniform on [a, b].
+    Uniform {
+        /// Lower bound.
+        a: f64,
+        /// Upper bound, b > a.
+        b: f64,
+    },
+    /// Point mass at `v`.
+    Deterministic {
+        /// The constant value.
+        v: f64,
+    },
+}
+
+impl Dist {
+    /// Exponential with rate λ.
+    ///
+    /// # Panics
+    /// Panics unless `rate > 0` and finite.
+    pub fn exponential(rate: f64) -> Dist {
+        assert!(rate > 0.0 && rate.is_finite(), "exponential rate must be positive");
+        Dist::Exponential { rate }
+    }
+
+    /// Two-phase hyperexponential.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p < 1` and both rates are positive.
+    pub fn hyper_exp2(p: f64, r1: f64, r2: f64) -> Dist {
+        assert!(p > 0.0 && p < 1.0, "mixing probability must be in (0,1)");
+        assert!(r1 > 0.0 && r2 > 0.0, "phase rates must be positive");
+        Dist::HyperExp2 { p, r1, r2 }
+    }
+
+    /// Erlang-k with per-phase rate.
+    ///
+    /// # Panics
+    /// Panics unless `k ≥ 1` and `rate > 0`.
+    pub fn erlang(k: u32, rate: f64) -> Dist {
+        assert!(k >= 1, "erlang needs at least one phase");
+        assert!(rate > 0.0 && rate.is_finite(), "erlang rate must be positive");
+        Dist::Erlang { k, rate }
+    }
+
+    /// Gamma with shape α and rate λ.
+    ///
+    /// # Panics
+    /// Panics unless both are positive.
+    pub fn gamma(shape: f64, rate: f64) -> Dist {
+        assert!(shape > 0.0 && rate > 0.0, "gamma parameters must be positive");
+        Dist::Gamma { shape, rate }
+    }
+
+    /// Pareto with minimum x_m and tail exponent α.
+    ///
+    /// # Panics
+    /// Panics unless both are positive.
+    pub fn pareto(xm: f64, alpha: f64) -> Dist {
+        assert!(xm > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        Dist::Pareto { xm, alpha }
+    }
+
+    /// Weibull with shape κ and scale λ.
+    ///
+    /// # Panics
+    /// Panics unless both are positive.
+    pub fn weibull(shape: f64, scale: f64) -> Dist {
+        assert!(shape > 0.0 && scale > 0.0, "weibull parameters must be positive");
+        Dist::Weibull { shape, scale }
+    }
+
+    /// Lognormal with log-mean μ and log-std σ.
+    ///
+    /// # Panics
+    /// Panics unless `sigma > 0`.
+    pub fn lognormal(mu: f64, sigma: f64) -> Dist {
+        assert!(sigma > 0.0, "lognormal sigma must be positive");
+        Dist::Lognormal { mu, sigma }
+    }
+
+    /// Normal with mean μ and std σ.
+    ///
+    /// # Panics
+    /// Panics unless `sigma > 0`.
+    pub fn normal(mu: f64, sigma: f64) -> Dist {
+        assert!(sigma > 0.0, "normal sigma must be positive");
+        Dist::Normal { mu, sigma }
+    }
+
+    /// Uniform on [a, b].
+    ///
+    /// # Panics
+    /// Panics unless `b > a`.
+    pub fn uniform(a: f64, b: f64) -> Dist {
+        assert!(b > a, "uniform needs b > a");
+        Dist::Uniform { a, b }
+    }
+
+    /// Point mass at `v`.
+    pub fn deterministic(v: f64) -> Dist {
+        Dist::Deterministic { v }
+    }
+
+    /// The family this distribution belongs to.
+    pub fn family(&self) -> Family {
+        match self {
+            Dist::Exponential { .. } => Family::Exponential,
+            Dist::HyperExp2 { .. } => Family::HyperExp2,
+            Dist::Erlang { .. } => Family::Erlang,
+            Dist::Gamma { .. } => Family::Gamma,
+            Dist::Weibull { .. } => Family::Weibull,
+            Dist::Lognormal { .. } => Family::Lognormal,
+            Dist::Pareto { .. } => Family::Pareto,
+            Dist::Normal { .. } => Family::Normal,
+            Dist::Uniform { .. } => Family::Uniform,
+            Dist::Deterministic { .. } => Family::Deterministic,
+        }
+    }
+
+    /// The family's lowercase name.
+    pub fn family_name(&self) -> &'static str {
+        self.family().name()
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        match *self {
+            Dist::Exponential { rate } => {
+                if x < 0.0 {
+                    0.0
+                } else {
+                    rate * (-rate * x).exp()
+                }
+            }
+            Dist::HyperExp2 { p, r1, r2 } => {
+                if x < 0.0 {
+                    0.0
+                } else {
+                    p * r1 * (-r1 * x).exp() + (1.0 - p) * r2 * (-r2 * x).exp()
+                }
+            }
+            Dist::Erlang { k, rate } => {
+                if x < 0.0 {
+                    0.0
+                } else {
+                    let k = k as f64;
+                    (k * rate.ln() + (k - 1.0) * x.max(1e-300).ln() - rate * x - ln_gamma(k)).exp()
+                }
+            }
+            Dist::Gamma { shape, rate } => {
+                if x < 0.0 {
+                    0.0
+                } else if x == 0.0 && shape < 1.0 {
+                    f64::INFINITY
+                } else {
+                    (shape * rate.ln() + (shape - 1.0) * x.max(1e-300).ln() - rate * x
+                        - ln_gamma(shape))
+                    .exp()
+                }
+            }
+            Dist::Weibull { shape, scale } => {
+                if x < 0.0 {
+                    0.0
+                } else if x == 0.0 && shape < 1.0 {
+                    f64::INFINITY
+                } else {
+                    let z = x / scale;
+                    (shape / scale) * z.powf(shape - 1.0) * (-z.powf(shape)).exp()
+                }
+            }
+            Dist::Pareto { xm, alpha } => {
+                if x < xm {
+                    0.0
+                } else {
+                    alpha * xm.powf(alpha) / x.powf(alpha + 1.0)
+                }
+            }
+            Dist::Lognormal { mu, sigma } => {
+                if x <= 0.0 {
+                    0.0
+                } else {
+                    let z = (x.ln() - mu) / sigma;
+                    (-0.5 * z * z).exp() / (x * sigma * (2.0 * std::f64::consts::PI).sqrt())
+                }
+            }
+            Dist::Normal { mu, sigma } => {
+                let z = (x - mu) / sigma;
+                (-0.5 * z * z).exp() / (sigma * (2.0 * std::f64::consts::PI).sqrt())
+            }
+            Dist::Uniform { a, b } => {
+                if x < a || x > b {
+                    0.0
+                } else {
+                    1.0 / (b - a)
+                }
+            }
+            Dist::Deterministic { v } => {
+                if x == v {
+                    f64::INFINITY
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Cumulative distribution function at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        match *self {
+            Dist::Exponential { rate } => {
+                if x < 0.0 {
+                    0.0
+                } else {
+                    1.0 - (-rate * x).exp()
+                }
+            }
+            Dist::HyperExp2 { p, r1, r2 } => {
+                if x < 0.0 {
+                    0.0
+                } else {
+                    p * (1.0 - (-r1 * x).exp()) + (1.0 - p) * (1.0 - (-r2 * x).exp())
+                }
+            }
+            Dist::Erlang { k, rate } => {
+                if x < 0.0 {
+                    0.0
+                } else {
+                    gamma_p(k as f64, rate * x)
+                }
+            }
+            Dist::Gamma { shape, rate } => {
+                if x <= 0.0 {
+                    0.0
+                } else {
+                    gamma_p(shape, rate * x)
+                }
+            }
+            Dist::Weibull { shape, scale } => {
+                if x < 0.0 {
+                    0.0
+                } else {
+                    1.0 - (-(x / scale).powf(shape)).exp()
+                }
+            }
+            Dist::Pareto { xm, alpha } => {
+                if x < xm {
+                    0.0
+                } else {
+                    1.0 - (xm / x).powf(alpha)
+                }
+            }
+            Dist::Lognormal { mu, sigma } => {
+                if x <= 0.0 {
+                    0.0
+                } else {
+                    phi((x.ln() - mu) / sigma)
+                }
+            }
+            Dist::Normal { mu, sigma } => phi((x - mu) / sigma),
+            Dist::Uniform { a, b } => {
+                if x < a {
+                    0.0
+                } else if x > b {
+                    1.0
+                } else {
+                    (x - a) / (b - a)
+                }
+            }
+            Dist::Deterministic { v } => {
+                if x < v {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Dist::Exponential { rate } => 1.0 / rate,
+            Dist::HyperExp2 { p, r1, r2 } => p / r1 + (1.0 - p) / r2,
+            Dist::Erlang { k, rate } => k as f64 / rate,
+            Dist::Gamma { shape, rate } => shape / rate,
+            Dist::Weibull { shape, scale } => scale * (ln_gamma(1.0 + 1.0 / shape)).exp(),
+            Dist::Pareto { xm, alpha } => {
+                if alpha > 1.0 {
+                    alpha * xm / (alpha - 1.0)
+                } else {
+                    f64::INFINITY
+                }
+            }
+            Dist::Lognormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
+            Dist::Normal { mu, .. } => mu,
+            Dist::Uniform { a, b } => (a + b) / 2.0,
+            Dist::Deterministic { v } => v,
+        }
+    }
+
+    /// Variance of the distribution.
+    pub fn variance(&self) -> f64 {
+        match *self {
+            Dist::Exponential { rate } => 1.0 / (rate * rate),
+            Dist::HyperExp2 { p, r1, r2 } => {
+                let m = self.mean();
+                let m2 = 2.0 * (p / (r1 * r1) + (1.0 - p) / (r2 * r2));
+                m2 - m * m
+            }
+            Dist::Erlang { k, rate } => k as f64 / (rate * rate),
+            Dist::Gamma { shape, rate } => shape / (rate * rate),
+            Dist::Weibull { shape, scale } => {
+                let g1 = (ln_gamma(1.0 + 1.0 / shape)).exp();
+                let g2 = (ln_gamma(1.0 + 2.0 / shape)).exp();
+                scale * scale * (g2 - g1 * g1)
+            }
+            Dist::Pareto { xm, alpha } => {
+                if alpha > 2.0 {
+                    xm * xm * alpha / ((alpha - 1.0) * (alpha - 1.0) * (alpha - 2.0))
+                } else {
+                    f64::INFINITY
+                }
+            }
+            Dist::Lognormal { mu, sigma } => {
+                let s2 = sigma * sigma;
+                ((s2).exp() - 1.0) * (2.0 * mu + s2).exp()
+            }
+            Dist::Normal { sigma, .. } => sigma * sigma,
+            Dist::Uniform { a, b } => (b - a) * (b - a) / 12.0,
+            Dist::Deterministic { .. } => 0.0,
+        }
+    }
+
+    /// Coefficient of variation σ/μ.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.variance().sqrt() / m
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Dist::Exponential { rate } => -ln_u(rng) / rate,
+            Dist::HyperExp2 { p, r1, r2 } => {
+                let rate = if rng.gen::<f64>() < p { r1 } else { r2 };
+                -ln_u(rng) / rate
+            }
+            Dist::Erlang { k, rate } => (0..k).map(|_| -ln_u(rng) / rate).sum(),
+            Dist::Gamma { shape, rate } => sample_gamma(shape, rng) / rate,
+            Dist::Weibull { shape, scale } => scale * (-ln_u(rng)).powf(1.0 / shape),
+            Dist::Pareto { xm, alpha } => {
+                let u: f64 = rng.gen::<f64>().max(1e-300);
+                xm / u.powf(1.0 / alpha)
+            }
+            Dist::Lognormal { mu, sigma } => (mu + sigma * std_normal(rng)).exp(),
+            Dist::Normal { mu, sigma } => mu + sigma * std_normal(rng),
+            Dist::Uniform { a, b } => a + (b - a) * rng.gen::<f64>(),
+            Dist::Deterministic { v } => v,
+        }
+    }
+
+    /// The parameters as a flat vector (used by the secant refiner) paired
+    /// with [`Dist::with_params`].
+    pub fn params(&self) -> Vec<f64> {
+        match *self {
+            Dist::Exponential { rate } => vec![rate],
+            Dist::HyperExp2 { p, r1, r2 } => vec![p, r1, r2],
+            Dist::Erlang { rate, .. } => vec![rate],
+            Dist::Gamma { shape, rate } => vec![shape, rate],
+            Dist::Weibull { shape, scale } => vec![shape, scale],
+            Dist::Pareto { xm, alpha } => vec![xm, alpha],
+            Dist::Lognormal { mu, sigma } => vec![mu, sigma],
+            Dist::Normal { mu, sigma } => vec![mu, sigma],
+            Dist::Uniform { a, b } => vec![a, b],
+            Dist::Deterministic { v } => vec![v],
+        }
+    }
+
+    /// Rebuilds a distribution of the same family with new parameter values
+    /// (the inverse of [`Dist::params`]). Returns `None` if the values are
+    /// invalid for the family — the secant refiner uses this to reject
+    /// steps that leave the feasible region.
+    pub fn with_params(&self, p: &[f64]) -> Option<Dist> {
+        let ok = |d: Dist| Some(d);
+        match *self {
+            Dist::Exponential { .. } => {
+                let [rate] = *p else { return None };
+                (rate > 0.0 && rate.is_finite()).then(|| Dist::Exponential { rate })?;
+                ok(Dist::Exponential { rate })
+            }
+            Dist::HyperExp2 { .. } => {
+                let [q, r1, r2] = *p else { return None };
+                (q > 0.0 && q < 1.0 && r1 > 0.0 && r2 > 0.0 && r1.is_finite() && r2.is_finite())
+                    .then_some(Dist::HyperExp2 { p: q, r1, r2 })
+            }
+            Dist::Erlang { k, .. } => {
+                let [rate] = *p else { return None };
+                (rate > 0.0 && rate.is_finite()).then_some(Dist::Erlang { k, rate })
+            }
+            Dist::Gamma { .. } => {
+                let [shape, rate] = *p else { return None };
+                (shape > 0.0 && rate > 0.0 && shape.is_finite() && rate.is_finite())
+                    .then_some(Dist::Gamma { shape, rate })
+            }
+            Dist::Weibull { .. } => {
+                let [shape, scale] = *p else { return None };
+                (shape > 0.0 && scale > 0.0 && shape.is_finite() && scale.is_finite())
+                    .then_some(Dist::Weibull { shape, scale })
+            }
+            Dist::Pareto { .. } => {
+                let [xm, alpha] = *p else { return None };
+                (xm > 0.0 && alpha > 0.0 && xm.is_finite() && alpha.is_finite())
+                    .then_some(Dist::Pareto { xm, alpha })
+            }
+            Dist::Lognormal { .. } => {
+                let [mu, sigma] = *p else { return None };
+                (sigma > 0.0 && mu.is_finite() && sigma.is_finite())
+                    .then_some(Dist::Lognormal { mu, sigma })
+            }
+            Dist::Normal { .. } => {
+                let [mu, sigma] = *p else { return None };
+                (sigma > 0.0 && mu.is_finite() && sigma.is_finite())
+                    .then_some(Dist::Normal { mu, sigma })
+            }
+            Dist::Uniform { .. } => {
+                let [a, b] = *p else { return None };
+                (b > a && a.is_finite() && b.is_finite()).then_some(Dist::Uniform { a, b })
+            }
+            Dist::Deterministic { .. } => {
+                let [v] = *p else { return None };
+                v.is_finite().then_some(Dist::Deterministic { v })
+            }
+        }
+    }
+
+    /// Human-readable parameter summary, e.g. `λ=0.0500`.
+    pub fn describe(&self) -> String {
+        match *self {
+            Dist::Exponential { rate } => format!("λ={rate:.4}"),
+            Dist::HyperExp2 { p, r1, r2 } => format!("p={p:.3}, λ1={r1:.4}, λ2={r2:.4}"),
+            Dist::Erlang { k, rate } => format!("k={k}, λ={rate:.4}"),
+            Dist::Gamma { shape, rate } => format!("α={shape:.3}, λ={rate:.4}"),
+            Dist::Weibull { shape, scale } => format!("κ={shape:.3}, λ={scale:.2}"),
+            Dist::Pareto { xm, alpha } => format!("x_m={xm:.2}, α={alpha:.3}"),
+            Dist::Lognormal { mu, sigma } => format!("μ={mu:.3}, σ={sigma:.3}"),
+            Dist::Normal { mu, sigma } => format!("μ={mu:.2}, σ={sigma:.2}"),
+            Dist::Uniform { a, b } => format!("a={a:.2}, b={b:.2}"),
+            Dist::Deterministic { v } => format!("v={v:.2}"),
+        }
+    }
+}
+
+impl std::fmt::Display for Dist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}({})", self.family_name(), self.describe())
+    }
+}
+
+/// −ln U with U uniform in (0,1] — guards against ln(0).
+fn ln_u<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u: f64 = rng.gen::<f64>();
+    (1.0 - u).max(1e-300).ln()
+}
+
+/// Unit-rate gamma via Marsaglia–Tsang (with the α < 1 boost).
+fn sample_gamma<R: Rng + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+    if shape < 1.0 {
+        // Boost: X_α = X_{α+1} · U^{1/α}.
+        let u: f64 = rng.gen::<f64>().max(1e-300);
+        return sample_gamma(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = std_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen::<f64>().max(1e-300);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-300);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::SeedableRng;
+
+    use super::*;
+
+    fn all_samples() -> Vec<Dist> {
+        vec![
+            Dist::exponential(0.1),
+            Dist::hyper_exp2(0.3, 0.5, 0.01),
+            Dist::erlang(3, 0.2),
+            Dist::gamma(2.5, 0.15),
+            Dist::weibull(1.5, 40.0),
+            Dist::pareto(3.0, 3.5),
+            Dist::lognormal(2.0, 0.7),
+            Dist::normal(10.0, 2.0),
+            Dist::uniform(5.0, 15.0),
+            Dist::deterministic(4.0),
+        ]
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        for d in all_samples() {
+            let mut prev: f64 = 0.0;
+            for i in 0..400 {
+                let x = i as f64 * 0.5;
+                let c = d.cdf(x);
+                assert!((0.0..=1.0 + 1e-12).contains(&c), "{d}: cdf({x}) = {c}");
+                assert!(c + 1e-12 >= prev, "{d}: cdf not monotone at {x}");
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        // Trapezoid integration over a wide range.
+        for d in all_samples() {
+            if matches!(d, Dist::Deterministic { .. }) {
+                continue;
+            }
+            let (lo, hi, n) = (-50.0, 400.0, 450_000);
+            let h = (hi - lo) / n as f64;
+            let mut integral = 0.0;
+            for i in 0..n {
+                let x = lo + (i as f64 + 0.5) * h;
+                integral += d.pdf(x) * h;
+            }
+            assert!((integral - 1.0).abs() < 2e-2, "{d}: ∫pdf = {integral}");
+        }
+    }
+
+    #[test]
+    fn sample_mean_matches_analytic() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for d in all_samples() {
+            let n = 20_000;
+            let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+            let tol = 0.06 * d.mean().abs().max(1.0) + 3.0 * (d.variance() / n as f64).sqrt();
+            assert!((mean - d.mean()).abs() < tol, "{d}: sample mean {mean} vs {}", d.mean());
+        }
+    }
+
+    #[test]
+    fn erlang_cdf_closed_form() {
+        let d = Dist::erlang(2, 0.5);
+        for &x in &[0.5, 2.0, 6.0] {
+            let lam = 0.5;
+            let expect = 1.0 - (-lam * x as f64).exp() * (1.0 + lam * x);
+            assert!((d.cdf(x) - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        for d in all_samples() {
+            let p = d.params();
+            let d2 = d.with_params(&p).expect("same params are valid");
+            assert_eq!(d, d2);
+        }
+    }
+
+    #[test]
+    fn with_params_rejects_invalid() {
+        assert!(Dist::exponential(1.0).with_params(&[-1.0]).is_none());
+        assert!(Dist::hyper_exp2(0.5, 1.0, 2.0).with_params(&[1.5, 1.0, 2.0]).is_none());
+        assert!(Dist::uniform(0.0, 1.0).with_params(&[2.0, 1.0]).is_none());
+        assert!(Dist::normal(0.0, 1.0).with_params(&[0.0, 0.0]).is_none());
+        assert!(Dist::exponential(1.0).with_params(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn cv_classification() {
+        assert!((Dist::exponential(2.0).cv() - 1.0).abs() < 1e-12);
+        assert!(Dist::erlang(4, 1.0).cv() < 1.0);
+        assert!(Dist::hyper_exp2(0.1, 10.0, 0.1).cv() > 1.0);
+    }
+
+    #[test]
+    fn hyperexp_moments() {
+        let d = Dist::hyper_exp2(0.4, 0.2, 0.05);
+        // mean = .4/.2 + .6/.05 = 2 + 12 = 14
+        assert!((d.mean() - 14.0).abs() < 1e-12);
+        assert!(d.variance() > 0.0);
+    }
+}

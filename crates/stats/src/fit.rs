@@ -1,0 +1,387 @@
+//! Fitting the candidate families to a sample and selecting the best model.
+//!
+//! The procedure mirrors the paper's SAS analysis: start each family from a
+//! closed-form (MLE / method-of-moments) estimate, refine by non-linear
+//! least squares on the empirical CDF with the multivariate secant method,
+//! then rank the fitted models by goodness-of-fit.
+
+use crate::gof::{ks_statistic, r_squared_cdf};
+use crate::secant::{minimize, SecantOptions};
+use crate::{Dist, Ecdf, Family};
+
+/// One fitted model with its goodness-of-fit scores.
+#[derive(Clone, Debug)]
+pub struct FitResult {
+    /// The fitted distribution.
+    pub dist: Dist,
+    /// Kolmogorov–Smirnov statistic (lower is better).
+    pub ks: f64,
+    /// R² of the model CDF against the empirical CDF (higher is better).
+    pub r2: f64,
+    /// Sum of squared CDF residuals from the secant refinement.
+    pub sse: f64,
+}
+
+/// Number of CDF anchor points used for the least-squares refinement.
+const ANCHORS: usize = 64;
+
+fn anchors(ecdf: &Ecdf) -> Vec<(f64, f64)> {
+    let n = ecdf.len();
+    let m = ANCHORS.min(n);
+    (0..m)
+        .map(|i| {
+            let q = (i as f64 + 0.5) / m as f64;
+            let x = ecdf.quantile(q);
+            (x, ecdf.eval(x))
+        })
+        .collect()
+}
+
+/// Summary statistics used by the initializers.
+struct Moments {
+    mean: f64,
+    var: f64,
+    cv2: f64,
+    min: f64,
+    max: f64,
+    log_mean: f64,
+    log_var: f64,
+    has_nonpositive: bool,
+}
+
+fn moments(samples: &[f64]) -> Moments {
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = if samples.len() < 2 {
+        0.0
+    } else {
+        samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0)
+    };
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let has_nonpositive = min <= 0.0;
+    let logs: Vec<f64> = samples.iter().filter(|&&x| x > 0.0).map(|x| x.ln()).collect();
+    let (log_mean, log_var) = if logs.len() >= 2 {
+        let lm = logs.iter().sum::<f64>() / logs.len() as f64;
+        let lv = logs.iter().map(|l| (l - lm) * (l - lm)).sum::<f64>() / (logs.len() - 1) as f64;
+        (lm, lv)
+    } else {
+        (0.0, 0.0)
+    };
+    Moments {
+        mean,
+        var,
+        cv2: if mean != 0.0 { var / (mean * mean) } else { 0.0 },
+        min,
+        max,
+        log_mean,
+        log_var,
+        has_nonpositive,
+    }
+}
+
+/// Closed-form initial estimate for one family, or `None` when the family
+/// cannot describe the sample (e.g. lognormal with non-positive values).
+fn initial(family: Family, m: &Moments) -> Option<Dist> {
+    match family {
+        Family::Exponential => (m.mean > 0.0).then(|| Dist::exponential(1.0 / m.mean)),
+        Family::HyperExp2 => {
+            if m.mean <= 0.0 {
+                return None;
+            }
+            // Balanced-means initializer; requires CV² > 1 to be meaningful,
+            // but start slightly off-balance even at CV² ≤ 1 and let the
+            // secant refinement decide.
+            let cv2 = m.cv2.max(1.01);
+            let p = 0.5 * (1.0 + ((cv2 - 1.0) / (cv2 + 1.0)).sqrt()).clamp(0.02, 0.98);
+            Some(Dist::hyper_exp2(p, 2.0 * p / m.mean, 2.0 * (1.0 - p) / m.mean))
+        }
+        Family::Erlang => {
+            if m.mean <= 0.0 {
+                return None;
+            }
+            let k = if m.cv2 > 0.0 { (1.0 / m.cv2).round().clamp(1.0, 64.0) as u32 } else { 1 };
+            Some(Dist::erlang(k, k as f64 / m.mean))
+        }
+        Family::Gamma => {
+            if m.mean <= 0.0 || m.var <= 0.0 {
+                return None;
+            }
+            // Method of moments: shape = mean²/var, rate = mean/var.
+            let shape = (m.mean * m.mean / m.var).clamp(0.05, 500.0);
+            Some(Dist::gamma(shape, (m.mean / m.var).max(1e-12)))
+        }
+        Family::Pareto => {
+            if m.min <= 0.0 {
+                return None;
+            }
+            // MLE: x_m = min, α = n / Σ ln(x / x_m) — approximated from
+            // the log moments (Σ ln x − n ln x_m).
+            let alpha = if m.log_mean > m.min.ln() {
+                (1.0 / (m.log_mean - m.min.ln())).clamp(0.05, 100.0)
+            } else {
+                2.0
+            };
+            Some(Dist::pareto(m.min, alpha))
+        }
+        Family::Weibull => {
+            if m.mean <= 0.0 || m.has_nonpositive {
+                return None;
+            }
+            // Moment-based shape approximation: CV ≈ shape^(-0.926) is a
+            // serviceable starting point; scale from the mean.
+            let cv = m.cv2.sqrt().max(1e-3);
+            let shape = cv.powf(-1.0 / 0.926).clamp(0.1, 20.0);
+            let scale = m.mean / crate::special::gamma_mean_factor(shape);
+            Some(Dist::weibull(shape, scale.max(1e-12)))
+        }
+        Family::Lognormal => {
+            if m.has_nonpositive || m.log_var <= 0.0 {
+                return None;
+            }
+            Some(Dist::lognormal(m.log_mean, m.log_var.sqrt()))
+        }
+        Family::Normal => (m.var > 0.0).then(|| Dist::normal(m.mean, m.var.sqrt())),
+        Family::Uniform => (m.max > m.min).then(|| Dist::uniform(m.min, m.max)),
+        Family::Deterministic => Some(Dist::deterministic(m.mean)),
+    }
+}
+
+/// Expectation-maximization refinement for the 2-phase hyperexponential:
+/// a handful of EM sweeps from the moment initializer land close to the MLE
+/// before the least-squares polish.
+fn hyperexp_em(samples: &[f64], init: Dist, iters: usize) -> Dist {
+    let Dist::HyperExp2 { mut p, mut r1, mut r2 } = init else { return init };
+    for _ in 0..iters {
+        let mut sw = 0.0; // Σ w_i
+        let mut swx = 0.0; // Σ w_i x_i
+        let mut sux = 0.0; // Σ (1−w_i) x_i
+        let n = samples.len() as f64;
+        for &x in samples {
+            let x = x.max(0.0);
+            let f1 = p * r1 * (-r1 * x).exp();
+            let f2 = (1.0 - p) * r2 * (-r2 * x).exp();
+            let w = if f1 + f2 > 0.0 { f1 / (f1 + f2) } else { 0.5 };
+            sw += w;
+            swx += w * x;
+            sux += (1.0 - w) * x;
+        }
+        if sw < 1e-9 || sw > n - 1e-9 || swx <= 0.0 || sux <= 0.0 {
+            break;
+        }
+        p = (sw / n).clamp(1e-4, 1.0 - 1e-4);
+        r1 = sw / swx;
+        r2 = (n - sw) / sux;
+        if !(r1.is_finite() && r2.is_finite() && r1 > 0.0 && r2 > 0.0) {
+            return init;
+        }
+    }
+    Dist::HyperExp2 { p, r1, r2 }
+}
+
+/// Fits one family to the sample: closed-form initializer plus multivariate
+/// secant refinement of the CDF least-squares problem. Returns `None` when
+/// the family is inapplicable.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn fit_family(samples: &[f64], family: Family) -> Option<FitResult> {
+    assert!(!samples.is_empty(), "cannot fit an empty sample");
+    let ecdf = Ecdf::new(samples.to_vec());
+    let m = moments(samples);
+    let mut init = initial(family, &m)?;
+    if matches!(family, Family::HyperExp2) {
+        init = hyperexp_em(samples, init, 40);
+    }
+    let pts = anchors(&ecdf);
+
+    let mut refined = if matches!(family, Family::Deterministic) {
+        init
+    } else {
+        let template = init;
+        let fit = minimize(
+            &init.params(),
+            |p| {
+                let d = template.with_params(p)?;
+                Some(pts.iter().map(|&(x, y)| d.cdf(x) - y).collect())
+            },
+            SecantOptions::default(),
+        );
+        match fit {
+            Some(f) => template.with_params(&f.params).unwrap_or(template),
+            None => template,
+        }
+    };
+
+    // Erlang-1 *is* the exponential; report it under the simpler name.
+    if let Dist::Erlang { k: 1, rate } = refined {
+        refined = Dist::Exponential { rate };
+    }
+
+    let sse: f64 = pts.iter().map(|&(x, y)| (refined.cdf(x) - y).powi(2)).sum();
+    let ks = if let Dist::Deterministic { v } = refined {
+        // The generic KS formula assumes a continuous model CDF; at an atom
+        // the supremum is max(frac below, frac above).
+        let below = samples.iter().filter(|&&x| x < v).count() as f64 / samples.len() as f64;
+        let above = samples.iter().filter(|&&x| x > v).count() as f64 / samples.len() as f64;
+        below.max(above)
+    } else {
+        ks_statistic(&ecdf, &refined)
+    };
+    Some(FitResult { dist: refined, ks, r2: r_squared_cdf(&ecdf, &refined), sse })
+}
+
+/// Fits every applicable family and returns the results ranked best-first.
+///
+/// Ranking is by the KS statistic with a mild parsimony bias: a model is
+/// only preferred over one with fewer parameters if it improves KS by more
+/// than 0.005 per extra parameter. This keeps "exponential" ahead of a
+/// hyperexponential that degenerates to it, as in the paper's tables.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn fit_all(samples: &[f64]) -> Vec<FitResult> {
+    let mut results: Vec<FitResult> =
+        Family::all().iter().filter_map(|&f| fit_family(samples, f)).collect();
+    let penalty = |r: &FitResult| r.ks + 0.005 * (r.dist.params().len() as f64 - 1.0);
+    results.sort_by(|a, b| penalty(a).partial_cmp(&penalty(b)).unwrap());
+    results
+}
+
+/// The best-ranked fit, or `None` only for pathological inputs where no
+/// family applies (cannot happen for non-empty samples, since
+/// deterministic always applies).
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn fit_best(samples: &[f64]) -> Option<FitResult> {
+    fit_all(samples).into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::SeedableRng;
+
+    use super::*;
+
+    fn samples_of(d: Dist, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn recovers_exponential() {
+        let s = samples_of(Dist::exponential(0.05), 4000, 1);
+        let best = fit_best(&s).unwrap();
+        assert_eq!(best.dist.family(), Family::Exponential, "got {}", best.dist);
+        let Dist::Exponential { rate } = best.dist else { unreachable!() };
+        assert!((rate - 0.05).abs() / 0.05 < 0.1, "rate {rate}");
+        assert!(best.r2 > 0.99);
+    }
+
+    #[test]
+    fn recovers_erlang() {
+        let s = samples_of(Dist::erlang(4, 0.1), 4000, 2);
+        let best = fit_best(&s).unwrap();
+        // Erlang-4 has CV = 0.5; acceptable outcomes are erlang or a very
+        // close weibull/lognormal — but the KS ranking should prefer erlang.
+        assert_eq!(best.dist.family(), Family::Erlang, "got {}", best.dist);
+    }
+
+    #[test]
+    fn recovers_hyperexponential() {
+        let truth = Dist::hyper_exp2(0.15, 1.0, 0.01);
+        let s = samples_of(truth, 6000, 3);
+        let all = fit_all(&s);
+        let best = &all[0];
+        assert_eq!(best.dist.family(), Family::HyperExp2, "got {}", best.dist);
+        assert!(best.ks < 0.03, "ks = {}", best.ks);
+        // The plain exponential must fit clearly worse (CV >> 1).
+        let exp = all.iter().find(|r| r.dist.family() == Family::Exponential).unwrap();
+        assert!(exp.ks > 2.0 * best.ks);
+    }
+
+    #[test]
+    fn recovers_uniform() {
+        let s = samples_of(Dist::uniform(10.0, 20.0), 4000, 4);
+        let best = fit_best(&s).unwrap();
+        assert_eq!(best.dist.family(), Family::Uniform, "got {}", best.dist);
+    }
+
+    #[test]
+    fn recovers_deterministic() {
+        let s = vec![7.0; 500];
+        let best = fit_best(&s).unwrap();
+        assert_eq!(best.dist.family(), Family::Deterministic, "got {}", best.dist);
+    }
+
+    #[test]
+    fn recovers_gamma() {
+        // Non-integer shape so Erlang cannot match it exactly.
+        let s = samples_of(Dist::gamma(2.6, 0.08), 6000, 21);
+        let r = fit_family(&s, Family::Gamma).unwrap();
+        let Dist::Gamma { shape, rate } = r.dist else { panic!("not gamma") };
+        assert!((shape - 2.6).abs() < 0.3, "shape {shape}");
+        assert!((rate - 0.08).abs() / 0.08 < 0.15, "rate {rate}");
+        assert!(r.ks < 0.03, "ks {}", r.ks);
+    }
+
+    #[test]
+    fn recovers_pareto() {
+        let s = samples_of(Dist::pareto(5.0, 2.5), 6000, 22);
+        let best = fit_best(&s).unwrap();
+        assert_eq!(best.dist.family(), Family::Pareto, "got {}", best.dist);
+        let Dist::Pareto { xm, alpha } = best.dist else { unreachable!() };
+        assert!((xm - 5.0).abs() < 0.5, "xm {xm}");
+        assert!((alpha - 2.5).abs() < 0.4, "alpha {alpha}");
+    }
+
+    #[test]
+    fn recovers_normal() {
+        let s = samples_of(Dist::normal(50.0, 5.0), 4000, 5);
+        let best = fit_best(&s).unwrap();
+        assert_eq!(best.dist.family(), Family::Normal, "got {}", best.dist);
+    }
+
+    #[test]
+    fn recovers_lognormal() {
+        let s = samples_of(Dist::lognormal(3.0, 1.0), 6000, 6);
+        let best = fit_best(&s).unwrap();
+        assert!(
+            matches!(best.dist.family(), Family::Lognormal),
+            "got {} (ks {})",
+            best.dist,
+            best.ks
+        );
+    }
+
+    #[test]
+    fn refinement_improves_or_preserves_sse() {
+        let s = samples_of(Dist::weibull(2.0, 30.0), 3000, 7);
+        let r = fit_family(&s, Family::Weibull).unwrap();
+        assert!(r.ks < 0.05, "weibull fit ks = {}", r.ks);
+    }
+
+    #[test]
+    fn nonpositive_samples_skip_positive_families() {
+        let s = vec![-1.0, 0.0, 1.0, 2.0, 3.0];
+        assert!(fit_family(&s, Family::Lognormal).is_none());
+        assert!(fit_family(&s, Family::Weibull).is_none());
+        assert!(fit_family(&s, Family::Normal).is_some());
+    }
+
+    #[test]
+    fn fit_all_is_ranked() {
+        let s = samples_of(Dist::exponential(1.0), 2000, 8);
+        let all = fit_all(&s);
+        assert!(all.len() >= 4);
+        let penalty =
+            |r: &FitResult| r.ks + 0.005 * (r.dist.params().len() as f64 - 1.0);
+        for w in all.windows(2) {
+            assert!(penalty(&w[0]) <= penalty(&w[1]) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Goodness-of-fit measures.
+
+use crate::{Dist, Ecdf, Histogram};
+
+/// Kolmogorov–Smirnov statistic: `sup |F_emp − F_model|`.
+///
+/// # Example
+///
+/// ```
+/// use commchar_stats::{gof, Dist, Ecdf};
+/// let e = Ecdf::new(vec![0.1, 0.2, 0.3, 0.4]);
+/// let d = gof::ks_statistic(&e, &Dist::uniform(0.0, 0.5));
+/// assert!(d < 0.3);
+/// ```
+pub fn ks_statistic(ecdf: &Ecdf, dist: &Dist) -> f64 {
+    let n = ecdf.len() as f64;
+    let mut sup: f64 = 0.0;
+    for (i, &x) in ecdf.sorted().iter().enumerate() {
+        let f = dist.cdf(x);
+        let above = ((i + 1) as f64 / n - f).abs();
+        let below = (f - i as f64 / n).abs();
+        sup = sup.max(above).max(below);
+    }
+    sup
+}
+
+/// Chi-square statistic of a histogram against a model, with the number of
+/// (merged) cells used. Adjacent bins are pooled until each expected count
+/// reaches 5, the usual validity rule.
+pub fn chi_square(hist: &Histogram, dist: &Dist) -> (f64, usize) {
+    let total = hist.total() as f64;
+    let mut cells: Vec<(f64, f64)> = Vec::new(); // (observed, expected)
+    let mut obs_acc = 0.0;
+    let mut exp_acc = 0.0;
+    for i in 0..hist.bins() {
+        let lo = hist.edge(i);
+        let hi = hist.edge(i + 1);
+        obs_acc += hist.count(i) as f64;
+        exp_acc += total * (dist.cdf(hi) - dist.cdf(lo)).max(0.0);
+        if exp_acc >= 5.0 {
+            cells.push((obs_acc, exp_acc));
+            obs_acc = 0.0;
+            exp_acc = 0.0;
+        }
+    }
+    if exp_acc > 0.0 || obs_acc > 0.0 {
+        if let Some(last) = cells.last_mut() {
+            last.0 += obs_acc;
+            last.1 += exp_acc;
+        } else {
+            cells.push((obs_acc, exp_acc.max(1e-9)));
+        }
+    }
+    let chi2 = cells
+        .iter()
+        .map(|&(o, e)| if e > 0.0 { (o - e) * (o - e) / e } else { 0.0 })
+        .sum();
+    (chi2, cells.len())
+}
+
+/// Coefficient of determination (R²) of the model CDF against the empirical
+/// CDF, evaluated at every sample point — the regression quality measure
+/// the paper reports for its fits. 1 is a perfect fit; can be negative for
+/// models worse than a constant.
+pub fn r_squared_cdf(ecdf: &Ecdf, dist: &Dist) -> f64 {
+    let n = ecdf.len() as f64;
+    let ys: Vec<f64> = (1..=ecdf.len()).map(|i| i as f64 / n).collect();
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for (&x, &y) in ecdf.sorted().iter().zip(&ys) {
+        let f = dist.cdf(x);
+        ss_res += (y - f) * (y - f);
+        ss_tot += (y - mean_y) * (y - mean_y);
+    }
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn ks_zero_for_own_quantiles() {
+        // Sample at exact quantiles of the model -> tiny KS.
+        let d = Dist::exponential(1.0);
+        let samples: Vec<f64> = (1..100)
+            .map(|i| {
+                let q = i as f64 / 100.0;
+                -(1.0 - q as f64).ln()
+            })
+            .collect();
+        let e = Ecdf::new(samples);
+        assert!(ks_statistic(&e, &d) < 0.03);
+    }
+
+    #[test]
+    fn ks_large_for_wrong_model() {
+        let e = Ecdf::new((1..=100).map(|i| i as f64).collect());
+        // A model concentrated far away.
+        let d = Dist::normal(1000.0, 1.0);
+        assert!(ks_statistic(&e, &d) > 0.9);
+    }
+
+    #[test]
+    fn chi_square_small_for_true_model() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let d = Dist::exponential(0.1);
+        let samples: Vec<f64> = (0..5000).map(|_| d.sample(&mut rng)).collect();
+        let h = Histogram::from_samples(&samples, 30);
+        let (chi2, cells) = chi_square(&h, &d);
+        // Rough check: statistic near its dof.
+        assert!(chi2 < 3.0 * cells as f64, "chi2 {chi2} over {cells} cells");
+    }
+
+    #[test]
+    fn chi_square_pools_sparse_bins() {
+        let samples: Vec<f64> = (0..50).map(|i| i as f64 / 10.0).collect();
+        let h = Histogram::from_samples(&samples, 40);
+        let (_, cells) = chi_square(&h, &Dist::uniform(0.0, 4.9));
+        assert!(cells < 40, "bins must be pooled to reach expected counts");
+    }
+
+    #[test]
+    fn r2_ranks_models() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let truth = Dist::exponential(0.2);
+        let samples: Vec<f64> = (0..3000).map(|_| truth.sample(&mut rng)).collect();
+        let e = Ecdf::new(samples);
+        let good = r_squared_cdf(&e, &truth);
+        let bad = r_squared_cdf(&e, &Dist::normal(100.0, 1.0));
+        assert!(good > 0.99, "true model R² = {good}");
+        assert!(bad < good);
+    }
+}

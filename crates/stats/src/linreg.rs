@@ -1,0 +1,85 @@
+//! Simple linear regression.
+//!
+//! Used to validate the SP2 communication-software overhead model: the
+//! paper measured `overhead(x) = 4.63e-2·x + 73.42 µs` for `x` bytes; the
+//! reproduction regresses measured overheads and checks the recovered
+//! slope and intercept.
+
+/// Result of a least-squares line fit `y = slope·x + intercept`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LineFit {
+    /// Slope.
+    pub slope: f64,
+    /// Intercept.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+/// Fits `y = slope·x + intercept` by ordinary least squares.
+///
+/// Returns `None` if fewer than two points are given or all `x` are equal.
+///
+/// # Example
+///
+/// ```
+/// use commchar_stats::linreg::fit_line;
+/// let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.0 * i as f64 + 1.0)).collect();
+/// let fit = fit_line(&pts).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!((fit.r2 - 1.0).abs() < 1e-12);
+/// ```
+pub fn fit_line(points: &[(f64, f64)]) -> Option<LineFit> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
+    let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - my) * (p.1 - my)).sum();
+    let ss_res: f64 =
+        points.iter().map(|p| (p.1 - slope * p.0 - intercept).powi(2)).sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Some(LineFit { slope, intercept, r2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let pts = [(0.0, 73.42), (1000.0, 73.42 + 46.3), (2000.0, 73.42 + 92.6)];
+        let fit = fit_line(&pts).unwrap();
+        assert!((fit.slope - 4.63e-2).abs() < 1e-9);
+        assert!((fit.intercept - 73.42).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_line_high_r2() {
+        let pts: Vec<(f64, f64)> = (0..100)
+            .map(|i| {
+                let x = i as f64;
+                (x, 3.0 * x + 5.0 + if i % 2 == 0 { 0.5 } else { -0.5 })
+            })
+            .collect();
+        let fit = fit_line(&pts).unwrap();
+        assert!((fit.slope - 3.0).abs() < 0.01);
+        assert!(fit.r2 > 0.999);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(fit_line(&[]).is_none());
+        assert!(fit_line(&[(1.0, 2.0)]).is_none());
+        assert!(fit_line(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+    }
+}

@@ -1,0 +1,293 @@
+//! Non-linear least squares by the multivariate secant method.
+//!
+//! The paper fit its regression models in SAS PROC NLIN using the
+//! *multivariate secant* method (also known as DUD — "doesn't use
+//! derivatives"). This module implements the same idea: Gauss–Newton
+//! iterations where the Jacobian of the residual vector is approximated by
+//! finite differences and then cheaply maintained with Broyden rank-one
+//! updates, plus step halving to guarantee monotone progress.
+
+/// Options controlling the secant solver.
+#[derive(Clone, Copy, Debug)]
+pub struct SecantOptions {
+    /// Maximum outer iterations.
+    pub max_iter: usize,
+    /// Convergence threshold on the relative SSE improvement.
+    pub tol: f64,
+    /// Relative perturbation used for the initial finite-difference Jacobian.
+    pub rel_step: f64,
+}
+
+impl Default for SecantOptions {
+    fn default() -> Self {
+        SecantOptions { max_iter: 60, tol: 1e-10, rel_step: 1e-4 }
+    }
+}
+
+/// Result of a secant minimization.
+#[derive(Clone, Debug)]
+pub struct SecantFit {
+    /// The parameter vector reached.
+    pub params: Vec<f64>,
+    /// Final sum of squared residuals.
+    pub sse: f64,
+    /// Outer iterations performed.
+    pub iterations: usize,
+    /// Whether the relative-improvement tolerance was met.
+    pub converged: bool,
+}
+
+/// Minimizes `‖r(p)‖²` starting from `p0`.
+///
+/// `residuals` returns the residual vector at a parameter point, or `None`
+/// if the point is infeasible (the solver treats it as infinitely bad).
+/// The residual length must be constant across calls.
+///
+/// Returns `None` if the starting point itself is infeasible.
+///
+/// # Example
+///
+/// ```
+/// use commchar_stats::secant::{minimize, SecantOptions};
+/// // Fit y = a·x to points on y = 3x: residuals r_i = a·x_i − y_i.
+/// let xs = [1.0, 2.0, 3.0];
+/// let fit = minimize(
+///     &[1.0],
+///     |p| Some(xs.iter().map(|&x| p[0] * x - 3.0 * x).collect()),
+///     SecantOptions::default(),
+/// ).unwrap();
+/// assert!((fit.params[0] - 3.0).abs() < 1e-6);
+/// ```
+pub fn minimize<F>(p0: &[f64], mut residuals: F, opts: SecantOptions) -> Option<SecantFit>
+where
+    F: FnMut(&[f64]) -> Option<Vec<f64>>,
+{
+    let n = p0.len();
+    let mut p = p0.to_vec();
+    let mut r = residuals(&p)?;
+    let m = r.len();
+    let mut sse = dot(&r, &r);
+
+    // Initial Jacobian by forward differences.
+    let mut jac = vec![vec![0.0; n]; m];
+    let refresh_jacobian =
+        |p: &[f64], r: &[f64], jac: &mut Vec<Vec<f64>>, residuals: &mut F| -> bool {
+            for j in 0..n {
+                let h = (p[j].abs() * opts.rel_step).max(1e-8);
+                let mut pj = p.to_vec();
+                pj[j] += h;
+                let Some(rj) = residuals(&pj) else {
+                    // Try backward difference at the boundary.
+                    let mut pb = p.to_vec();
+                    pb[j] -= h;
+                    let Some(rb) = residuals(&pb) else { return false };
+                    for i in 0..m {
+                        jac[i][j] = (r[i] - rb[i]) / h;
+                    }
+                    continue;
+                };
+                for i in 0..m {
+                    jac[i][j] = (rj[i] - r[i]) / h;
+                }
+            }
+            true
+        };
+    if !refresh_jacobian(&p, &r, &mut jac, &mut residuals) {
+        return Some(SecantFit { params: p, sse, iterations: 0, converged: false });
+    }
+
+    let mut converged = false;
+    let mut iterations = 0;
+    let mut just_refreshed = true;
+    for it in 0..opts.max_iter {
+        iterations = it + 1;
+        // Gauss–Newton step from the secant Jacobian: (JᵀJ + λI)Δ = −Jᵀr.
+        let mut jtj = vec![vec![0.0; n]; n];
+        let mut jtr = vec![0.0; n];
+        for i in 0..m {
+            for a in 0..n {
+                jtr[a] += jac[i][a] * r[i];
+                for b in 0..n {
+                    jtj[a][b] += jac[i][a] * jac[i][b];
+                }
+            }
+        }
+        // Levenberg damping with increase-on-failure.
+        let mut lambda = 1e-8 * (0..n).map(|a| jtj[a][a]).fold(0.0f64, f64::max).max(1e-12);
+        let mut improved = false;
+        for _ in 0..12 {
+            let mut a = jtj.clone();
+            for d in 0..n {
+                a[d][d] += lambda;
+            }
+            let b: Vec<f64> = jtr.iter().map(|v| -v).collect();
+            let Some(delta) = solve(a, b) else {
+                lambda *= 10.0;
+                continue;
+            };
+            let cand: Vec<f64> = p.iter().zip(&delta).map(|(pi, di)| pi + di).collect();
+            if let Some(rc) = residuals(&cand) {
+                let sse_c = dot(&rc, &rc);
+                if sse_c < sse {
+                    // Broyden rank-one update: J += (Δr − JΔp)Δpᵀ / ‖Δp‖².
+                    let dp2 = dot(&delta, &delta);
+                    if dp2 > 0.0 {
+                        for i in 0..m {
+                            let jdp: f64 = (0..n).map(|j| jac[i][j] * delta[j]).sum();
+                            let coeff = (rc[i] - r[i] - jdp) / dp2;
+                            for j in 0..n {
+                                jac[i][j] += coeff * delta[j];
+                            }
+                        }
+                    }
+                    let rel = (sse - sse_c) / sse.max(1e-300);
+                    p = cand;
+                    r = rc;
+                    sse = sse_c;
+                    improved = true;
+                    if rel < opts.tol {
+                        converged = true;
+                    }
+                    break;
+                }
+            }
+            lambda *= 10.0;
+        }
+        if converged {
+            break;
+        }
+        if improved {
+            just_refreshed = false;
+        } else if just_refreshed {
+            // Stalled even with a freshly computed Jacobian: local optimum
+            // (to the solver's resolution).
+            converged = true;
+            break;
+        } else {
+            // The Broyden updates may have drifted; re-anchor and retry.
+            if !refresh_jacobian(&p, &r, &mut jac, &mut residuals) {
+                break;
+            }
+            just_refreshed = true;
+        }
+    }
+
+    Some(SecantFit { params: p, sse, iterations, converged })
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Solves `A x = b` by Gaussian elimination with partial pivoting.
+/// Returns `None` for singular systems.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let piv = (col..n).max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
+        if a[piv][col].abs() < 1e-300 {
+            return None;
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut s = b[col];
+        for k in col + 1..n {
+            s -= a[col][k] * x[k];
+        }
+        x[col] = s / a[col][col];
+        if !x[col].is_finite() {
+            return None;
+        }
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve(a, vec![3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // First pivot is zero; needs row swap.
+        let a = vec![vec![0.0, 1.0], vec![2.0, 1.0]];
+        let x = solve(a, vec![1.0, 4.0]).unwrap();
+        assert!((x[0] - 1.5).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn fits_exponential_decay() {
+        // y = exp(-k x) with k = 0.7, fit k from samples.
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.3).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| (-0.7 * x as f64).exp()).collect();
+        let fit = minimize(
+            &[0.2],
+            |p| {
+                if p[0] <= 0.0 {
+                    return None;
+                }
+                Some(xs.iter().zip(&ys).map(|(&x, &y)| (-p[0] * x).exp() - y).collect())
+            },
+            SecantOptions::default(),
+        )
+        .unwrap();
+        assert!((fit.params[0] - 0.7).abs() < 1e-4, "got {:?}", fit.params);
+        assert!(fit.sse < 1e-8);
+    }
+
+    #[test]
+    fn fits_two_parameter_curve() {
+        // y = a e^{-b x}: recover a = 2, b = 0.4.
+        let xs: Vec<f64> = (0..30).map(|i| i as f64 * 0.25).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 * (-0.4 * x as f64).exp()).collect();
+        let fit = minimize(
+            &[1.0, 1.0],
+            |p| {
+                if p[1] < 0.0 {
+                    return None;
+                }
+                Some(xs.iter().zip(&ys).map(|(&x, &y)| p[0] * (-p[1] * x).exp() - y).collect())
+            },
+            SecantOptions::default(),
+        )
+        .unwrap();
+        assert!((fit.params[0] - 2.0).abs() < 1e-3, "{:?}", fit.params);
+        assert!((fit.params[1] - 0.4).abs() < 1e-3, "{:?}", fit.params);
+    }
+
+    #[test]
+    fn infeasible_start_is_none() {
+        let fit = minimize(&[1.0], |_| None::<Vec<f64>>, SecantOptions::default());
+        assert!(fit.is_none());
+    }
+
+    #[test]
+    fn perfect_start_converges_immediately() {
+        let fit = minimize(&[3.0], |p| Some(vec![p[0] - 3.0]), SecantOptions::default()).unwrap();
+        assert!(fit.sse < 1e-20);
+    }
+}

@@ -1,0 +1,168 @@
+//! Special functions needed by the distribution families.
+
+/// Error function, Abramowitz & Stegun 7.1.26 (|ε| ≤ 1.5e-7).
+pub(crate) fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal CDF.
+pub(crate) fn phi(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// ln Γ(x) for x > 0 (Lanczos approximation, g = 7, n = 9).
+pub(crate) fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 9] = [
+        0.99999999999980993,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.32342877765313,
+        -176.61502916214059,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.9843695780195716e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Γ(1 + 1/shape): the mean of a unit-scale Weibull with the given shape.
+pub(crate) fn gamma_mean_factor(shape: f64) -> f64 {
+    ln_gamma(1.0 + 1.0 / shape).exp()
+}
+
+/// Regularized lower incomplete gamma function P(a, x), a > 0, x ≥ 0.
+///
+/// Series for x < a + 1, continued fraction otherwise (Numerical Recipes).
+pub(crate) fn gamma_p(a: f64, x: f64) -> f64 {
+    debug_assert!(a > 0.0 && x >= 0.0);
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // Series representation.
+        let mut ap = a;
+        let mut sum = 1.0 / a;
+        let mut del = sum;
+        for _ in 0..200 {
+            ap += 1.0;
+            del *= x / ap;
+            sum += del;
+            if del.abs() < sum.abs() * 1e-12 {
+                break;
+            }
+        }
+        sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+    } else {
+        // Continued fraction for Q(a, x).
+        let mut b = x + 1.0 - a;
+        let mut c = 1e308;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..200 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < 1e-12 {
+                break;
+            }
+        }
+        1.0 - (-x + a * x.ln() - ln_gamma(a)).exp() * h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1e-6);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erf(3.0) - 0.9999779095).abs() < 1e-6);
+    }
+
+    #[test]
+    fn phi_symmetry() {
+        assert!((phi(0.0) - 0.5).abs() < 1e-6);
+        assert!((phi(1.96) - 0.975).abs() < 1e-3);
+        assert!((phi(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ln_gamma_factorials() {
+        // Γ(n) = (n-1)!
+        let facts = [1.0f64, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
+        for (i, &f) in facts.iter().enumerate() {
+            assert!(
+                (ln_gamma((i + 1) as f64) - f.ln()).abs() < 1e-9,
+                "Γ({}) mismatch",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = √π
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_p_exponential_special_case() {
+        // P(1, x) = 1 - e^{-x}
+        for &x in &[0.1, 0.5, 1.0, 3.0, 10.0] {
+            assert!((gamma_p(1.0, x) - (1.0 - (-x as f64).exp())).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gamma_p_erlang2() {
+        // P(2, x) = 1 - e^{-x}(1 + x)
+        for &x in &[0.2, 1.0, 2.5, 8.0] {
+            let expect = 1.0 - (-x as f64).exp() * (1.0 + x);
+            assert!((gamma_p(2.0, x) - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gamma_p_monotone_in_x() {
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let v = gamma_p(3.7, i as f64 * 0.3);
+            assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+        assert!(prev <= 1.0 + 1e-12);
+    }
+}

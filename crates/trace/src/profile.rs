@@ -1,0 +1,176 @@
+//! Trace profiling: per-source workload summaries.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CommTrace, EventKind};
+
+/// Per-source profile of a trace.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SourceProfile {
+    /// Source processor.
+    pub src: u16,
+    /// Messages sent.
+    pub messages: u64,
+    /// Total payload bytes sent.
+    pub bytes: u64,
+    /// Mean inter-send gap (think time) in ticks.
+    pub mean_gap: f64,
+    /// Destination message counts (index = destination).
+    pub dest_counts: Vec<u64>,
+    /// Destination byte counts (index = destination).
+    pub dest_bytes: Vec<u64>,
+}
+
+/// Whole-trace profile.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceProfile {
+    /// One entry per source processor.
+    pub sources: Vec<SourceProfile>,
+    /// Total messages.
+    pub messages: u64,
+    /// Total bytes.
+    pub bytes: u64,
+    /// Mean message length in bytes.
+    pub mean_bytes: f64,
+    /// Span between first and last generation time.
+    pub span: u64,
+    /// Message counts by kind (control, data, sync).
+    pub kind_counts: [u64; 3],
+}
+
+/// Computes the profile of a trace.
+///
+/// # Example
+///
+/// ```
+/// use commchar_trace::{profile::profile, CommEvent, CommTrace, EventKind};
+/// let mut tr = CommTrace::new(2);
+/// tr.push(CommEvent::new(0, 0, 0, 1, 10, EventKind::Data));
+/// tr.push(CommEvent::new(1, 100, 0, 1, 30, EventKind::Data));
+/// let p = profile(&tr);
+/// assert_eq!(p.messages, 2);
+/// assert_eq!(p.sources[0].mean_gap, 100.0);
+/// ```
+pub fn profile(trace: &CommTrace) -> TraceProfile {
+    let n = trace.nodes();
+    let mut sources: Vec<SourceProfile> = (0..n)
+        .map(|s| SourceProfile {
+            src: s as u16,
+            messages: 0,
+            bytes: 0,
+            mean_gap: 0.0,
+            dest_counts: vec![0; n],
+            dest_bytes: vec![0; n],
+        })
+        .collect();
+    let mut kind_counts = [0u64; 3];
+    let mut first = u64::MAX;
+    let mut last = 0u64;
+    let mut total_bytes = 0u64;
+
+    let mut times: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for e in trace.events() {
+        let s = &mut sources[e.src as usize];
+        s.messages += 1;
+        s.bytes += e.bytes as u64;
+        s.dest_counts[e.dst as usize] += 1;
+        s.dest_bytes[e.dst as usize] += e.bytes as u64;
+        times[e.src as usize].push(e.t);
+        total_bytes += e.bytes as u64;
+        first = first.min(e.t);
+        last = last.max(e.t);
+        kind_counts[match e.kind {
+            EventKind::Control => 0,
+            EventKind::Data => 1,
+            EventKind::Sync => 2,
+        }] += 1;
+    }
+    for (s, ts) in sources.iter_mut().zip(&mut times) {
+        ts.sort_unstable();
+        if ts.len() >= 2 {
+            let total: u64 = ts.windows(2).map(|w| w[1] - w[0]).sum();
+            s.mean_gap = total as f64 / (ts.len() - 1) as f64;
+        }
+    }
+    let messages = trace.len() as u64;
+    TraceProfile {
+        sources,
+        messages,
+        bytes: total_bytes,
+        mean_bytes: if messages == 0 { 0.0 } else { total_bytes as f64 / messages as f64 },
+        span: if messages == 0 { 0 } else { last - first },
+        kind_counts,
+    }
+}
+
+/// Per-source inter-arrival (inter-send) gaps — the temporal attribute's
+/// raw sample, by source.
+pub fn interarrival_by_source(trace: &CommTrace) -> Vec<Vec<f64>> {
+    let n = trace.nodes();
+    let mut times: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for e in trace.events() {
+        times[e.src as usize].push(e.t);
+    }
+    times
+        .into_iter()
+        .map(|mut ts| {
+            ts.sort_unstable();
+            ts.windows(2).map(|w| (w[1] - w[0]) as f64).collect()
+        })
+        .collect()
+}
+
+/// Aggregate inter-arrival gaps across all sources (messages entering the
+/// network anywhere) — the paper's network-wide message generation view.
+pub fn interarrival_aggregate(trace: &CommTrace) -> Vec<f64> {
+    let mut ts: Vec<u64> = trace.events().iter().map(|e| e.t).collect();
+    ts.sort_unstable();
+    ts.windows(2).map(|w| (w[1] - w[0]) as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CommEvent;
+
+    fn trace() -> CommTrace {
+        let mut tr = CommTrace::new(3);
+        tr.push(CommEvent::new(0, 0, 0, 1, 8, EventKind::Control));
+        tr.push(CommEvent::new(1, 10, 0, 2, 40, EventKind::Data));
+        tr.push(CommEvent::new(2, 30, 0, 1, 8, EventKind::Sync));
+        tr.push(CommEvent::new(3, 5, 1, 0, 16, EventKind::Data));
+        tr
+    }
+
+    #[test]
+    fn profile_counts() {
+        let p = profile(&trace());
+        assert_eq!(p.messages, 4);
+        assert_eq!(p.bytes, 72);
+        assert_eq!(p.kind_counts, [1, 2, 1]);
+        assert_eq!(p.span, 30);
+        assert_eq!(p.sources[0].messages, 3);
+        assert_eq!(p.sources[0].dest_counts, vec![0, 2, 1]);
+        assert_eq!(p.sources[1].dest_bytes, vec![16, 0, 0]);
+        assert_eq!(p.sources[2].messages, 0);
+    }
+
+    #[test]
+    fn gaps() {
+        let p = profile(&trace());
+        assert!((p.sources[0].mean_gap - 15.0).abs() < 1e-12);
+        let by_src = interarrival_by_source(&trace());
+        assert_eq!(by_src[0], vec![10.0, 20.0]);
+        assert!(by_src[1].is_empty());
+        let agg = interarrival_aggregate(&trace());
+        assert_eq!(agg, vec![5.0, 5.0, 20.0]);
+    }
+
+    #[test]
+    fn empty_trace_profile() {
+        let p = profile(&CommTrace::new(2));
+        assert_eq!(p.messages, 0);
+        assert_eq!(p.span, 0);
+        assert_eq!(p.mean_bytes, 0.0);
+    }
+}

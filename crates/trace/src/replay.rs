@@ -1,0 +1,264 @@
+//! Trace-driven network simulation with causality preservation.
+//!
+//! Naively replaying a trace at its recorded timestamps ignores the
+//! feedback between network latency and application progress — the classic
+//! trace-driven pitfall the paper cites (Goldschmidt & Hennessy). The
+//! [`CausalReplayer`] instead preserves two things from the original run:
+//!
+//! 1. **per-source think times** — the gap between consecutive sends from
+//!    the same processor, and
+//! 2. **happens-before edges** — a send annotated with `depends_on = m`
+//!    is never injected before message `m` has been *delivered* in the
+//!    replayed execution.
+//!
+//! The injection time of event `e` from source `s` becomes
+//! `max(inject(prev_s) + think(e), delivered(dep(e)))`, so a slower (or
+//! faster) simulated network stretches (or compresses) the schedule exactly
+//! the way the original machine would have.
+
+use std::collections::{BinaryHeap, HashMap};
+
+use commchar_des::SimTime;
+use commchar_mesh::{MeshConfig, NetLog, NetMessage, NodeId, OnlineWormhole};
+
+use crate::CommTrace;
+
+/// Causality-preserving trace replayer. See the module docs.
+#[derive(Debug)]
+pub struct CausalReplayer {
+    cfg: MeshConfig,
+}
+
+#[derive(PartialEq, Eq)]
+struct Ready {
+    inject: u64,
+    src: u16,
+    idx: usize,
+}
+
+impl Ord for Ready {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on (inject, src).
+        (other.inject, other.src).cmp(&(self.inject, self.src))
+    }
+}
+impl PartialOrd for Ready {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl CausalReplayer {
+    /// Creates a replayer targeting the given mesh.
+    pub fn new(cfg: MeshConfig) -> Self {
+        CausalReplayer { cfg }
+    }
+
+    /// Replays the trace through the wormhole network and returns the log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace fails [`CommTrace::check`] or references nodes
+    /// outside the mesh.
+    pub fn replay(&self, trace: &CommTrace) -> NetLog {
+        trace.check().expect("trace must be internally consistent");
+        assert!(
+            trace.nodes() <= self.cfg.shape.nodes(),
+            "trace has more processors than the mesh has nodes"
+        );
+
+        // Per-source event lists in trace order, with think times.
+        let n = trace.nodes();
+        let mut per_src: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n]; // (event idx, think)
+        let mut last_t: Vec<Option<u64>> = vec![None; n];
+        let mut events: Vec<&crate::CommEvent> = trace.events().iter().collect();
+        events.sort_by_key(|e| (e.t, e.id));
+        for (idx, e) in events.iter().enumerate() {
+            let s = e.src as usize;
+            let think = match last_t[s] {
+                Some(prev) => e.t.saturating_sub(prev),
+                None => e.t,
+            };
+            last_t[s] = Some(e.t);
+            per_src[s].push((idx as u64, think));
+        }
+
+        let mut net = OnlineWormhole::new(self.cfg);
+        let mut delivered: HashMap<u64, u64> = HashMap::new(); // msg id -> tail delivery
+        let mut waiting: HashMap<u64, Vec<u16>> = HashMap::new(); // dep id -> sources parked
+        let mut next_idx: Vec<usize> = vec![0; n]; // cursor into per_src
+        let mut last_inject: Vec<u64> = vec![0; n];
+        let mut heap: BinaryHeap<Ready> = BinaryHeap::new();
+
+        // Computes the next ready entry for a source, if its dependency is
+        // resolved; otherwise parks the source on the dependency.
+        let arm = |s: usize,
+                       next_idx: &[usize],
+                       last_inject: &[u64],
+                       delivered: &HashMap<u64, u64>,
+                       waiting: &mut HashMap<u64, Vec<u16>>,
+                       heap: &mut BinaryHeap<Ready>| {
+            let Some(&(eidx, think)) = per_src[s].get(next_idx[s]) else { return };
+            let e = events[eidx as usize];
+            let base = last_inject[s] + think;
+            match e.depends_on {
+                Some(dep) => match delivered.get(&dep) {
+                    Some(&d) => heap.push(Ready {
+                        inject: base.max(d),
+                        src: s as u16,
+                        idx: eidx as usize,
+                    }),
+                    None => waiting.entry(dep).or_default().push(s as u16),
+                },
+                None => heap.push(Ready { inject: base, src: s as u16, idx: eidx as usize }),
+            }
+        };
+
+        for s in 0..n {
+            arm(s, &next_idx, &last_inject, &delivered, &mut waiting, &mut heap);
+        }
+
+        let mut injected = 0usize;
+        while let Some(r) = heap.pop() {
+            let e = events[r.idx];
+            let d = net.send(NetMessage {
+                id: e.id,
+                src: NodeId(e.src),
+                dst: NodeId(e.dst),
+                bytes: e.bytes,
+                inject: SimTime::from_ticks(r.inject),
+            });
+            injected += 1;
+            delivered.insert(e.id, d.ticks());
+            let s = e.src as usize;
+            last_inject[s] = r.inject;
+            next_idx[s] += 1;
+            arm(s, &next_idx, &last_inject, &delivered, &mut waiting, &mut heap);
+            if let Some(parked) = waiting.remove(&e.id) {
+                for ps in parked {
+                    arm(ps as usize, &next_idx, &last_inject, &delivered, &mut waiting, &mut heap);
+                }
+            }
+        }
+        assert_eq!(
+            injected,
+            events.len(),
+            "causal replay stalled: dependency cycle or dep on never-sent message"
+        );
+        net.into_log()
+    }
+
+    /// Naive replay at recorded timestamps — the pitfall baseline (no
+    /// feedback, no causality). Useful to quantify the distortion the
+    /// causal replayer removes.
+    pub fn replay_naive(&self, trace: &CommTrace) -> NetLog {
+        let mut events: Vec<&crate::CommEvent> = trace.events().iter().collect();
+        events.sort_by_key(|e| (e.t, e.id));
+        let mut net = OnlineWormhole::new(self.cfg);
+        for e in events {
+            net.send(NetMessage {
+                id: e.id,
+                src: NodeId(e.src),
+                dst: NodeId(e.dst),
+                bytes: e.bytes,
+                inject: SimTime::from_ticks(e.t),
+            });
+        }
+        net.into_log()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CommEvent, EventKind};
+
+    fn ev(id: u64, t: u64, src: u16, dst: u16, bytes: u32) -> CommEvent {
+        CommEvent::new(id, t, src, dst, bytes, EventKind::Data)
+    }
+
+    #[test]
+    fn replay_without_deps_keeps_think_times() {
+        let mut tr = CommTrace::new(4);
+        tr.push(ev(0, 0, 0, 1, 8));
+        tr.push(ev(1, 100, 0, 1, 8));
+        let cfg = MeshConfig::for_nodes(4);
+        let log = CausalReplayer::new(cfg).replay(&tr);
+        let r1 = log.records().iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(r1.inject, 100);
+    }
+
+    #[test]
+    fn dependency_delays_injection() {
+        // Event 1 (from p1) depends on event 0 (p0 -> p1); in the original
+        // trace it fires at t=1, but the network can't deliver msg 0 by
+        // then, so the replay must push it to msg 0's delivery.
+        let mut tr = CommTrace::new(4);
+        tr.push(ev(0, 0, 0, 1, 256));
+        tr.push(ev(1, 1, 1, 2, 8).after(0));
+        let cfg = MeshConfig::for_nodes(4);
+        let rep = CausalReplayer::new(cfg);
+        let log = rep.replay(&tr);
+        let d0 = log.records().iter().find(|r| r.id == 0).unwrap().delivered;
+        let i1 = log.records().iter().find(|r| r.id == 1).unwrap().inject;
+        assert!(i1 >= d0, "dependent send at {i1} before delivery {d0}");
+
+        // The naive replay violates causality.
+        let naive = rep.replay_naive(&tr);
+        let n1 = naive.records().iter().find(|r| r.id == 1).unwrap().inject;
+        assert!(n1 < d0, "naive replay should expose the pitfall");
+    }
+
+    #[test]
+    fn chains_of_dependencies_replay_in_order() {
+        let mut tr = CommTrace::new(4);
+        // Ping-pong: 0 -> 1 -> 0 -> 1 ...
+        let mut id = 0u64;
+        for round in 0..10u64 {
+            let (s, d) = if round % 2 == 0 { (0, 1) } else { (1, 0) };
+            let mut e = ev(id, round * 10, s, d, 64);
+            if id > 0 {
+                e = e.after(id - 1);
+            }
+            tr.push(e);
+            id += 1;
+        }
+        let cfg = MeshConfig::for_nodes(4);
+        let log = CausalReplayer::new(cfg).replay(&tr);
+        let mut delivered = std::collections::HashMap::new();
+        for r in log.records() {
+            delivered.insert(r.id, r.delivered);
+        }
+        for r in log.records() {
+            if r.id > 0 {
+                assert!(r.inject >= delivered[&(r.id - 1)]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "internally consistent")]
+    fn broken_trace_rejected() {
+        let mut tr = CommTrace::new(4);
+        tr.push(ev(0, 0, 0, 1, 8).after(42));
+        CausalReplayer::new(MeshConfig::for_nodes(4)).replay(&tr);
+    }
+
+    #[test]
+    fn all_messages_accounted_for() {
+        let mut tr = CommTrace::new(8);
+        let mut id = 0;
+        for t in 0..50u64 {
+            let src = (t % 8) as u16;
+            let dst = ((t * 5 + 1) % 8) as u16;
+            if src != dst {
+                tr.push(ev(id, t * 7, src, dst, 32));
+                id += 1;
+            }
+        }
+        let cfg = MeshConfig::for_nodes(8);
+        let log = CausalReplayer::new(cfg).replay(&tr);
+        assert_eq!(log.records().len(), tr.len());
+        log.check_invariants(cfg.shape).unwrap();
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for traces, profiling and causal replay.
+
+use commchar_mesh::MeshConfig;
+use commchar_trace::profile::{interarrival_aggregate, interarrival_by_source, profile};
+use commchar_trace::replay::CausalReplayer;
+use commchar_trace::{CommEvent, CommTrace, EventKind};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Random trace with a random dependency structure. Dependencies are only
+/// attached when the dependency strictly precedes the dependent event in
+/// `(t, id)` order — the validity rule real executions guarantee and
+/// `CommTrace::check` enforces.
+fn arb_trace(nodes: usize, max: usize) -> impl Strategy<Value = CommTrace> {
+    prop::collection::vec(
+        (
+            0..nodes as u16,
+            0..nodes as u16,
+            1u32..100,
+            0u64..50_000,
+            prop::option::of(0usize..max),
+        ),
+        1..max,
+    )
+    .prop_map(move |raw| {
+        let mut trace = CommTrace::new(nodes);
+        let mut id = 0u64;
+        let mut times: Vec<(u64, u64)> = Vec::new(); // (t, id) per pushed event
+        for (s, d, bytes, t, dep) in raw {
+            if s == d {
+                continue;
+            }
+            let mut e = CommEvent::new(id, t, s, d, bytes, EventKind::Data);
+            if let Some(dep) = dep {
+                if let Some(&(dep_t, dep_id)) = times.get(dep % times.len().max(1)) {
+                    if (dep_t, dep_id) < (t, id) {
+                        e = e.after(dep_id);
+                    }
+                }
+            }
+            trace.push(e);
+            times.push((t, id));
+            id += 1;
+        }
+        trace
+    })
+}
+
+proptest! {
+    /// Profile totals equal direct sums.
+    #[test]
+    fn profile_conserves_counts(trace in arb_trace(8, 100)) {
+        prop_assume!(!trace.is_empty());
+        let p = profile(&trace);
+        prop_assert_eq!(p.messages, trace.len() as u64);
+        let bytes: u64 = trace.events().iter().map(|e| e.bytes as u64).sum();
+        prop_assert_eq!(p.bytes, bytes);
+        let per_source: u64 = p.sources.iter().map(|s| s.messages).sum();
+        prop_assert_eq!(per_source, p.messages);
+        prop_assert_eq!(p.kind_counts.iter().sum::<u64>(), p.messages);
+    }
+
+    /// Inter-arrival gaps are nonnegative and count = msgs − active sources.
+    #[test]
+    fn interarrival_counts(trace in arb_trace(6, 80)) {
+        prop_assume!(!trace.is_empty());
+        let by_src = interarrival_by_source(&trace);
+        let agg = interarrival_aggregate(&trace);
+        prop_assert!(agg.iter().all(|&g| g >= 0.0));
+        prop_assert_eq!(agg.len(), trace.len().saturating_sub(1));
+        let active = by_src.iter().filter(|g| !g.is_empty()).count()
+            + by_src.iter().filter(|g| g.is_empty()).count();
+        prop_assert_eq!(active, 6);
+        for gaps in &by_src {
+            prop_assert!(gaps.iter().all(|&g| g >= 0.0));
+        }
+    }
+
+    /// Causal replay delivers every event exactly once, injects
+    /// per-source in trace order, and never violates a dependency.
+    #[test]
+    fn causal_replay_preserves_happens_before(trace in arb_trace(8, 60)) {
+        prop_assume!(!trace.is_empty());
+        let cfg = MeshConfig::for_nodes(8);
+        let log = CausalReplayer::new(cfg).replay(&trace);
+        prop_assert_eq!(log.records().len(), trace.len());
+        log.check_invariants(cfg.shape).unwrap();
+
+        let by_id: HashMap<u64, (u64, u64)> =
+            log.records().iter().map(|r| (r.id, (r.inject, r.delivered))).collect();
+        for e in trace.events() {
+            if let Some(dep) = e.depends_on {
+                let (inject, _) = by_id[&e.id];
+                let (_, dep_delivered) = by_id[&dep];
+                prop_assert!(
+                    inject >= dep_delivered,
+                    "event {} injected at {inject} before dep {dep} delivered at {dep_delivered}",
+                    e.id
+                );
+            }
+        }
+
+        // Per-source order preserved.
+        let mut order: HashMap<u16, Vec<u64>> = HashMap::new();
+        let mut events: Vec<_> = trace.events().to_vec();
+        events.sort_by_key(|e| (e.t, e.id));
+        for e in &events {
+            order.entry(e.src).or_default().push(e.id);
+        }
+        for (src, ids) in order {
+            let mut injects: Vec<u64> = ids.iter().map(|id| by_id[id].0).collect();
+            let sorted = {
+                let mut s = injects.clone();
+                s.sort_unstable();
+                s
+            };
+            prop_assert_eq!(&injects, &sorted, "source {} reordered its sends", src);
+            injects.clear();
+        }
+    }
+
+    /// Naive replay keeps the original timestamps verbatim.
+    #[test]
+    fn naive_replay_is_verbatim(trace in arb_trace(6, 40)) {
+        prop_assume!(!trace.is_empty());
+        let cfg = MeshConfig::for_nodes(6);
+        let log = CausalReplayer::new(cfg).replay_naive(&trace);
+        let by_id: HashMap<u64, u64> = log.records().iter().map(|r| (r.id, r.inject)).collect();
+        for e in trace.events() {
+            prop_assert_eq!(by_id[&e.id], e.t);
+        }
+    }
+
+    /// Replay is deterministic.
+    #[test]
+    fn replay_is_deterministic(trace in arb_trace(5, 40)) {
+        prop_assume!(!trace.is_empty());
+        let cfg = MeshConfig::for_nodes(5);
+        let rep = CausalReplayer::new(cfg);
+        let a = rep.replay(&trace);
+        let b = rep.replay(&trace);
+        prop_assert_eq!(a.records(), b.records());
+    }
+}

@@ -1,0 +1,177 @@
+//! The classic synthetic traffic patterns of the ICN literature — the
+//! workload assumptions the paper argues are unrealistic, kept here as
+//! baselines for the validation experiments.
+
+use commchar_stats::Dist;
+
+use crate::{LengthDist, SourceModel, TrafficModel};
+
+fn spatial_from<F: Fn(usize) -> Vec<f64>>(n: usize, f: F) -> Vec<Option<SourceModel>> {
+    (0..n)
+        .map(|s| {
+            let spatial = f(s);
+            if spatial.iter().sum::<f64>() == 0.0 {
+                None
+            } else {
+                Some(SourceModel {
+                    interarrival: Dist::exponential(1.0),
+                    spatial,
+                    length: LengthDist::fixed(32),
+                })
+            }
+        })
+        .collect()
+}
+
+fn with_rate_and_len(
+    mut sources: Vec<Option<SourceModel>>,
+    rate: f64,
+    bytes: u32,
+) -> TrafficModel {
+    for m in sources.iter_mut().flatten() {
+        m.interarrival = Dist::exponential(rate);
+        m.length = LengthDist::fixed(bytes);
+    }
+    TrafficModel::new(sources)
+}
+
+/// Uniform destinations, Poisson generation — the ubiquitous (and, per the
+/// paper, unrealistic) baseline. `rate` is messages per tick per source.
+///
+/// # Panics
+///
+/// Panics unless `n ≥ 2` and `rate > 0`.
+pub fn uniform_poisson(n: usize, rate: f64, bytes: u32) -> TrafficModel {
+    assert!(n >= 2, "need at least two nodes");
+    assert!(rate > 0.0, "rate must be positive");
+    let sources = spatial_from(n, |s| {
+        (0..n).map(|d| if d == s { 0.0 } else { 1.0 / (n - 1) as f64 }).collect()
+    });
+    with_rate_and_len(sources, rate, bytes)
+}
+
+/// Matrix-transpose permutation on a `2^k` node system: node `s` sends to
+/// the node whose index swaps the high and low halves of the bits.
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two with an even number of bits.
+pub fn transpose(n: usize, rate: f64, bytes: u32) -> TrafficModel {
+    assert!(n.is_power_of_two(), "transpose needs a power-of-two node count");
+    let bits = n.trailing_zeros() as usize;
+    assert!(bits % 2 == 0, "transpose needs an even number of address bits");
+    let half = bits / 2;
+    let mask = (1usize << half) - 1;
+    let sources = spatial_from(n, |s| {
+        let d = ((s & mask) << half) | (s >> half);
+        (0..n).map(|j| if j == d && d != s { 1.0 } else { 0.0 }).collect()
+    });
+    with_rate_and_len(sources, rate, bytes)
+}
+
+/// Bit-complement permutation: node `s` sends to `!s`.
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two.
+pub fn bit_complement(n: usize, rate: f64, bytes: u32) -> TrafficModel {
+    assert!(n.is_power_of_two(), "bit-complement needs a power-of-two node count");
+    let sources = spatial_from(n, |s| {
+        let d = (n - 1) ^ s;
+        (0..n).map(|j| if j == d { 1.0 } else { 0.0 }).collect()
+    });
+    with_rate_and_len(sources, rate, bytes)
+}
+
+/// Hotspot traffic: fraction `p_hot` of every source's messages target the
+/// hot node, the rest spread uniformly — the bimodal-uniform shape the
+/// paper keeps finding in real applications.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ p_hot ≤ 1`, `hot < n` and `n ≥ 3`.
+pub fn hotspot(n: usize, hot: usize, p_hot: f64, rate: f64, bytes: u32) -> TrafficModel {
+    assert!((0.0..=1.0).contains(&p_hot), "p_hot out of range");
+    assert!(hot < n, "hot node out of range");
+    assert!(n >= 3, "hotspot needs at least three nodes");
+    let sources = spatial_from(n, |s| {
+        (0..n)
+            .map(|j| {
+                if j == s {
+                    0.0
+                } else if j == hot {
+                    if s == hot {
+                        0.0
+                    } else {
+                        p_hot + (1.0 - p_hot) / (n - 1) as f64
+                    }
+                } else {
+                    let others = if s == hot { n - 1 } else { n - 1 };
+                    (1.0 - p_hot) / others as f64
+                }
+            })
+            .collect()
+    });
+    with_rate_and_len(sources, rate, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_poisson_is_uniform() {
+        let m = uniform_poisson(8, 0.01, 16);
+        for src in m.sources().iter().flatten() {
+            let nonzero = src.spatial.iter().filter(|&&p| p > 0.0).count();
+            assert_eq!(nonzero, 7);
+        }
+    }
+
+    #[test]
+    fn transpose_is_a_permutation() {
+        let m = transpose(16, 0.01, 16);
+        let mut dests = std::collections::HashSet::new();
+        for (s, src) in m.sources().iter().enumerate() {
+            if let Some(src) = src {
+                let d = src.spatial.iter().position(|&p| p > 0.0).unwrap();
+                assert_ne!(d, s);
+                dests.insert(d);
+            }
+        }
+        // Diagonal nodes (s == transpose(s)) send nothing; the rest form a
+        // permutation among themselves.
+        assert!(dests.len() >= 12);
+    }
+
+    #[test]
+    fn bit_complement_pairs() {
+        let m = bit_complement(8, 0.01, 16);
+        for (s, src) in m.sources().iter().enumerate() {
+            let d = src.as_ref().unwrap().spatial.iter().position(|&p| p > 0.0).unwrap();
+            assert_eq!(d, 7 ^ s);
+        }
+    }
+
+    #[test]
+    fn hotspot_mass() {
+        let m = hotspot(8, 0, 0.5, 0.01, 16);
+        let src = m.sources()[3].as_ref().unwrap();
+        assert!(src.spatial[0] > 0.5);
+        assert!((src.spatial.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn patterns_generate_valid_traces() {
+        for m in [
+            uniform_poisson(8, 0.005, 32),
+            transpose(16, 0.005, 32),
+            bit_complement(8, 0.005, 32),
+            hotspot(8, 2, 0.3, 0.005, 32),
+        ] {
+            let tr = m.generate(20_000, 5);
+            tr.check().unwrap();
+            assert!(tr.len() > 0);
+        }
+    }
+}

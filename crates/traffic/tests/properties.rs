@@ -1,0 +1,88 @@
+//! Property-based tests for synthetic traffic generation.
+
+use commchar_stats::Dist;
+use commchar_traffic::patterns::{bit_complement, hotspot, transpose, uniform_poisson};
+use commchar_traffic::{LengthDist, SourceModel, TrafficModel};
+use proptest::prelude::*;
+
+proptest! {
+    /// Generated traces are valid and time-sorted, with every event's
+    /// destination drawn from the model's support.
+    #[test]
+    fn generated_traces_are_valid(
+        n in 2usize..10,
+        rate in 0.001f64..0.05,
+        duration in 1_000u64..30_000,
+        seed in 0u64..500,
+    ) {
+        let model = uniform_poisson(n, rate, 32);
+        let trace = model.generate(duration, seed);
+        trace.check().unwrap();
+        let mut last = 0;
+        for e in trace.events() {
+            prop_assert!(e.t >= last, "trace not sorted");
+            last = e.t;
+            prop_assert_ne!(e.src, e.dst);
+            prop_assert!((e.src as usize) < n && (e.dst as usize) < n);
+        }
+    }
+
+    /// The empirical rate tracks the model rate (±40% at these sizes).
+    #[test]
+    fn rate_is_respected(n in 2usize..8, seed in 0u64..100) {
+        let rate = 0.01;
+        let duration = 50_000u64;
+        let model = uniform_poisson(n, rate, 16);
+        let trace = model.generate(duration, seed);
+        let expect = rate * duration as f64 * n as f64;
+        let got = trace.len() as f64;
+        prop_assert!((got - expect).abs() < 0.4 * expect, "{got} vs {expect}");
+    }
+
+    /// Permutation patterns only ever use their single destination.
+    #[test]
+    fn permutations_are_deterministic_destinations(seed in 0u64..200) {
+        for model in [transpose(16, 0.01, 8), bit_complement(16, 0.01, 8)] {
+            let trace = model.generate(10_000, seed);
+            for e in trace.events() {
+                let src = model.sources()[e.src as usize].as_ref().unwrap();
+                prop_assert!(src.spatial[e.dst as usize] > 0.0);
+            }
+        }
+    }
+
+    /// Hotspot concentration shows up in the generated trace.
+    #[test]
+    fn hotspot_receives_extra_traffic(p_hot in 0.2f64..0.8, seed in 0u64..100) {
+        let n = 8;
+        let model = hotspot(n, 0, p_hot, 0.02, 8);
+        let trace = model.generate(50_000, seed);
+        prop_assume!(trace.len() > 200);
+        let to_hot = trace.events().iter().filter(|e| e.dst == 0).count() as f64;
+        let frac = to_hot / trace.len() as f64;
+        let expect = p_hot + (1.0 - p_hot) / (n - 1) as f64;
+        prop_assert!((frac - expect).abs() < 0.15, "{frac} vs {expect}");
+    }
+
+    /// Length sampling preserves the discrete support and mean.
+    #[test]
+    fn lengths_from_mixed_model(w8 in 1.0f64..10.0, w64 in 1.0f64..10.0, seed in 0u64..100) {
+        let model = TrafficModel::new(vec![
+            Some(SourceModel {
+                interarrival: Dist::exponential(0.02),
+                spatial: vec![0.0, 1.0],
+                length: LengthDist::new(&[(8, w8), (64, w64)]),
+            }),
+            None,
+        ]);
+        let trace = model.generate(60_000, seed);
+        prop_assume!(trace.len() > 300);
+        for e in trace.events() {
+            prop_assert!(e.bytes == 8 || e.bytes == 64);
+        }
+        let mean: f64 =
+            trace.events().iter().map(|e| e.bytes as f64).sum::<f64>() / trace.len() as f64;
+        let expect = (8.0 * w8 + 64.0 * w64) / (w8 + w64);
+        prop_assert!((mean - expect).abs() < 6.0, "{mean} vs {expect}");
+    }
+}

@@ -1,0 +1,250 @@
+//! The `commchar` command-line tool: run applications, characterize
+//! workloads, save/load traces, generate synthetic traffic and replay it.
+//!
+//! All command functions return the report text so they can be tested; the
+//! binary (`src/main.rs`) only parses arguments and prints.
+
+use std::fmt::Write as _;
+
+use commchar_apps::{AppId, Scale};
+use commchar_core::report::{spatial_consensus, table};
+use commchar_core::{characterize, run_workload, synthesize, Workload};
+use commchar_mesh::MeshConfig;
+use commchar_trace::replay::CausalReplayer;
+use commchar_trace::CommTrace;
+
+/// Error type for CLI operations.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(s: String) -> Self {
+        CliError(s)
+    }
+}
+
+fn parse_app(name: &str) -> Result<AppId, CliError> {
+    AppId::all()
+        .iter()
+        .copied()
+        .find(|a| a.name() == name)
+        .ok_or_else(|| {
+            let names: Vec<&str> = AppId::all().iter().map(|a| a.name()).collect();
+            CliError(format!("unknown application {name:?}; expected one of {names:?}"))
+        })
+}
+
+/// Parses a scale name (`tiny|small|full`).
+///
+/// # Errors
+///
+/// Returns an error naming the valid scales otherwise.
+pub fn parse_scale(s: &str) -> Result<Scale, CliError> {
+    match s {
+        "tiny" => Ok(Scale::Tiny),
+        "small" => Ok(Scale::Small),
+        "full" => Ok(Scale::Full),
+        other => Err(CliError(format!("unknown scale {other:?} (tiny|small|full)"))),
+    }
+}
+
+/// Parsed common options.
+#[derive(Clone, Copy, Debug)]
+pub struct Common {
+    /// Processor count (default 8).
+    pub procs: usize,
+    /// Problem scale (default small).
+    pub scale: Scale,
+    /// Seed for synthetic generation (default 42).
+    pub seed: u64,
+}
+
+impl Default for Common {
+    fn default() -> Self {
+        Common { procs: 8, scale: Scale::Small, seed: 42 }
+    }
+}
+
+/// Renders a workload signature as the standard report.
+pub fn report_signature(w: &Workload) -> String {
+    commchar_core::report::signature_report(&characterize(w))
+}
+
+/// `commchar run <app>`: run an application and return (report, trace).
+pub fn cmd_run(app: &str, common: Common) -> Result<(String, CommTrace), CliError> {
+    let app = parse_app(app)?;
+    let w = run_workload(app, common.procs, common.scale);
+    let report = format!(
+        "ran {} on {} processors: {} messages, {} ticks\n",
+        w.name,
+        w.nprocs,
+        w.trace.len(),
+        w.exec_ticks
+    );
+    Ok((report, w.trace))
+}
+
+/// `commchar characterize <app>`: full signature report for an application.
+pub fn cmd_characterize_app(app: &str, common: Common) -> Result<String, CliError> {
+    let app = parse_app(app)?;
+    let w = run_workload(app, common.procs, common.scale);
+    Ok(report_signature(&w))
+}
+
+/// `commchar characterize --trace <file contents>`: signature report for a
+/// saved trace (replayed causally through a fitted-size mesh).
+pub fn cmd_characterize_trace(jsonl: &str) -> Result<String, CliError> {
+    let trace = CommTrace::from_jsonl(jsonl)?;
+    let mesh = MeshConfig::for_nodes(trace.nodes());
+    let netlog = CausalReplayer::new(mesh).replay(&trace);
+    let exec = netlog.summary().span;
+    let w = Workload {
+        name: "trace".to_string(),
+        class: commchar_apps::AppClass::MessagePassing,
+        nprocs: trace.nodes(),
+        mesh,
+        trace,
+        netlog,
+        exec_ticks: exec,
+    };
+    Ok(report_signature(&w))
+}
+
+/// `commchar generate <app>`: fit an application and emit a synthetic trace
+/// of the same span, as JSON-lines.
+pub fn cmd_generate(app: &str, common: Common) -> Result<String, CliError> {
+    let app = parse_app(app)?;
+    let w = run_workload(app, common.procs, common.scale);
+    let sig = characterize(&w);
+    let model = synthesize(&sig, w.mesh);
+    let span = w.netlog.summary().span.max(1);
+    Ok(model.generate(span, common.seed).to_jsonl())
+}
+
+/// `commchar replay <trace file contents>`: causal replay through the mesh,
+/// returning the network summary (plus the naive comparison).
+pub fn cmd_replay(jsonl: &str) -> Result<String, CliError> {
+    let trace = CommTrace::from_jsonl(jsonl)?;
+    let mesh = MeshConfig::for_nodes(trace.nodes());
+    let rep = CausalReplayer::new(mesh);
+    let causal = rep.replay(&trace).summary();
+    let naive = rep.replay_naive(&trace).summary();
+    let mut out = String::new();
+    let _ = writeln!(out, "replayed {} messages on a {} -node mesh", causal.messages, trace.nodes());
+    let _ = writeln!(
+        out,
+        "causal: mean latency {:.1} (p95 {:.0}), blocked {:.1}",
+        causal.mean_latency, causal.p95_latency, causal.mean_blocked
+    );
+    let _ = writeln!(
+        out,
+        "naive : mean latency {:.1} (p95 {:.0}), blocked {:.1}",
+        naive.mean_latency, naive.p95_latency, naive.mean_blocked
+    );
+    Ok(out)
+}
+
+/// `commchar suite`: the one-line-per-application summary.
+pub fn cmd_suite(common: Common) -> String {
+    let mut rows = Vec::new();
+    for &app in AppId::all() {
+        let w = run_workload(app, common.procs, common.scale);
+        let sig = characterize(&w);
+        rows.push(vec![
+            sig.name.clone(),
+            sig.class.name().to_string(),
+            sig.volume.messages.to_string(),
+            format!("{}", sig.temporal.aggregate.dist),
+            spatial_consensus(&sig),
+        ]);
+    }
+    table(&["application", "class", "msgs", "inter-arrival fit", "spatial model"], &rows)
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "commchar — communication characterization toolkit (HPCA'97 methodology)
+
+USAGE:
+    commchar <command> [options]
+
+COMMANDS:
+    run <app> [--out FILE]        run an application, optionally saving its trace
+    characterize <app>            run and print the full communication signature
+    characterize --trace FILE     characterize a saved trace (causal mesh replay)
+    generate <app> [--out FILE]   emit a synthetic trace from the fitted model
+    replay --trace FILE           replay a saved trace (causal vs naive)
+    suite                         characterize all seven applications
+
+OPTIONS:
+    --procs N       processor count (default 8)
+    --scale S       tiny | small | full (default small)
+    --seed N        generation seed (default 42)
+    --out FILE      write trace output to FILE instead of stdout
+
+APPLICATIONS:
+    1d-fft is cholesky nbody maxflow 3d-fft mg
+"
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_and_characterize_app() {
+        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1 };
+        let (report, trace) = cmd_run("is", common).unwrap();
+        assert!(report.contains("ran is on 4 processors"));
+        assert!(trace.len() > 0);
+        let sig = cmd_characterize_app("is", common).unwrap();
+        assert!(sig.contains("temporal attribute"));
+        assert!(sig.contains("spatial attribute"));
+        assert!(sig.contains("volume attribute"));
+    }
+
+    #[test]
+    fn unknown_app_is_an_error() {
+        assert!(cmd_run("linpack", Common::default()).is_err());
+        assert!(parse_scale("huge").is_err());
+        assert_eq!(parse_scale("tiny").unwrap(), Scale::Tiny);
+    }
+
+    #[test]
+    fn trace_roundtrip_through_cli() {
+        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1 };
+        let (_, trace) = cmd_run("3d-fft", common).unwrap();
+        let jsonl = trace.to_jsonl();
+        let report = cmd_characterize_trace(&jsonl).unwrap();
+        assert!(report.contains("processors  : 4"));
+        let replay = cmd_replay(&jsonl).unwrap();
+        assert!(replay.contains("causal:"));
+        assert!(replay.contains("naive :"));
+    }
+
+    #[test]
+    fn generate_produces_parseable_trace() {
+        let common = Common { procs: 4, scale: Scale::Tiny, seed: 9 };
+        let jsonl = cmd_generate("nbody", common).unwrap();
+        let parsed = CommTrace::from_jsonl(&jsonl).unwrap();
+        assert!(parsed.len() > 0);
+        assert_eq!(parsed.nodes(), 4);
+    }
+
+    #[test]
+    fn usage_mentions_every_app() {
+        let u = usage();
+        for a in AppId::all() {
+            assert!(u.contains(a.name()), "usage missing {a}");
+        }
+    }
+}

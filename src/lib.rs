@@ -1,0 +1,36 @@
+//! # commchar
+//!
+//! Facade crate for the communication-characterization toolkit — a
+//! reproduction of *"Towards a Communication Characterization Methodology
+//! for Parallel Applications"* (HPCA 1997).
+//!
+//! Each subsystem lives in its own crate and is re-exported here under a
+//! short module name:
+//!
+//! - [`des`] — discrete-event simulation kernel (CSIM substitute)
+//! - [`mesh`] — 2-D mesh wormhole network simulator
+//! - [`stats`] — distribution fitting and goodness-of-fit (SAS substitute)
+//! - [`trace`] — communication traces, profiling, causal replay
+//! - [`spasm`] — execution-driven CC-NUMA simulator (dynamic strategy)
+//! - [`sp2`] — MPI-like runtime with the IBM SP2 cost model (static strategy)
+//! - [`apps`] — the seven application kernels
+//! - [`traffic`] — synthetic traffic generation from fitted models
+//! - [`analytic`] — M/G/1 analytical mesh model fed by fitted signatures
+//! - [`core`] — the end-to-end characterization pipeline
+//! - [`cli`] — the `commchar` command-line tool's implementation
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
+//! system inventory.
+
+pub mod cli;
+
+pub use commchar_analytic as analytic;
+pub use commchar_apps as apps;
+pub use commchar_core as core;
+pub use commchar_des as des;
+pub use commchar_mesh as mesh;
+pub use commchar_sp2 as sp2;
+pub use commchar_spasm as spasm;
+pub use commchar_stats as stats;
+pub use commchar_trace as trace;
+pub use commchar_traffic as traffic;

@@ -1,0 +1,108 @@
+//! The `commchar` binary: thin argument parsing over [`commchar::cli`].
+
+use std::process::ExitCode;
+
+use commchar::cli::{self, Common};
+
+struct Args {
+    positional: Vec<String>,
+    common: Common,
+    out: Option<String>,
+    trace: Option<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args { positional: Vec::new(), common: Common::default(), out: None, trace: None };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--procs" => {
+                args.common.procs = it
+                    .next()
+                    .ok_or("--procs needs a value")?
+                    .parse()
+                    .map_err(|_| "--procs needs an integer")?;
+            }
+            "--scale" => {
+                args.common.scale = cli::parse_scale(it.next().ok_or("--scale needs a value")?)
+                    .map_err(|e| e.0)?;
+            }
+            "--seed" => {
+                args.common.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer")?;
+            }
+            "--out" => args.out = Some(it.next().ok_or("--out needs a path")?.clone()),
+            "--trace" => args.trace = Some(it.next().ok_or("--trace needs a path")?.clone()),
+            other if other.starts_with("--") => return Err(format!("unknown option {other:?}")),
+            other => args.positional.push(other.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+fn emit(text: &str, out: &Option<String>) -> Result<(), String> {
+    match out {
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}")),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn read_trace(args: &Args) -> Result<String, String> {
+    let path = args.trace.as_ref().ok_or("this command needs --trace FILE")?;
+    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let args = parse_args(argv)?;
+    let cmd = args.positional.first().map(String::as_str);
+    match cmd {
+        Some("run") => {
+            let app = args.positional.get(1).ok_or("run needs an application name")?;
+            let (report, trace) = cli::cmd_run(app, args.common).map_err(|e| e.0)?;
+            print!("{report}");
+            if args.out.is_some() {
+                emit(&trace.to_jsonl(), &args.out)?;
+            }
+            Ok(())
+        }
+        Some("characterize") => {
+            let text = if args.trace.is_some() {
+                cli::cmd_characterize_trace(&read_trace(&args)?).map_err(|e| e.0)?
+            } else {
+                let app =
+                    args.positional.get(1).ok_or("characterize needs an app or --trace FILE")?;
+                cli::cmd_characterize_app(app, args.common).map_err(|e| e.0)?
+            };
+            emit(&text, &None)
+        }
+        Some("generate") => {
+            let app = args.positional.get(1).ok_or("generate needs an application name")?;
+            let jsonl = cli::cmd_generate(app, args.common).map_err(|e| e.0)?;
+            emit(&jsonl, &args.out)
+        }
+        Some("replay") => {
+            let text = cli::cmd_replay(&read_trace(&args)?).map_err(|e| e.0)?;
+            emit(&text, &None)
+        }
+        Some("suite") => emit(&cli::cmd_suite(args.common), &None),
+        Some("help") | None => emit(&cli::usage(), &None),
+        Some(other) => Err(format!("unknown command {other:?}; try `commchar help`")),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

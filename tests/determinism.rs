@@ -1,0 +1,49 @@
+//! Integration: simulations are bit-deterministic across runs, regardless
+//! of host thread scheduling.
+
+use commchar::core::{characterize, run_workload};
+use commchar_apps::{AppId, Scale};
+
+#[test]
+fn shared_memory_runs_are_deterministic() {
+    for &app in &[AppId::Is, AppId::Cholesky, AppId::Maxflow] {
+        let a = run_workload(app, 4, Scale::Tiny);
+        let b = run_workload(app, 4, Scale::Tiny);
+        assert_eq!(a.exec_ticks, b.exec_ticks, "{app}: exec time differs");
+        assert_eq!(a.trace.len(), b.trace.len(), "{app}: trace length differs");
+        for (x, y) in a.trace.events().iter().zip(b.trace.events()) {
+            assert_eq!(x, y, "{app}: trace event differs");
+        }
+        for (x, y) in a.netlog.records().iter().zip(b.netlog.records()) {
+            assert_eq!(x, y, "{app}: network record differs");
+        }
+    }
+}
+
+#[test]
+fn message_passing_runs_are_deterministic() {
+    for &app in &[AppId::Fft3d, AppId::Mg] {
+        let a = run_workload(app, 4, Scale::Tiny);
+        let b = run_workload(app, 4, Scale::Tiny);
+        assert_eq!(a.exec_ticks, b.exec_ticks, "{app}: exec time differs");
+        for (x, y) in a.trace.events().iter().zip(b.trace.events()) {
+            assert_eq!(x, y, "{app}: trace event differs");
+        }
+    }
+}
+
+#[test]
+fn characterization_is_deterministic() {
+    let w = run_workload(AppId::Is, 4, Scale::Tiny);
+    let s1 = characterize(&w);
+    let s2 = characterize(&w);
+    assert_eq!(s1.temporal.aggregate.dist, s2.temporal.aggregate.dist);
+    assert_eq!(s1.volume.messages, s2.volume.messages);
+    for (a, b) in s1.spatial.iter().zip(&s2.spatial) {
+        match (a, b) {
+            (Some(x), Some(y)) => assert_eq!(x.fit.model, y.fit.model),
+            (None, None) => {}
+            _ => panic!("spatial presence differs"),
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Integration: failure injection. A panicking simulated processor or
+//! rank must fail the whole run promptly and visibly — never hang the
+//! engine or silently drop work — and malformed inputs must be rejected
+//! at the boundary.
+
+use commchar::spasm::{run, MachineConfig};
+use commchar::sp2::{run_mp, Sp2Config};
+use commchar::trace::CommTrace;
+
+fn catches_panic<F: FnOnce() + std::panic::UnwindSafe>(f: F) -> bool {
+    std::panic::catch_unwind(f).is_err()
+}
+
+#[test]
+fn spasm_processor_panic_propagates() {
+    let failed = catches_panic(|| {
+        run(MachineConfig::new(4), |m| m.alloc(16), |ctx, &r| {
+            if ctx.proc_id() == 2 {
+                panic!("injected application fault");
+            }
+            // Other processors block on a barrier the faulty one never
+            // reaches; the engine must detect the death, not hang.
+            ctx.write(r, ctx.proc_id(), 1);
+            ctx.barrier(0);
+        });
+    });
+    assert!(failed, "engine must propagate a processor panic");
+}
+
+#[test]
+fn spasm_panic_before_any_traffic_propagates() {
+    let failed = catches_panic(|| {
+        run(MachineConfig::new(2), |m| m.alloc(4), |ctx, _| {
+            if ctx.proc_id() == 0 {
+                panic!("immediate fault");
+            }
+        });
+    });
+    assert!(failed);
+}
+
+#[test]
+fn sp2_rank_panic_propagates() {
+    let failed = catches_panic(|| {
+        run_mp(Sp2Config::new(4), |r| {
+            if r.rank() == 1 {
+                panic!("injected rank fault");
+            }
+            // Rank 0 waits for rank 1's contribution; the runtime must
+            // surface the death via the closed channel, not deadlock.
+            let _ = r.reduce_sum(0, &[1.0]);
+        });
+    });
+    assert!(failed, "runtime must propagate a rank panic");
+}
+
+#[test]
+fn out_of_bounds_shared_access_is_caught() {
+    let failed = catches_panic(|| {
+        run(MachineConfig::new(2), |m| m.alloc(8), |ctx, &r| {
+            let _ = ctx.read(r, 64); // past the region
+        });
+    });
+    assert!(failed);
+}
+
+#[test]
+fn malformed_traces_are_rejected_not_replayed() {
+    // Dependency cycle (mutual) — impossible in a real execution.
+    let cyc = concat!(
+        "{\"nodes\":2}\n",
+        "{\"id\":0,\"t\":5,\"src\":0,\"dst\":1,\"bytes\":8,\"kind\":\"data\",\"dep\":1}\n",
+        "{\"id\":1,\"t\":5,\"src\":1,\"dst\":0,\"bytes\":8,\"kind\":\"data\",\"dep\":0}\n",
+    );
+    assert!(CommTrace::from_jsonl(cyc).is_err());
+
+    // Self-message.
+    let selfmsg = concat!(
+        "{\"nodes\":2}\n",
+        "{\"id\":0,\"t\":5,\"src\":1,\"dst\":1,\"bytes\":8,\"kind\":\"data\"}\n",
+    );
+    assert!(CommTrace::from_jsonl(selfmsg).is_err());
+
+    // Unknown kind.
+    let badkind = concat!(
+        "{\"nodes\":2}\n",
+        "{\"id\":0,\"t\":5,\"src\":0,\"dst\":1,\"bytes\":8,\"kind\":\"telepathy\"}\n",
+    );
+    assert!(CommTrace::from_jsonl(badkind).is_err());
+}
+
+#[test]
+fn deadlocked_application_is_detected() {
+    // One processor waits on a lock nobody releases while all the others
+    // finish: the engine must panic with the deadlock diagnostic instead
+    // of hanging.
+    let failed = catches_panic(|| {
+        run(MachineConfig::new(2), |m| m.alloc(1), |ctx, _| {
+            if ctx.proc_id() == 0 {
+                ctx.lock(7);
+                // Never unlocks; finishes holding the lock.
+            } else {
+                ctx.compute(10_000);
+                ctx.lock(7); // waits forever
+            }
+        });
+    });
+    assert!(failed, "engine must detect the blocked processor");
+}

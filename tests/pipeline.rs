@@ -1,0 +1,80 @@
+//! Integration: the full characterization pipeline over every application
+//! at tiny scale.
+
+use commchar::core::{characterize, run_workload, synthesize};
+use commchar_apps::{AppClass, AppId, Scale};
+
+#[test]
+fn every_application_characterizes() {
+    for &app in AppId::all() {
+        let w = run_workload(app, 4, Scale::Tiny);
+        assert!(!w.trace.is_empty(), "{app}: empty trace");
+        assert_eq!(
+            w.trace.len(),
+            w.netlog.records().len(),
+            "{app}: every traced message must appear in the network log"
+        );
+        w.netlog.check_invariants(w.mesh.shape).unwrap_or_else(|e| panic!("{app}: {e}"));
+        w.trace.check().unwrap_or_else(|e| panic!("{app}: {e}"));
+
+        let sig = characterize(&w);
+        assert_eq!(sig.nprocs, 4);
+        assert!(sig.volume.messages > 0);
+        assert!(
+            sig.temporal.aggregate.r2 > 0.3,
+            "{app}: aggregate temporal fit is useless (R² = {})",
+            sig.temporal.aggregate.r2
+        );
+        // Spatial probabilities are distributions.
+        for sp in sig.spatial.iter().flatten() {
+            let sum: f64 = sp.observed.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{app}: spatial not normalized");
+        }
+        // Network numbers are sane.
+        assert!(sig.network.mean_latency > 0.0, "{app}: zero latency");
+        assert!(sig.network.mean_hops >= 1.0, "{app}: hops below 1");
+    }
+}
+
+#[test]
+fn strategies_match_their_classes() {
+    let sm = run_workload(AppId::Fft1d, 4, Scale::Tiny);
+    assert_eq!(sm.class, AppClass::SharedMemory);
+    let mp = run_workload(AppId::Mg, 4, Scale::Tiny);
+    assert_eq!(mp.class, AppClass::MessagePassing);
+}
+
+#[test]
+fn synthesis_round_trip_all_apps() {
+    for &app in AppId::all() {
+        let w = run_workload(app, 4, Scale::Tiny);
+        let sig = characterize(&w);
+        let model = synthesize(&sig, w.mesh);
+        let span = w.netlog.summary().span.max(1000);
+        let synth = model.generate(span, 3);
+        assert!(!synth.is_empty(), "{app}: fitted model generated nothing");
+        synth.check().unwrap();
+        // The synthetic mean length should be close to the observed mean
+        // (lengths are drawn from the empirical distribution).
+        let obs = sig.volume.mean_bytes;
+        let got: f64 = synth.events().iter().map(|e| e.bytes as f64).sum::<f64>()
+            / synth.len() as f64;
+        assert!(
+            (got - obs).abs() / obs < 0.35,
+            "{app}: synthetic mean length {got} vs observed {obs}"
+        );
+    }
+}
+
+#[test]
+fn scaling_processors_scales_traffic() {
+    let w4 = run_workload(AppId::Nbody, 4, Scale::Tiny);
+    let w8 = run_workload(AppId::Nbody, 8, Scale::Tiny);
+    // More processors, same problem: more cross-processor traffic.
+    assert!(
+        w8.trace.len() > w4.trace.len(),
+        "8p should communicate more than 4p ({} vs {})",
+        w8.trace.len(),
+        w4.trace.len()
+    );
+}
