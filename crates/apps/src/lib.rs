@@ -68,6 +68,17 @@ pub enum Scale {
     Full,
 }
 
+impl Scale {
+    /// Lowercase label, matching the CLI's `--scale` values.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Full => "full",
+        }
+    }
+}
+
 /// The uniform output of one application run.
 #[derive(Debug)]
 pub struct AppOutput {

@@ -22,7 +22,6 @@ fn grid(scale: Scale) -> usize {
     }
 }
 
-
 /// Runs the kernel: `m³` grid, `iters` iterations, on `nprocs` ranks. The
 /// run asserts Parseval on every iteration; `check` is the grid volume.
 ///
@@ -31,7 +30,7 @@ fn grid(scale: Scale) -> usize {
 /// Panics unless `m` is a power of two divisible by `nprocs`.
 pub fn run_sized(nprocs: usize, m: usize, iters: usize) -> AppOutput {
     assert!(m.is_power_of_two(), "grid must be a power of two");
-    assert!(m % nprocs == 0 && m >= nprocs, "ranks must evenly divide z-planes");
+    assert!(m.is_multiple_of(nprocs) && m >= nprocs, "ranks must evenly divide z-planes");
     let cfg = Sp2Config::new(nprocs);
 
     let out = sp2_run(cfg, move |r| body(r, m, iters));
@@ -66,8 +65,7 @@ fn body(r: &mut Rank, m: usize, iters: usize) {
         for v in re.iter_mut().chain(im.iter_mut()) {
             *v = rng.next_f64() - phase / 10.0;
         }
-        let local_energy: f64 =
-            re.iter().zip(&im).map(|(a, b)| a * a + b * b).sum();
+        let local_energy: f64 = re.iter().zip(&im).map(|(a, b)| a * a + b * b).sum();
         let total_in = r.allreduce_sum(&[local_energy])[0];
 
         // FFT along x then y for each owned plane. Index: (zl*m + y)*m + x.
@@ -149,8 +147,7 @@ fn body(r: &mut Rank, m: usize, iters: usize) {
         }
 
         // Parseval: Σ|X|² = N · Σ|x|², reduced at p0 then broadcast.
-        let out_energy: f64 =
-            zre.iter().zip(&zim).map(|(a, b)| a * a + b * b).sum();
+        let out_energy: f64 = zre.iter().zip(&zim).map(|(a, b)| a * a + b * b).sum();
         let total_out = r.allreduce_sum(&[out_energy])[0];
         let n3 = (m * m * m) as f64;
         assert!(
@@ -178,7 +175,7 @@ mod tests {
     #[test]
     fn fft3d_parseval_holds() {
         let out = run_sized(4, 8, 2);
-        assert!(out.trace.len() > 0);
+        assert!(!out.trace.is_empty());
         assert_eq!(out.check, 512.0);
     }
 

@@ -117,9 +117,9 @@ fn residual(r: &mut Rank, level: &Level) -> Vec<f64> {
                 let i = level.idx(zl, y, x);
                 let zm = if zl == 0 { below[y * m + x] } else { level.u[i - plane] };
                 let zp = if zl == level.lz - 1 { above[y * m + x] } else { level.u[i + plane] };
-                let lap = level.u[i - 1] + level.u[i + 1] + level.u[i - m] + level.u[i + m] + zm
-                    + zp
-                    - 6.0 * level.u[i];
+                let lap =
+                    level.u[i - 1] + level.u[i + 1] + level.u[i - m] + level.u[i + m] + zm + zp
+                        - 6.0 * level.u[i];
                 res[i] = level.f[i] + lap;
             }
         }
@@ -168,10 +168,7 @@ pub fn run_sized(nprocs: usize, m: usize, cycles: usize) -> AppOutput {
             let res = residual(r, &fine);
             last = norm2(r, &res);
         }
-        assert!(
-            last < 0.8 * r0,
-            "V-cycles failed to reduce the residual: {last} vs initial {r0}"
-        );
+        assert!(last < 0.8 * r0, "V-cycles failed to reduce the residual: {last} vs initial {r0}");
         // p0 broadcasts a "converged" token, closing the cycle the way the
         // NAS driver does.
         let _ = r.bcast(0, if r.rank() == 0 { vec![last] } else { vec![] });
@@ -255,7 +252,7 @@ mod tests {
     #[test]
     fn mg_reduces_residual() {
         let out = run_sized(4, 8, 2);
-        assert!(out.trace.len() > 0);
+        assert!(!out.trace.is_empty());
     }
 
     #[test]

@@ -150,7 +150,7 @@ mod tests {
     #[test]
     fn cholesky_factors_correctly() {
         let out = run_sized(4, 24, 5);
-        assert!(out.trace.len() > 0);
+        assert!(!out.trace.is_empty());
         assert!(out.check > 0.0);
     }
 

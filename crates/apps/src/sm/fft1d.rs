@@ -187,7 +187,7 @@ mod tests {
     fn fft1d_runs_and_communicates() {
         let out = run_sized(4, 64);
         assert_eq!(out.name, "1d-fft");
-        assert!(out.trace.len() > 0, "staged FFT must communicate");
+        assert!(!out.trace.is_empty(), "staged FFT must communicate");
         assert!(out.exec_ticks > 0);
         out.trace.check().unwrap();
     }

@@ -40,7 +40,7 @@ pub fn run_sized(nprocs: usize, nkeys: usize, range: usize) -> AppOutput {
 /// Same constraints as [`run_sized`].
 pub fn run_sized_with(cfg: MachineConfig, nkeys: usize, range: usize) -> AppOutput {
     let nprocs = cfg.nprocs;
-    assert!(nkeys % nprocs == 0, "keys must divide evenly among processors");
+    assert!(nkeys.is_multiple_of(nprocs), "keys must divide evenly among processors");
 
     let out = spasm_run(
         cfg,
@@ -157,7 +157,7 @@ mod tests {
     #[test]
     fn is_sorts_and_communicates() {
         let out = run_sized(4, 512, 32);
-        assert!(out.trace.len() > 0);
+        assert!(!out.trace.is_empty());
         assert_eq!(out.check, 512.0);
     }
 

@@ -275,7 +275,7 @@ mod tests {
     fn maxflow_matches_reference() {
         let out = run_sized(4, 3, 3);
         assert!(out.check > 0.0);
-        assert!(out.trace.len() > 0);
+        assert!(!out.trace.is_empty());
     }
 
     #[test]

@@ -27,9 +27,8 @@ const SEED: u64 = 77;
 /// Sequential reference of the same integrator, for the in-run check.
 fn reference(n: usize, steps: usize) -> f64 {
     let mut rng = XorShift::new(SEED);
-    let mut pos: Vec<[f64; 3]> = (0..n)
-        .map(|_| [rng.next_f64(), rng.next_f64(), rng.next_f64()])
-        .collect();
+    let mut pos: Vec<[f64; 3]> =
+        (0..n).map(|_| [rng.next_f64(), rng.next_f64(), rng.next_f64()]).collect();
     let mut vel = vec![[0.0f64; 3]; n];
     let mass: Vec<f64> = (0..n).map(|_| 0.5 + rng.next_f64()).collect();
     for _ in 0..steps {
@@ -73,7 +72,7 @@ pub fn run_sized(nprocs: usize, n: usize, steps: usize) -> AppOutput {
 /// Same constraints as [`run_sized`].
 pub fn run_sized_with(cfg: MachineConfig, n: usize, steps: usize) -> AppOutput {
     let nprocs = cfg.nprocs;
-    assert!(n % nprocs == 0, "bodies must divide evenly among processors");
+    assert!(n.is_multiple_of(nprocs), "bodies must divide evenly among processors");
     let expected = reference(n, steps);
 
     let out = spasm_run(
@@ -184,7 +183,7 @@ mod tests {
     #[test]
     fn nbody_matches_reference() {
         let out = run_sized(4, 24, 2);
-        assert!(out.trace.len() > 0);
+        assert!(!out.trace.is_empty());
         assert!(out.check > 0.0);
     }
 

@@ -172,7 +172,11 @@ pub fn band_cholesky_reference(a: &[f64], n: usize, band: usize) -> Vec<f64> {
 /// vertex 0 is the source, `n-1` the sink, with `layers` layers of `width`
 /// vertices and random capacities. Returns `(n, edges)` with directed
 /// `(u, v, cap)` edges.
-pub fn gen_layered_graph(layers: usize, width: usize, seed: u64) -> (usize, Vec<(usize, usize, u64)>) {
+pub fn gen_layered_graph(
+    layers: usize,
+    width: usize,
+    seed: u64,
+) -> (usize, Vec<(usize, usize, u64)>) {
     let mut rng = XorShift::new(seed);
     let n = 2 + layers * width;
     let sink = n - 1;
@@ -264,7 +268,7 @@ mod tests {
     }
 
     #[test]
-    fn reference_maxflow_bounded_by_cuts(){
+    fn reference_maxflow_bounded_by_cuts() {
         let (n, edges) = gen_layered_graph(3, 3, 9);
         let f = max_flow_reference(n, &edges);
         let source_cap: u64 = edges.iter().filter(|e| e.0 == 0).map(|e| e.2).sum();

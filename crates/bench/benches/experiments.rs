@@ -14,7 +14,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn tiny() -> ExpOptions {
-    ExpOptions { procs: 4, scale: commchar_apps::Scale::Tiny }
+    ExpOptions { procs: 4, scale: commchar_apps::Scale::Tiny, jobs: 1 }
 }
 
 fn to_msgs(trace: &commchar_trace::CommTrace) -> Vec<NetMessage> {

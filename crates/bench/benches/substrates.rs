@@ -3,7 +3,9 @@
 //! message-passing runtime and the causal replayer.
 
 use commchar_apps::{AppId, Scale};
-use commchar_mesh::{FlitLevel, MeshConfig, MeshModel, NetMessage, NodeId, OnlineWormhole};
+use commchar_mesh::{
+    FlitLevel, MeshConfig, MeshModel, NetMessage, NodeId, OnlineWormhole, StreamingLog,
+};
 use commchar_stats::fit::fit_best;
 use commchar_stats::Dist;
 use commchar_trace::replay::CausalReplayer;
@@ -39,15 +41,24 @@ fn bench_mesh(c: &mut Criterion) {
     c.bench_function("mesh/flit_level_500_msgs", |b| {
         b.iter(|| FlitLevel::new(mesh).simulate(black_box(&small)))
     });
+    // Same recurrence model, but folding into the constant-memory sink
+    // instead of retaining every record.
+    c.bench_function("mesh/streaming_wormhole_5k_msgs", |b| {
+        b.iter(|| {
+            let mut net = OnlineWormhole::<StreamingLog>::streaming(mesh);
+            for m in black_box(&msgs) {
+                net.send(*m);
+            }
+            net.into_sink().summary()
+        })
+    });
 }
 
 fn bench_stats(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     let d = Dist::hyper_exp2(0.2, 0.5, 0.02);
     let samples: Vec<f64> = (0..5_000).map(|_| d.sample(&mut rng)).collect();
-    c.bench_function("stats/fit_best_5k_samples", |b| {
-        b.iter(|| fit_best(black_box(&samples)))
-    });
+    c.bench_function("stats/fit_best_5k_samples", |b| b.iter(|| fit_best(black_box(&samples))));
 }
 
 fn bench_simulators(c: &mut Criterion) {
@@ -90,8 +101,8 @@ fn bench_variants(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("spasm/is_tiny_4p_mesi", |b| {
         b.iter(|| {
-            let cfg = commchar_spasm::MachineConfig::new(4)
-                .with_protocol(commchar_spasm::Protocol::Mesi);
+            let cfg =
+                commchar_spasm::MachineConfig::new(4).with_protocol(commchar_spasm::Protocol::Mesi);
             commchar_apps::sm::is::run_sized_with(cfg, 512, 32)
         })
     });

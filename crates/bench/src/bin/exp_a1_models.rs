@@ -25,9 +25,7 @@ fn main() {
     let n = 16;
     let mesh = MeshConfig::for_nodes(n);
     let mut rows = Vec::new();
-    for (name, rate) in
-        [("light", 0.0005), ("medium", 0.002), ("heavy", 0.006)]
-    {
+    for (name, rate) in [("light", 0.0005), ("medium", 0.002), ("heavy", 0.006)] {
         for (pat, model) in [
             ("uniform", uniform_poisson(n, rate, 32)),
             ("transpose", transpose(n, rate, 32)),

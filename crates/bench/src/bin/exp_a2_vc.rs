@@ -54,10 +54,7 @@ fn main() {
             ]);
         }
     }
-    println!(
-        "{}",
-        table(&["workload", "VCs", "mean latency", "max latency", "drain time"], &rows)
-    );
+    println!("{}", table(&["workload", "VCs", "mean latency", "max latency", "drain time"], &rows));
     println!("(one flit per link cycle per physical channel: VCs share the wire, so they");
     println!(" raise *mean* latency slightly through interleaving while cutting worst-case");
     println!(" head-of-line blocking and total drain time under saturation — the mixed");

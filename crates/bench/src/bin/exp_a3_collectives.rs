@@ -59,7 +59,14 @@ fn main() {
     println!(
         "{}",
         table(
-            &["procs", "algorithm", "P(dst=p0)", "uniform share", "p(n-1) spatial model", "mean lat"],
+            &[
+                "procs",
+                "algorithm",
+                "P(dst=p0)",
+                "uniform share",
+                "p(n-1) spatial model",
+                "mean lat"
+            ],
             &rows
         )
     );

@@ -61,7 +61,7 @@ fn main() {
     for (name, body) in patterns {
         for proto in [Protocol::Msi, Protocol::Mesi] {
             let cfg = MachineConfig::new(8).with_protocol(proto);
-            let out = run(cfg, |m| m.alloc(2048), move |ctx, r| body(ctx, r));
+            let out = run(cfg, |m| m.alloc(2048), body);
             rows.push(vec![
                 name.to_string(),
                 format!("{proto:?}"),

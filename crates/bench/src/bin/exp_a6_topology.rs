@@ -23,7 +23,10 @@ fn to_msgs(trace: &commchar_trace::CommTrace) -> Vec<NetMessage> {
 
 fn main() {
     let opts = ExpOptions::from_env();
-    println!("A6: mesh vs torus on application traffic ({} processors, {:?})\n", opts.procs, opts.scale);
+    println!(
+        "A6: mesh vs torus on application traffic ({} processors, {:?})\n",
+        opts.procs, opts.scale
+    );
     let mesh_cfg = MeshConfig::for_nodes(opts.procs);
     let torus_cfg = MeshConfig::torus_for_nodes(opts.procs);
     let mut rows = Vec::new();

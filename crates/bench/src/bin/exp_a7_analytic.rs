@@ -49,10 +49,7 @@ fn main() {
             format!("{:.1}%", 100.0 * (a.mean_latency - s).abs() / s),
         ]);
     }
-    println!(
-        "{}",
-        table(&["rate/node", "max ρ", "analytic lat", "simulated lat", "error"], &rows)
-    );
+    println!("{}", table(&["rate/node", "max ρ", "analytic lat", "simulated lat", "error"], &rows));
 
     // Application models: predict each app's latency without simulating it.
     println!("\nfitted application models ({} processors, {:?}):", opts.procs, opts.scale);

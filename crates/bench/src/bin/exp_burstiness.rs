@@ -26,10 +26,7 @@ fn main() {
             fmt(autocorrelation(&gaps, 1)),
         ]);
     }
-    println!(
-        "{}",
-        table(&["application", "CV²", "IDI(4)", "IDI(16)", "IDI(64)", "ρ₁"], &rows)
-    );
+    println!("{}", table(&["application", "CV²", "IDI(4)", "IDI(16)", "IDI(64)", "ρ₁"], &rows));
     println!("(CV² = 1 and flat IDI would be Poisson; IDI growing with the lag reveals");
     println!(" bursts that a fitted marginal distribution alone cannot reproduce)");
 }

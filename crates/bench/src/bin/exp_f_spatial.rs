@@ -21,10 +21,8 @@ fn main() {
             };
             let shape = w.mesh.shape;
             let dist_fn = |a: usize, b: usize| {
-                shape.hop_distance(
-                    commchar_mesh::NodeId(a as u16),
-                    commchar_mesh::NodeId(b as u16),
-                ) as f64
+                shape.hop_distance(commchar_mesh::NodeId(a as u16), commchar_mesh::NodeId(b as u16))
+                    as f64
             };
             let pred = sp.fit.model.predict(src, sig.nprocs, &dist_fn);
             let rows: Vec<Vec<String>> = (0..sig.nprocs)

@@ -32,10 +32,7 @@ fn main() {
     }
     println!(
         "{}",
-        table(
-            &["link delay", "exec cycles", "messages", "msgs/cycle", "inter-arrival fit"],
-            &rows
-        )
+        table(&["link delay", "exec cycles", "messages", "msgs/cycle", "inter-arrival fit"], &rows)
     );
     println!("(same program, same inputs: a slower network stretches execution and");
     println!(" dilates the inter-arrival distribution — feedback a static trace misses,");

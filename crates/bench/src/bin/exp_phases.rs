@@ -19,13 +19,8 @@ fn main() {
     let mut rows = Vec::new();
     for (w, sig) in run_suite(opts) {
         let pa = phase_analysis(&w.trace, WINDOWS);
-        let rates: Vec<String> =
-            pa.windows.iter().map(|pw| format!("{:.4}", pw.rate)).collect();
-        rows.push(vec![
-            sig.name.clone(),
-            rates.join(" "),
-            format!("{:.1}x", pa.rate_variation),
-        ]);
+        let rates: Vec<String> = pa.windows.iter().map(|pw| format!("{:.4}", pw.rate)).collect();
+        rows.push(vec![sig.name.clone(), rates.join(" "), format!("{:.1}x", pa.rate_variation)]);
     }
     println!("{}", table(&["application", "rate per window (msgs/tick)", "variation"], &rows));
     println!("(variation = max/min non-zero window rate; 1.0x would be a stationary");

@@ -43,10 +43,7 @@ fn main() {
             format!("{:.2}", cfg.software_overhead_us(bytes as u32)),
         ]);
     }
-    println!(
-        "{}",
-        table(&["bytes", "one-way µs", "sw overhead µs", "paper model µs"], &rows)
-    );
+    println!("{}", table(&["bytes", "one-way µs", "sw overhead µs", "paper model µs"], &rows));
 
     let fit = fit_line(&points).expect("regression");
     println!(
@@ -56,5 +53,9 @@ fn main() {
     println!("paper:      overhead(x) = 4.6300e-2·x + 73.42 µs");
     let slope_err = (fit.slope - 4.63e-2).abs() / 4.63e-2;
     let icept_err = (fit.intercept - 73.42).abs() / 73.42;
-    println!("relative error: slope {:.2}%, intercept {:.2}%", 100.0 * slope_err, 100.0 * icept_err);
+    println!(
+        "relative error: slope {:.2}%, intercept {:.2}%",
+        100.0 * slope_err,
+        100.0 * icept_err
+    );
 }

@@ -18,10 +18,7 @@ fn main() {
     }
     println!(
         "{}",
-        table(
-            &["application", "class", "procs", "family", "parameters", "R²", "KS"],
-            &rows
-        )
+        table(&["application", "class", "procs", "family", "parameters", "R²", "KS"], &rows)
     );
     println!("(R² of the fitted CDF against the empirical CDF; KS = sup-distance.)");
 }

@@ -8,19 +8,19 @@ use commchar_core::report::{spatial_consensus, table};
 
 fn main() {
     let opts = ExpOptions::from_env();
-    println!("T3: spatial distribution classification ({} processors, {:?})\n", opts.procs, opts.scale);
+    println!(
+        "T3: spatial distribution classification ({} processors, {:?})\n",
+        opts.procs, opts.scale
+    );
     let rows: Vec<Vec<String>> = run_suite(opts)
         .iter()
         .map(|(_, sig)| {
-            let fits: Vec<&commchar_core::SpatialSig> =
-                sig.spatial.iter().flatten().collect();
+            let fits: Vec<&commchar_core::SpatialSig> = sig.spatial.iter().flatten().collect();
             let mean_sse = fits.iter().map(|s| s.fit.sse).sum::<f64>() / fits.len().max(1) as f64;
             // Favourite concentration: mean max destination probability.
-            let mean_peak = fits
-                .iter()
-                .map(|s| s.observed.iter().cloned().fold(0.0, f64::max))
-                .sum::<f64>()
-                / fits.len().max(1) as f64;
+            let mean_peak =
+                fits.iter().map(|s| s.observed.iter().cloned().fold(0.0, f64::max)).sum::<f64>()
+                    / fits.len().max(1) as f64;
             vec![
                 sig.name.clone(),
                 sig.class.name().to_string(),

@@ -6,13 +6,16 @@
 //! exposes.
 
 use commchar_bench::{run_suite, ExpOptions};
-use commchar_core::report::table;
 use commchar_core::characterize_kind;
+use commchar_core::report::table;
 use commchar_trace::EventKind;
 
 fn main() {
     let opts = ExpOptions::from_env();
-    println!("T-KIND: traffic decomposition by class ({} processors, {:?})\n", opts.procs, opts.scale);
+    println!(
+        "T-KIND: traffic decomposition by class ({} processors, {:?})\n",
+        opts.procs, opts.scale
+    );
     let mut rows = Vec::new();
     for (w, sig) in run_suite(opts) {
         for kind in [EventKind::Control, EventKind::Data, EventKind::Sync] {
@@ -30,9 +33,6 @@ fn main() {
     }
     println!(
         "{}",
-        table(
-            &["application", "class", "msgs", "share", "mean bytes", "inter-arrival fit"],
-            &rows
-        )
+        table(&["application", "class", "msgs", "share", "mean bytes", "inter-arrival fit"], &rows)
     );
 }

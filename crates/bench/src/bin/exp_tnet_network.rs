@@ -7,7 +7,10 @@ use commchar_core::report::table;
 
 fn main() {
     let opts = ExpOptions::from_env();
-    println!("T-NET: network behaviour per application ({} processors, {:?})\n", opts.procs, opts.scale);
+    println!(
+        "T-NET: network behaviour per application ({} processors, {:?})\n",
+        opts.procs, opts.scale
+    );
     let mut rows = Vec::new();
     let mut hot = Vec::new();
     let mut hists = Vec::new();

@@ -12,7 +12,10 @@ use commchar_mesh::{MeshModel, NetMessage, NodeId, OnlineWormhole};
 use commchar_trace::CommTrace;
 use commchar_traffic::patterns::uniform_poisson;
 
-fn replay_open_loop(trace: &CommTrace, mesh: commchar_mesh::MeshConfig) -> commchar_mesh::NetSummary {
+fn replay_open_loop(
+    trace: &CommTrace,
+    mesh: commchar_mesh::MeshConfig,
+) -> commchar_mesh::NetSummary {
     let msgs: Vec<NetMessage> = trace
         .events()
         .iter()

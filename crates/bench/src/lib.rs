@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 use commchar_apps::{AppId, Scale};
+use commchar_core::suite::{cell_matrix, SuiteReport, SuiteRunner};
 use commchar_core::{characterize, run_workload, CommSignature, Workload};
 
 /// Command-line options shared by the experiment binaries.
@@ -26,16 +27,20 @@ pub struct ExpOptions {
     pub procs: usize,
     /// Problem scale.
     pub scale: Scale,
+    /// Worker threads for suite-wide experiments (0 = one per hardware
+    /// thread). Single-application experiments ignore this.
+    pub jobs: usize,
 }
 
 impl Default for ExpOptions {
     fn default() -> Self {
-        ExpOptions { procs: 8, scale: Scale::Small }
+        ExpOptions { procs: 8, scale: Scale::Small, jobs: 0 }
     }
 }
 
 impl ExpOptions {
-    /// Parses `--procs N` and `--scale tiny|small|full` from `args`.
+    /// Parses `--procs N`, `--scale tiny|small|full` and `--jobs N` from
+    /// `args`.
     ///
     /// # Panics
     ///
@@ -60,6 +65,13 @@ impl ExpOptions {
                         other => panic!("unknown scale {other:?}"),
                     };
                 }
+                "--jobs" => {
+                    opts.jobs = args
+                        .next()
+                        .expect("--jobs needs a value")
+                        .parse()
+                        .expect("--jobs needs an integer");
+                }
                 other => panic!("unknown argument {other:?}"),
             }
         }
@@ -81,8 +93,21 @@ pub fn run_and_characterize(app: AppId, opts: ExpOptions) -> (Workload, CommSign
 
 /// Runs the full suite at the given options, returning signatures in the
 /// paper's presentation order.
+///
+/// Experiments that need the raw [`Workload`] (traces, network logs) use
+/// this serial path; those that only need signatures and throughput
+/// figures should prefer [`run_suite_report`], which fans the cells out
+/// across `opts.jobs` worker threads.
 pub fn run_suite(opts: ExpOptions) -> Vec<(Workload, CommSignature)> {
     AppId::all().iter().map(|&app| run_and_characterize(app, opts)).collect()
+}
+
+/// Runs the full suite through the parallel [`SuiteRunner`], returning the
+/// deterministic [`SuiteReport`] (signatures in input order regardless of
+/// worker interleaving, plus per-cell wall-clock and messages/sec).
+pub fn run_suite_report(opts: ExpOptions, seed: u64) -> SuiteReport {
+    let cells = cell_matrix(AppId::all(), &[opts.procs], &[opts.scale], seed);
+    SuiteRunner::new(opts.jobs).run(cells)
 }
 
 #[cfg(test)]
@@ -91,9 +116,8 @@ mod tests {
 
     #[test]
     fn option_parsing() {
-        let o = ExpOptions::parse(
-            ["--procs", "4", "--scale", "tiny"].iter().map(|s| s.to_string()),
-        );
+        let o =
+            ExpOptions::parse(["--procs", "4", "--scale", "tiny"].iter().map(|s| s.to_string()));
         assert_eq!(o.procs, 4);
         assert_eq!(o.scale, Scale::Tiny);
         let d = ExpOptions::parse(std::iter::empty());
@@ -104,5 +128,23 @@ mod tests {
     #[should_panic(expected = "unknown argument")]
     fn unknown_argument_rejected() {
         ExpOptions::parse(["--bogus"].iter().map(|s| s.to_string()));
+    }
+
+    #[test]
+    fn jobs_option_parses() {
+        let o = ExpOptions::parse(["--jobs", "3"].iter().map(|s| s.to_string()));
+        assert_eq!(o.jobs, 3);
+    }
+
+    #[test]
+    fn suite_report_covers_every_app_in_order() {
+        let opts = ExpOptions { procs: 4, scale: Scale::Tiny, jobs: 2 };
+        let report = run_suite_report(opts, 7);
+        assert_eq!(report.cells.len(), AppId::all().len());
+        for (cell, &app) in report.cells.iter().zip(AppId::all()) {
+            assert_eq!(cell.cell.app, app);
+            assert!(cell.messages > 0);
+        }
+        assert!(report.total_messages() > 0);
     }
 }

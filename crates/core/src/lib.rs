@@ -17,6 +17,10 @@
 //!    studies with realistic workloads (and to validate the fits against
 //!    the original trace).
 //!
+//! The whole matrix of (application × configuration × seed) cells runs in
+//! parallel through [`suite::SuiteRunner`], which fans cells across scoped
+//! worker threads and returns results in deterministic input order.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -33,6 +37,7 @@
 
 pub mod phases;
 pub mod report;
+pub mod suite;
 
 use commchar_apps::{AppClass, AppId, Scale};
 use commchar_mesh::{MeshConfig, NetLog, NetSummary};
@@ -267,8 +272,8 @@ pub fn synthesize(sig: &CommSignature, mesh: MeshConfig) -> TrafficModel {
                 Some(fit) => fit.dist,
                 None => {
                     // Rescale the aggregate fit to this source's share.
-                    let share = sig.volume.per_source_msgs[s] as f64
-                        / sig.volume.messages.max(1) as f64;
+                    let share =
+                        sig.volume.per_source_msgs[s] as f64 / sig.volume.messages.max(1) as f64;
                     if share <= 0.0 {
                         return None;
                     }
@@ -277,11 +282,7 @@ pub fn synthesize(sig: &CommSignature, mesh: MeshConfig) -> TrafficModel {
                 }
             };
             let spatial = spatial_sig.fit.model.predict(s, n, &dist_fn);
-            Some(SourceModel {
-                interarrival,
-                spatial,
-                length: sig.volume.lengths.clone(),
-            })
+            Some(SourceModel { interarrival, spatial, length: sig.volume.lengths.clone() })
         })
         .collect();
     TrafficModel::new(sources)
@@ -416,7 +417,7 @@ mod tests {
         let model = synthesize(&sig, w.mesh);
         let span = w.netlog.summary().span;
         let synth = model.generate(span, 11);
-        assert!(synth.len() > 0, "synthetic trace empty");
+        assert!(!synth.is_empty(), "synthetic trace empty");
         // Message rate within a factor of 3 of the original.
         let ratio = synth.len() as f64 / w.trace.len() as f64;
         assert!(ratio > 0.33 && ratio < 3.0, "rate ratio {ratio}");

@@ -1,5 +1,6 @@
 //! Plain-text table rendering for the experiment regenerators.
 
+use crate::suite::SuiteReport;
 use crate::CommSignature;
 
 /// Renders a fixed-width table: header row plus data rows.
@@ -78,6 +79,69 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}%", 100.0 * x)
 }
 
+/// The deterministic suite table: one row per cell, in input order, with
+/// no timing columns — byte-identical however many workers ran the suite.
+pub fn suite_table(report: &SuiteReport) -> String {
+    let rows: Vec<Vec<String>> = report
+        .cells
+        .iter()
+        .map(|r| {
+            let sig = &r.signature;
+            vec![
+                sig.name.clone(),
+                sig.class.name().to_string(),
+                r.cell.procs.to_string(),
+                r.cell.scale.name().to_string(),
+                r.messages.to_string(),
+                format!("{}", sig.temporal.aggregate.dist),
+                spatial_consensus(sig),
+                format!("{:.2}", r.synth_ratio),
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "application",
+            "class",
+            "procs",
+            "scale",
+            "msgs",
+            "inter-arrival fit",
+            "spatial model",
+            "synth ratio",
+        ],
+        &rows,
+    )
+}
+
+/// Per-cell and aggregate timing for a suite run. Wall-clock figures vary
+/// run to run, so this is kept out of [`suite_table`] (the CLI sends it
+/// to stderr).
+pub fn suite_timing(report: &SuiteReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for r in &report.cells {
+        let _ = writeln!(
+            out,
+            "{:>10} p{:<3} {:>6}: {:>8.3} s wall, {:>12.0} msgs/sec",
+            r.signature.name,
+            r.cell.procs,
+            r.cell.scale.name(),
+            r.wall.as_secs_f64(),
+            r.msgs_per_sec,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "suite: {} cells on {} worker(s) in {:.3} s ({:.0} msgs/sec aggregate)",
+        report.cells.len(),
+        report.jobs,
+        report.wall.as_secs_f64(),
+        report.msgs_per_sec(),
+    );
+    out
+}
+
 /// Renders the full multi-section signature report (temporal, spatial,
 /// volume, network) — the standard human-readable view used by the CLI.
 pub fn signature_report(sig: &CommSignature) -> String {
@@ -94,8 +158,11 @@ pub fn signature_report(sig: &CommSignature) -> String {
         sig.temporal.aggregate.dist, sig.temporal.aggregate.r2, sig.temporal.aggregate.ks
     );
     let b = sig.temporal.burstiness;
-    let _ =
-        writeln!(out, "  burstiness: CV² = {:.2}, IDI(8) = {:.2}, ρ₁ = {:.2}", b.cv2, b.idi8, b.rho1);
+    let _ = writeln!(
+        out,
+        "  burstiness: CV² = {:.2}, IDI(8) = {:.2}, ρ₁ = {:.2}",
+        b.cv2, b.idi8, b.rho1
+    );
     let _ = writeln!(out);
     let _ = writeln!(out, "spatial attribute");
     let _ = writeln!(out, "  consensus: {}", spatial_consensus(sig));
@@ -133,10 +200,8 @@ mod tests {
 
     #[test]
     fn table_alignment() {
-        let s = table(
-            &["a", "bbbb"],
-            &[vec!["xxxx".into(), "y".into()], vec!["z".into(), "w".into()]],
-        );
+        let s =
+            table(&["a", "bbbb"], &[vec!["xxxx".into(), "y".into()], vec!["z".into(), "w".into()]]);
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines[0].starts_with("a"));

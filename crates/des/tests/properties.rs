@@ -1,6 +1,8 @@
 //! Property-based tests for the DES kernel.
 
-use commchar_des::{Calendar, CountTable, Facility, RunningStats, SimDuration, SimTime, TimeWeighted};
+use commchar_des::{
+    Calendar, CountTable, Facility, RunningStats, SimDuration, SimTime, TimeWeighted,
+};
 use proptest::prelude::*;
 
 proptest! {

@@ -1,7 +1,5 @@
 //! Network configuration.
 
-use serde::{Deserialize, Serialize};
-
 use crate::MeshShape;
 
 /// Parameters of the 2-D mesh wormhole network.
@@ -17,7 +15,7 @@ use crate::MeshShape;
 /// let cfg = MeshConfig::new(4, 4).with_flit_bytes(4);
 /// assert_eq!(cfg.flits_for(32), 8 + 2); // payload + header flits
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MeshConfig {
     /// Mesh shape.
     pub shape: MeshShape,
@@ -139,7 +137,7 @@ impl MeshConfig {
     pub fn flits_for(&self, payload: u32) -> u64 {
         let hdr = self.header_bytes.div_ceil(self.flit_bytes) as u64;
         let body = payload.div_ceil(self.flit_bytes) as u64;
-        hdr + body.max(0)
+        hdr + body
     }
 
     /// Per-hop header latency (routing decision + channel traversal).
@@ -175,13 +173,10 @@ mod tests {
     #[test]
     fn zero_load_components() {
         let cfg = MeshConfig::new(4, 4); // hop = 3 cycles
-        // 1 hop message, 0 payload: header pipeline (1+2)*3 + (4-1)*1 drain
+                                         // 1 hop message, 0 payload: header pipeline (1+2)*3 + (4-1)*1 drain
         assert_eq!(cfg.zero_load_latency(0, 1), 9 + 3);
         // distance grows linearly
-        assert_eq!(
-            cfg.zero_load_latency(0, 4) - cfg.zero_load_latency(0, 3),
-            cfg.hop_latency()
-        );
+        assert_eq!(cfg.zero_load_latency(0, 4) - cfg.zero_load_latency(0, 3), cfg.hop_latency());
     }
 
     #[test]

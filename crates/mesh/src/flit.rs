@@ -337,9 +337,7 @@ impl MeshModel for FlitLevel {
             remaining: worms.len(),
             worms,
             buffers: vec![(0..NPORTS * vcs).map(|_| VecDeque::new()).collect(); nodes],
-            outputs: (0..nodes)
-                .map(|_| (0..NPORTS).map(|_| OutPort::new(vcs)).collect())
-                .collect(),
+            outputs: (0..nodes).map(|_| (0..NPORTS).map(|_| OutPort::new(vcs)).collect()).collect(),
             reserved: vec![vec![0; NPORTS * vcs]; nodes],
             in_flight: Vec::new(),
         };
@@ -387,7 +385,10 @@ impl MeshModel for FlitLevel {
             }
             let moved = sim.step(t);
             guard += 1;
-            assert!(guard < guard_limit, "flit simulation exceeded {guard_limit} steps (deadlock?)");
+            assert!(
+                guard < guard_limit,
+                "flit simulation exceeded {guard_limit} steps (deadlock?)"
+            );
             if moved {
                 t += 1;
             } else {
@@ -402,7 +403,9 @@ impl MeshModel for FlitLevel {
                 }
                 match next {
                     Some(n) => t = n.max(t + 1),
-                    None => panic!("flit simulation wedged with {} worms undelivered", sim.remaining),
+                    None => {
+                        panic!("flit simulation wedged with {} worms undelivered", sim.remaining)
+                    }
                 }
             }
         }
@@ -489,7 +492,13 @@ mod tests {
             let cfg = MeshConfig::new(4, 2).with_virtual_channels(vcs);
             let mut msgs = Vec::new();
             for i in 0..40u64 {
-                msgs.push(msg(i, (i % 8) as u16, ((i * 3 + 1) % 8) as u16, 16 + (i as u32 % 48), i * 2));
+                msgs.push(msg(
+                    i,
+                    (i % 8) as u16,
+                    ((i * 3 + 1) % 8) as u16,
+                    16 + (i as u32 % 48),
+                    i * 2,
+                ));
             }
             let msgs: Vec<NetMessage> = msgs.into_iter().filter(|m| m.src != m.dst).collect();
             let log = FlitLevel::new(cfg).simulate(&msgs);

@@ -18,6 +18,12 @@
 //! delivery time, hop count and blocked (contention) time — the raw
 //! material the statistical analysis operates on.
 //!
+//! For long-horizon runs where retaining per-message records is too
+//! expensive, [`OnlineWormhole`] is generic over a [`LogSink`]: a
+//! [`StreamingLog`] folds each delivery into online moments, auto-widening
+//! histograms and per-pair traffic matrices in O(bins + P²) memory,
+//! independent of message count.
+//!
 //! # Example
 //!
 //! ```
@@ -44,12 +50,14 @@
 mod config;
 mod flit;
 mod log;
+mod sink;
 mod topology;
 mod wormhole;
 
 pub use config::MeshConfig;
 pub use flit::FlitLevel;
 pub use log::{MsgRecord, NetLog, NetSummary};
+pub use sink::{LogSink, StreamingLog};
 pub use topology::{ChannelId, Coord, MeshShape, NodeId, Topology};
 pub use wormhole::OnlineWormhole;
 

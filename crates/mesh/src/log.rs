@@ -1,12 +1,11 @@
 //! The network activity log — the methodology's raw observable.
 
 use commchar_des::{RunningStats, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::{MeshShape, NodeId};
 
 /// One completed message, as recorded by a network model.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MsgRecord {
     /// Caller-supplied message id.
     pub id: u64,
@@ -39,7 +38,7 @@ impl MsgRecord {
 }
 
 /// Aggregate statistics over a [`NetLog`].
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct NetSummary {
     /// Number of messages.
     pub messages: u64,
@@ -79,10 +78,9 @@ pub struct NetSummary {
 /// let log = OnlineWormhole::new(MeshConfig::new(2, 2)).simulate(&msgs);
 /// assert_eq!(log.summary().messages, 2);
 /// ```
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct NetLog {
     records: Vec<MsgRecord>,
-    #[serde(skip)]
     utilization: Vec<(u32, f64)>,
 }
 
@@ -276,7 +274,16 @@ mod tests {
     use super::*;
 
     fn rec(id: u64, src: u16, dst: u16, bytes: u32, inject: u64, delivered: u64) -> MsgRecord {
-        MsgRecord { id, src: NodeId(src), dst: NodeId(dst), bytes, inject, delivered, hops: 1, zero_load: 5 }
+        MsgRecord {
+            id,
+            src: NodeId(src),
+            dst: NodeId(dst),
+            bytes,
+            inject,
+            delivered,
+            hops: 1,
+            zero_load: 5,
+        }
     }
 
     #[test]
@@ -290,7 +297,8 @@ mod tests {
 
     #[test]
     fn summary_aggregates() {
-        let log: NetLog = vec![rec(0, 0, 1, 10, 0, 10), rec(1, 1, 0, 30, 5, 25)].into_iter().collect();
+        let log: NetLog =
+            vec![rec(0, 0, 1, 10, 0, 10), rec(1, 1, 0, 30, 5, 25)].into_iter().collect();
         let s = log.summary();
         assert_eq!(s.messages, 2);
         assert_eq!(s.mean_latency, 15.0);
@@ -301,9 +309,10 @@ mod tests {
 
     #[test]
     fn spatial_and_volume_views() {
-        let log: NetLog = vec![rec(0, 0, 1, 10, 0, 10), rec(1, 0, 1, 30, 5, 25), rec(2, 1, 0, 8, 6, 30)]
-            .into_iter()
-            .collect();
+        let log: NetLog =
+            vec![rec(0, 0, 1, 10, 0, 10), rec(1, 0, 1, 30, 5, 25), rec(2, 1, 0, 8, 6, 30)]
+                .into_iter()
+                .collect();
         let counts = log.spatial_counts(2);
         assert_eq!(counts[0][1], 2);
         assert_eq!(counts[1][0], 1);
@@ -349,9 +358,7 @@ mod tests {
     #[test]
     fn latency_percentiles() {
         // Latencies 1..=100.
-        let log: NetLog = (1..=100u64)
-            .map(|i| rec(i, 0, 1, 8, 0, i))
-            .collect();
+        let log: NetLog = (1..=100u64).map(|i| rec(i, 0, 1, 8, 0, i)).collect();
         let s = log.summary();
         assert_eq!(s.median_latency, 50.0);
         assert_eq!(s.p95_latency, 95.0);

@@ -2,12 +2,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A node (processor + router + network interface) in the mesh.
 ///
 /// Nodes are numbered row-major: `id = y * width + x`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u16);
 
 impl NodeId {
@@ -84,7 +82,7 @@ impl Dir {
 }
 
 /// Whether the 2-D grid wraps around (torus) or not (mesh).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Topology {
     /// Open grid: edge nodes have no wraparound links (the paper's network).
     #[default]
@@ -109,11 +107,10 @@ pub enum Topology {
 /// // injection + 2 inter-router hops + ejection
 /// assert_eq!(path.len(), 4);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MeshShape {
     width: u16,
     height: u16,
-    #[serde(default)]
     topology: Topology,
 }
 
@@ -153,7 +150,7 @@ impl MeshShape {
         assert!(n > 0, "node count must be positive");
         let mut w = (n as f64).sqrt().ceil() as usize;
         while w <= n {
-            if n % w == 0 {
+            if n.is_multiple_of(w) {
                 return MeshShape::new(w as u16, (n / w) as u16);
             }
             w += 1;
@@ -221,9 +218,7 @@ impl MeshShape {
         let dy = ca.y.abs_diff(cb.y);
         match self.topology {
             Topology::Mesh => (dx + dy) as u32,
-            Topology::Torus => {
-                (dx.min(self.width - dx) + dy.min(self.height - dy)) as u32
-            }
+            Topology::Torus => (dx.min(self.width - dx) + dy.min(self.height - dy)) as u32,
         }
     }
 

@@ -3,6 +3,7 @@
 use commchar_des::SimTime;
 
 use crate::log::ticks;
+use crate::sink::{LogSink, StreamingLog};
 use crate::{MeshConfig, MeshModel, MsgRecord, NetLog, NetMessage};
 
 /// The channel-granularity wormhole model.
@@ -29,28 +30,56 @@ use crate::{MeshConfig, MeshModel, MsgRecord, NetLog, NetMessage};
 /// [`send`](OnlineWormhole::send) returns the delivery time immediately —
 /// the "feedback arrow" from the network simulator to the event generator
 /// in the paper's Figure 1.
+///
+/// The model is generic over its [`LogSink`]: with the default
+/// [`NetLog`] every record is retained for offline analysis; with a
+/// [`StreamingLog`] (see [`OnlineWormhole::streaming`]) records are folded
+/// into online statistics and memory stays constant regardless of how many
+/// messages are simulated.
 #[derive(Debug)]
-pub struct OnlineWormhole {
+pub struct OnlineWormhole<S: LogSink = NetLog> {
     cfg: MeshConfig,
     /// Per-channel time at which the channel is next free.
     free: Vec<u64>,
     /// Per-channel accumulated busy ticks (for utilization).
     busy: Vec<u64>,
-    log: NetLog,
+    sink: S,
     last_inject: SimTime,
     first_inject: Option<u64>,
     last_delivery: u64,
 }
 
 impl OnlineWormhole {
-    /// Creates an idle network.
+    /// Creates an idle network logging into a [`NetLog`].
     pub fn new(cfg: MeshConfig) -> Self {
+        OnlineWormhole::with_sink(cfg, NetLog::new())
+    }
+
+    /// Finishes the simulation and returns the network log, including
+    /// per-channel utilization over the observed span.
+    pub fn into_log(self) -> NetLog {
+        self.into_sink()
+    }
+}
+
+impl OnlineWormhole<StreamingLog> {
+    /// Creates an idle network accumulating into a [`StreamingLog`] sized
+    /// for this mesh — constant memory however long the run.
+    pub fn streaming(cfg: MeshConfig) -> Self {
+        let nodes = cfg.shape.nodes();
+        OnlineWormhole::with_sink(cfg, StreamingLog::new(nodes))
+    }
+}
+
+impl<S: LogSink> OnlineWormhole<S> {
+    /// Creates an idle network delivering records into `sink`.
+    pub fn with_sink(cfg: MeshConfig, sink: S) -> Self {
         let slots = cfg.shape.channel_slots();
         OnlineWormhole {
             cfg,
             free: vec![0; slots],
             busy: vec![0; slots],
-            log: NetLog::new(),
+            sink,
             last_inject: SimTime::ZERO,
             first_inject: None,
             last_delivery: 0,
@@ -60,6 +89,11 @@ impl OnlineWormhole {
     /// The network configuration.
     pub fn config(&self) -> &MeshConfig {
         &self.cfg
+    }
+
+    /// The sink accumulating this network's records.
+    pub fn sink(&self) -> &S {
+        &self.sink
     }
 
     /// Injects a message and returns the delivery time of its tail flit at
@@ -108,7 +142,7 @@ impl OnlineWormhole {
         let hops = self.cfg.shape.hop_distance(msg.src, msg.dst);
         self.first_inject.get_or_insert(ticks(msg.inject));
         self.last_delivery = self.last_delivery.max(delivered);
-        self.log.push(MsgRecord {
+        self.sink.record(MsgRecord {
             id: msg.id,
             src: msg.src,
             dst: msg.dst,
@@ -121,9 +155,9 @@ impl OnlineWormhole {
         SimTime::from_ticks(delivered)
     }
 
-    /// Finishes the simulation and returns the network log, including
-    /// per-channel utilization over the observed span.
-    pub fn into_log(mut self) -> NetLog {
+    /// Finishes the simulation: hands per-channel utilization over the
+    /// observed span to the sink and returns it.
+    pub fn into_sink(mut self) -> S {
         let span = match self.first_inject {
             Some(first) if self.last_delivery > first => (self.last_delivery - first) as f64,
             _ => 0.0,
@@ -135,8 +169,8 @@ impl OnlineWormhole {
             .filter(|&(_, &b)| b > 0)
             .map(|(i, &b)| (i as u32, if span > 0.0 { b as f64 / span } else { 0.0 }))
             .collect();
-        self.log.set_utilization(util);
-        self.log
+        self.sink.finish(util);
+        self.sink
     }
 }
 
@@ -197,7 +231,7 @@ mod tests {
         let mut net = OnlineWormhole::new(cfg);
         let d1 = net.send(msg(0, 0, 1, 16, 0));
         let d2 = net.send(msg(1, 6, 7, 16, 0));
-        assert_eq!(d1.ticks() , d2.ticks());
+        assert_eq!(d1.ticks(), d2.ticks());
         let log = net.into_log();
         assert_eq!(log.records()[0].blocked(), 0);
         assert_eq!(log.records()[1].blocked(), 0);
@@ -244,6 +278,30 @@ mod tests {
         for &(_, u) in log.utilization() {
             assert!(u > 0.0 && u <= 1.0);
         }
+    }
+
+    #[test]
+    fn streaming_sink_sees_what_the_log_sees() {
+        let cfg = MeshConfig::new(4, 4);
+        let mut batch = OnlineWormhole::new(cfg);
+        let mut stream = OnlineWormhole::streaming(cfg);
+        for i in 0..200u64 {
+            let m = msg(i, (i % 16) as u16, ((i * 7 + 1) % 16) as u16, 8 + (i % 100) as u32, i * 3);
+            if m.src != m.dst {
+                batch.send(m);
+                stream.send(m);
+            }
+        }
+        let log = batch.into_log();
+        let s = stream.into_sink();
+        assert_eq!(log.records().len() as u64, s.messages());
+        assert_eq!(log.utilization(), s.utilization());
+        let a = log.summary();
+        let b = s.summary();
+        assert_eq!(a.span, b.span);
+        assert!((a.mean_latency - b.mean_latency).abs() < 1e-9);
+        assert!((a.mean_blocked - b.mean_blocked).abs() < 1e-9);
+        assert_eq!(s.spatial_counts(), log.spatial_counts(16));
     }
 
     #[test]

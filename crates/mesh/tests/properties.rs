@@ -1,7 +1,9 @@
 //! Property-based tests for the mesh network models.
 
 use commchar_des::SimTime;
-use commchar_mesh::{FlitLevel, MeshConfig, MeshModel, MeshShape, NetMessage, NodeId, OnlineWormhole};
+use commchar_mesh::{
+    FlitLevel, MeshConfig, MeshModel, MeshShape, NetMessage, NodeId, OnlineWormhole,
+};
 use proptest::prelude::*;
 
 fn arb_shape() -> impl Strategy<Value = MeshShape> {
@@ -10,23 +12,20 @@ fn arb_shape() -> impl Strategy<Value = MeshShape> {
 
 /// Random message batches on a shape (self-messages filtered out).
 fn arb_msgs(nodes: usize, max: usize) -> impl Strategy<Value = Vec<NetMessage>> {
-    prop::collection::vec(
-        (0..nodes as u16, 0..nodes as u16, 1u32..200, 0u64..20_000),
-        1..max,
-    )
-    .prop_map(|raw| {
-        raw.into_iter()
-            .enumerate()
-            .filter(|(_, (s, d, _, _))| s != d)
-            .map(|(i, (s, d, bytes, t))| NetMessage {
-                id: i as u64,
-                src: NodeId(s),
-                dst: NodeId(d),
-                bytes,
-                inject: SimTime::from_ticks(t),
-            })
-            .collect()
-    })
+    prop::collection::vec((0..nodes as u16, 0..nodes as u16, 1u32..200, 0u64..20_000), 1..max)
+        .prop_map(|raw| {
+            raw.into_iter()
+                .enumerate()
+                .filter(|(_, (s, d, _, _))| s != d)
+                .map(|(i, (s, d, bytes, t))| NetMessage {
+                    id: i as u64,
+                    src: NodeId(s),
+                    dst: NodeId(d),
+                    bytes,
+                    inject: SimTime::from_ticks(t),
+                })
+                .collect()
+        })
 }
 
 proptest! {

@@ -292,8 +292,8 @@ impl Rank {
         for k in 1..self.n {
             let to = (self.id + k) % self.n;
             let from = (self.id + self.n - k) % self.n;
-            self.send(to, &chunks[to], TAG + 0);
-            out[from] = self.recv(from, TAG + 0);
+            self.send(to, &chunks[to], TAG);
+            out[from] = self.recv(from, TAG);
         }
         out
     }
@@ -304,10 +304,8 @@ impl Rank {
         if self.id == root {
             let mut out = vec![Vec::new(); self.n];
             out[root] = contrib.to_vec();
-            for q in 0..self.n {
-                if q != root {
-                    out[q] = self.recv(q, TAG);
-                }
+            for q in (0..self.n).filter(|&q| q != root) {
+                out[q] = self.recv(q, TAG);
             }
             out
         } else {
@@ -342,7 +340,7 @@ where
     let events = Arc::new(Mutex::new(Vec::new()));
     let body = Arc::new(body);
     let mut handles = Vec::with_capacity(n);
-    for id in 0..n {
+    for (id, slot) in receivers.iter_mut().enumerate() {
         let mut rank = Rank {
             id,
             n,
@@ -350,7 +348,7 @@ where
             cfg,
             seq: 0,
             last_recv: None,
-            inbox: receivers[id].take().expect("receiver taken twice"),
+            inbox: slot.take().expect("receiver taken twice"),
             pending: VecDeque::new(),
             outs: senders.clone(),
             events: Arc::clone(&events),
@@ -423,8 +421,7 @@ mod tests {
         });
         assert_eq!(out.trace.len(), 2);
         let bytes = 800u32;
-        let one_way =
-            cfg.send_ticks(bytes) + cfg.wire_ticks(bytes) + cfg.recv_ticks(bytes);
+        let one_way = cfg.send_ticks(bytes) + cfg.wire_ticks(bytes) + cfg.recv_ticks(bytes);
         // Round trip ≈ 2 one-way transfers.
         assert_eq!(out.exec_ticks, 2 * one_way);
     }
@@ -474,8 +471,7 @@ mod tests {
     fn alltoall_permutes_chunks() {
         run_mp(Sp2Config::new(4), |r| {
             let me = r.rank() as f64;
-            let chunks: Vec<Vec<f64>> =
-                (0..4).map(|q| vec![me * 10.0 + q as f64; 3]).collect();
+            let chunks: Vec<Vec<f64>> = (0..4).map(|q| vec![me * 10.0 + q as f64; 3]).collect();
             let got = r.alltoall(chunks);
             for (q, chunk) in got.iter().enumerate() {
                 assert_eq!(chunk, &vec![q as f64 * 10.0 + me; 3], "from rank {q}");
@@ -490,7 +486,10 @@ mod tests {
                 let me = r.rank() as f64;
                 for root in 0..n.min(3) {
                     // Tree broadcast.
-                    let v = r.bcast_tree(root, if r.rank() == root { vec![root as f64, 9.0] } else { vec![] });
+                    let v = r.bcast_tree(
+                        root,
+                        if r.rank() == root { vec![root as f64, 9.0] } else { vec![] },
+                    );
                     assert_eq!(v, vec![root as f64, 9.0], "bcast_tree root {root} rank {me}");
                     // Tree reduce.
                     let sum = r.reduce_sum_tree(root, &[me]);

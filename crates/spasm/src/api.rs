@@ -70,11 +70,22 @@ impl Setup {
 /// Requests a processor thread can make of the engine.
 #[derive(Clone, Copy, Debug)]
 pub(crate) enum ProcRequest {
-    Read { addr: usize },
-    Write { addr: usize, value: u64 },
-    Barrier { id: u32 },
-    Lock { id: u32 },
-    Unlock { id: u32 },
+    Read {
+        addr: usize,
+    },
+    Write {
+        addr: usize,
+        value: u64,
+    },
+    Barrier {
+        id: u32,
+    },
+    Lock {
+        id: u32,
+    },
+    Unlock {
+        id: u32,
+    },
     Finish,
     /// The processor thread panicked; the payload describes the fault.
     Fault,

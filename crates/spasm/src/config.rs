@@ -82,7 +82,10 @@ impl MachineConfig {
     /// Panics unless `ways ≥ 1` divides the line count.
     #[must_use]
     pub fn with_associativity(mut self, ways: usize) -> Self {
-        assert!(ways >= 1 && self.cache_lines % ways == 0, "associativity must divide lines");
+        assert!(
+            ways >= 1 && self.cache_lines.is_multiple_of(ways),
+            "associativity must divide lines"
+        );
         self.associativity = ways;
         self
     }
@@ -101,7 +104,10 @@ impl MachineConfig {
     /// Panics unless `bytes` is a positive multiple of 8.
     #[must_use]
     pub fn with_block_bytes(mut self, bytes: u32) -> Self {
-        assert!(bytes > 0 && bytes % 8 == 0, "block size must be a positive multiple of 8");
+        assert!(
+            bytes > 0 && bytes.is_multiple_of(8),
+            "block size must be a positive multiple of 8"
+        );
         self.block_bytes = bytes;
         self
     }
@@ -144,7 +150,8 @@ mod tests {
 
     #[test]
     fn builders() {
-        let c = MachineConfig::new(4).with_cache_lines(64).with_block_bytes(64).with_mem_latency(10);
+        let c =
+            MachineConfig::new(4).with_cache_lines(64).with_block_bytes(64).with_mem_latency(10);
         assert_eq!(c.cache_lines, 64);
         assert_eq!(c.block_words(), 8);
         assert_eq!(c.mem_latency, 10);

@@ -155,12 +155,27 @@ enum Event {
     /// directory/memory latency): inject it into the network now.
     ReplySend(usize, u32, EventKind),
     ReplyArrive(usize),
-    VictimWb { block: u64, proc: usize },
-    BarArrive { id: u32 },
-    BarRelease { proc: usize },
-    LockReq { id: u32, proc: usize },
-    LockGrant { proc: usize },
-    LockRel { id: u32, proc: usize },
+    VictimWb {
+        block: u64,
+        proc: usize,
+    },
+    BarArrive {
+        id: u32,
+    },
+    BarRelease {
+        proc: usize,
+    },
+    LockReq {
+        id: u32,
+        proc: usize,
+    },
+    LockGrant {
+        proc: usize,
+    },
+    LockRel {
+        id: u32,
+        proc: usize,
+    },
 }
 
 #[derive(Debug, Default)]
@@ -411,6 +426,7 @@ impl Engine {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn start_txn(
         &mut self,
         p: usize,
@@ -437,8 +453,7 @@ impl Engine {
         let at = if p == home {
             t + self.cfg.dir_latency
         } else {
-            self.send(t, p, home, self.cfg.ctrl_bytes, EventKind::Control)
-                + self.cfg.dir_latency
+            self.send(t, p, home, self.cfg.ctrl_bytes, EventKind::Control) + self.cfg.dir_latency
         };
         self.schedule(at, Event::HomeReq(txn));
     }
@@ -680,10 +695,7 @@ impl Engine {
 
         // Unblock the next deferred request for this block, if any.
         self.active.remove(&txn.block);
-        let next = self.deferred.get_mut(&txn.block).and_then(|q| {
-            let next = q.pop_front();
-            next
-        });
+        let next = self.deferred.get_mut(&txn.block).and_then(|q| q.pop_front());
         if self.deferred.get(&txn.block).is_some_and(|q| q.is_empty()) {
             self.deferred.remove(&txn.block);
         }
@@ -706,14 +718,18 @@ mod tests {
     #[test]
     fn single_proc_no_network_traffic_except_home_misses() {
         // One processor: every block's home is itself, so no messages.
-        let out = run(cfg(1), |m| m.alloc(128), |ctx, &r| {
-            for i in 0..128 {
-                ctx.write(r, i, i as u64);
-            }
-            for i in 0..128 {
-                assert_eq!(ctx.read(r, i), i as u64);
-            }
-        });
+        let out = run(
+            cfg(1),
+            |m| m.alloc(128),
+            |ctx, &r| {
+                for i in 0..128 {
+                    ctx.write(r, i, i as u64);
+                }
+                for i in 0..128 {
+                    assert_eq!(ctx.read(r, i), i as u64);
+                }
+            },
+        );
         assert_eq!(out.trace.len(), 0);
         assert!(out.exec_cycles > 0);
         assert_eq!(out.reads, 128);
@@ -722,29 +738,37 @@ mod tests {
 
     #[test]
     fn values_flow_between_processors() {
-        let out = run(cfg(4), |m| m.alloc(64), |ctx, &r| {
-            let p = ctx.proc_id();
-            ctx.write(r, p * 4, (p * 100) as u64);
-            ctx.barrier(0);
-            for q in 0..ctx.nprocs() {
-                assert_eq!(ctx.read(r, q * 4), (q * 100) as u64);
-            }
-        });
-        assert!(out.trace.len() > 0, "cross-processor traffic expected");
+        let out = run(
+            cfg(4),
+            |m| m.alloc(64),
+            |ctx, &r| {
+                let p = ctx.proc_id();
+                ctx.write(r, p * 4, (p * 100) as u64);
+                ctx.barrier(0);
+                for q in 0..ctx.nprocs() {
+                    assert_eq!(ctx.read(r, q * 4), (q * 100) as u64);
+                }
+            },
+        );
+        assert!(!out.trace.is_empty(), "cross-processor traffic expected");
         assert_eq!(out.barriers, 1);
         out.netlog.check_invariants(cfg(4).mesh.shape).unwrap();
     }
 
     #[test]
     fn cache_hits_do_not_generate_traffic() {
-        let out = run(cfg(2), |m| m.alloc(4), |ctx, &r| {
-            if ctx.proc_id() == 0 {
-                ctx.write(r, 0, 7);
-                for _ in 0..100 {
-                    assert_eq!(ctx.read(r, 0), 7);
+        let out = run(
+            cfg(2),
+            |m| m.alloc(4),
+            |ctx, &r| {
+                if ctx.proc_id() == 0 {
+                    ctx.write(r, 0, 7);
+                    for _ in 0..100 {
+                        assert_eq!(ctx.read(r, 0), 7);
+                    }
                 }
-            }
-        });
+            },
+        );
         // p0's writes/reads to block 0 (home p0): no network messages, and
         // after the first write, all accesses hit.
         assert_eq!(out.trace.len(), 0);
@@ -756,21 +780,20 @@ mod tests {
         // All procs read a block, then one writes it: expect an
         // invalidation round trip per sharer.
         let n = 4;
-        let out = run(cfg(n), |m| m.alloc(4), |ctx, &r| {
-            ctx.read(r, 0);
-            ctx.barrier(0);
-            if ctx.proc_id() == 1 {
-                ctx.write(r, 0, 42);
-            }
-            ctx.barrier(1);
-            assert_eq!(ctx.read(r, 0), 42);
-        });
-        let ctrl = out
-            .trace
-            .events()
-            .iter()
-            .filter(|e| e.kind == EventKind::Control)
-            .count();
+        let out = run(
+            cfg(n),
+            |m| m.alloc(4),
+            |ctx, &r| {
+                ctx.read(r, 0);
+                ctx.barrier(0);
+                if ctx.proc_id() == 1 {
+                    ctx.write(r, 0, 42);
+                }
+                ctx.barrier(1);
+                assert_eq!(ctx.read(r, 0), 42);
+            },
+        );
+        let ctrl = out.trace.events().iter().filter(|e| e.kind == EventKind::Control).count();
         assert!(ctrl >= 2 * (n - 2), "invalidations + acks expected, saw {ctrl} control msgs");
     }
 
@@ -778,69 +801,85 @@ mod tests {
     fn locks_provide_mutual_exclusion() {
         let n = 4;
         let iters = 25;
-        let out = run(cfg(n), |m| m.alloc(4), move |ctx, &r| {
-            for _ in 0..iters {
-                ctx.lock(0);
-                let v = ctx.read(r, 0);
-                ctx.compute(3);
-                ctx.write(r, 0, v + 1);
-                ctx.unlock(0);
-            }
-        });
+        let out = run(
+            cfg(n),
+            |m| m.alloc(4),
+            move |ctx, &r| {
+                for _ in 0..iters {
+                    ctx.lock(0);
+                    let v = ctx.read(r, 0);
+                    ctx.compute(3);
+                    ctx.write(r, 0, v + 1);
+                    ctx.unlock(0);
+                }
+            },
+        );
         assert_eq!(out.locks, (n * iters) as u64);
         // Verify the final counter value via a fresh run reading it... we
         // can't read memory post-hoc here, so assert through a second phase
         // in another test below.
-        assert!(out.trace.len() > 0);
+        assert!(!out.trace.is_empty());
     }
 
     #[test]
     fn lock_protected_counter_is_exact() {
         let n = 4;
         let iters = 10;
-        run(cfg(n), |m| m.alloc(4), move |ctx, &r| {
-            for _ in 0..iters {
-                ctx.lock(3);
-                let v = ctx.read(r, 0);
-                ctx.write(r, 0, v + 1);
-                ctx.unlock(3);
-            }
-            ctx.barrier(0);
-            let total = ctx.read(r, 0);
-            assert_eq!(total, (n * iters) as u64, "lost update under lock");
-        });
+        run(
+            cfg(n),
+            |m| m.alloc(4),
+            move |ctx, &r| {
+                for _ in 0..iters {
+                    ctx.lock(3);
+                    let v = ctx.read(r, 0);
+                    ctx.write(r, 0, v + 1);
+                    ctx.unlock(3);
+                }
+                ctx.barrier(0);
+                let total = ctx.read(r, 0);
+                assert_eq!(total, (n * iters) as u64, "lost update under lock");
+            },
+        );
     }
 
     #[test]
     #[should_panic(expected = "non-holder")]
     fn unlocking_unheld_lock_panics() {
-        run(cfg(2), |m| m.alloc(1), |ctx, _| {
-            if ctx.proc_id() == 0 {
-                ctx.lock(0);
-                ctx.unlock(0);
-            } else {
-                ctx.compute(10_000);
-                ctx.unlock(0);
-            }
-        });
+        run(
+            cfg(2),
+            |m| m.alloc(1),
+            |ctx, _| {
+                if ctx.proc_id() == 0 {
+                    ctx.lock(0);
+                    ctx.unlock(0);
+                } else {
+                    ctx.compute(10_000);
+                    ctx.unlock(0);
+                }
+            },
+        );
     }
 
     #[test]
     fn deterministic_across_runs() {
         let go = || {
-            run(cfg(8), |m| m.alloc(256), |ctx, &r| {
-                let p = ctx.proc_id();
-                for i in 0..32 {
-                    ctx.write(r, (p * 32 + i) % 256, (p + i) as u64);
-                    ctx.compute(2);
-                }
-                ctx.barrier(0);
-                let mut acc = 0u64;
-                for i in 0..64 {
-                    acc = acc.wrapping_add(ctx.read(r, (p * 7 + i * 3) % 256));
-                }
-                ctx.write(r, p, acc);
-            })
+            run(
+                cfg(8),
+                |m| m.alloc(256),
+                |ctx, &r| {
+                    let p = ctx.proc_id();
+                    for i in 0..32 {
+                        ctx.write(r, (p * 32 + i) % 256, (p + i) as u64);
+                        ctx.compute(2);
+                    }
+                    ctx.barrier(0);
+                    let mut acc = 0u64;
+                    for i in 0..64 {
+                        acc = acc.wrapping_add(ctx.read(r, (p * 7 + i * 3) % 256));
+                    }
+                    ctx.write(r, p, acc);
+                },
+            )
         };
         let a = go();
         let b = go();
@@ -854,43 +893,55 @@ mod tests {
     #[test]
     fn barrier_separates_phases() {
         // After a barrier, all prior writes are visible to all readers.
-        run(cfg(8), |m| m.alloc(64), |ctx, &r| {
-            let p = ctx.proc_id();
-            for round in 0..4u64 {
-                ctx.write(r, p, round * 10 + p as u64);
-                ctx.barrier(round as u32);
-                for q in 0..ctx.nprocs() {
-                    assert_eq!(ctx.read(r, q), round * 10 + q as u64);
+        run(
+            cfg(8),
+            |m| m.alloc(64),
+            |ctx, &r| {
+                let p = ctx.proc_id();
+                for round in 0..4u64 {
+                    ctx.write(r, p, round * 10 + p as u64);
+                    ctx.barrier(round as u32);
+                    for q in 0..ctx.nprocs() {
+                        assert_eq!(ctx.read(r, q), round * 10 + q as u64);
+                    }
+                    ctx.barrier(100 + round as u32);
                 }
-                ctx.barrier(100 + round as u32);
-            }
-        });
+            },
+        );
     }
 
     #[test]
     fn false_sharing_generates_invalidations() {
         // Two procs write adjacent words in the same 4-word block.
-        let out = run(cfg(2), |m| m.alloc(4), |ctx, &r| {
-            let p = ctx.proc_id();
-            for _ in 0..20 {
-                ctx.write(r, p, 1);
-            }
-        });
+        let out = run(
+            cfg(2),
+            |m| m.alloc(4),
+            |ctx, &r| {
+                let p = ctx.proc_id();
+                for _ in 0..20 {
+                    ctx.write(r, p, 1);
+                }
+            },
+        );
         assert!(out.misses > 2, "ping-ponging block must miss repeatedly");
-        assert!(out.trace.len() > 0);
+        assert!(!out.trace.is_empty());
     }
 
     #[test]
     fn capacity_misses_with_tiny_cache() {
         let small = cfg(1).with_cache_lines(2);
-        let out = run(small, |m| m.alloc(1024), |ctx, &r| {
-            for i in 0..256 {
-                ctx.read(r, i * 4); // distinct blocks
-            }
-            for i in 0..256 {
-                ctx.read(r, i * 4);
-            }
-        });
+        let out = run(
+            small,
+            |m| m.alloc(1024),
+            |ctx, &r| {
+                for i in 0..256 {
+                    ctx.read(r, i * 4); // distinct blocks
+                }
+                for i in 0..256 {
+                    ctx.read(r, i * 4);
+                }
+            },
+        );
         // Direct-mapped 2-line cache, 256 distinct blocks: everything
         // misses both passes.
         assert_eq!(out.misses, 512);
@@ -898,12 +949,16 @@ mod tests {
 
     #[test]
     fn netlog_and_trace_are_consistent() {
-        let out = run(cfg(4), |m| m.alloc(64), |ctx, &r| {
-            let p = ctx.proc_id();
-            ctx.write(r, p, p as u64);
-            ctx.barrier(0);
-            ctx.read(r, (p + 1) % 4);
-        });
+        let out = run(
+            cfg(4),
+            |m| m.alloc(64),
+            |ctx, &r| {
+                let p = ctx.proc_id();
+                ctx.write(r, p, p as u64);
+                ctx.barrier(0);
+                ctx.read(r, (p + 1) % 4);
+            },
+        );
         assert_eq!(out.trace.len(), out.netlog.records().len());
         out.trace.check().unwrap();
     }
@@ -920,12 +975,16 @@ mod tests {
                 ctx.write(*r, slot, v + 1);
             }
         };
-        let msi = run(cfg(2).with_protocol(crate::Protocol::Msi), |m| m.alloc(256), move |c, r| {
-            body(c, r)
-        });
-        let mesi = run(cfg(2).with_protocol(crate::Protocol::Mesi), |m| m.alloc(256), move |c, r| {
-            body(c, r)
-        });
+        let msi = run(
+            cfg(2).with_protocol(crate::Protocol::Msi),
+            |m| m.alloc(256),
+            move |c, r| body(c, r),
+        );
+        let mesi = run(
+            cfg(2).with_protocol(crate::Protocol::Mesi),
+            |m| m.alloc(256),
+            move |c, r| body(c, r),
+        );
         assert!(
             mesi.misses < msi.misses,
             "MESI should remove upgrade misses: {} vs {}",
@@ -938,17 +997,21 @@ mod tests {
     #[test]
     fn mesi_preserves_coherence_under_sharing() {
         // The MESI exclusive grant must not break invalidation coherence.
-        run(cfg(4).with_protocol(crate::Protocol::Mesi), |m| m.alloc(16), |ctx, &r| {
-            let p = ctx.proc_id();
-            for round in 0..3u64 {
-                if p == (round as usize) % 4 {
-                    ctx.write(r, 0, round * 7 + 1);
+        run(
+            cfg(4).with_protocol(crate::Protocol::Mesi),
+            |m| m.alloc(16),
+            |ctx, &r| {
+                let p = ctx.proc_id();
+                for round in 0..3u64 {
+                    if p == (round as usize) % 4 {
+                        ctx.write(r, 0, round * 7 + 1);
+                    }
+                    ctx.barrier(round as u32);
+                    assert_eq!(ctx.read(r, 0), round * 7 + 1);
+                    ctx.barrier(10 + round as u32);
                 }
-                ctx.barrier(round as u32);
-                assert_eq!(ctx.read(r, 0), round * 7 + 1);
-                ctx.barrier(10 + round as u32);
-            }
-        });
+            },
+        );
     }
 
     #[test]

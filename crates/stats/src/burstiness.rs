@@ -69,11 +69,8 @@ pub fn autocorrelation(gaps: &[f64], k: usize) -> Option<f64> {
     if var == 0.0 {
         return None;
     }
-    let cov = gaps
-        .windows(k + 1)
-        .map(|w| (w[0] - mean) * (w[k] - mean))
-        .sum::<f64>()
-        / (n - k as f64);
+    let cov =
+        gaps.windows(k + 1).map(|w| (w[0] - mean) * (w[k] - mean)).sum::<f64>() / (n - k as f64);
     Some(cov / var)
 }
 
@@ -139,7 +136,7 @@ mod tests {
         let mut gaps = Vec::new();
         for _ in 0..200 {
             let regime = Dist::exponential(0.1).sample(&mut rng).max(0.1);
-            gaps.extend(std::iter::repeat(regime).take(24));
+            gaps.extend(std::iter::repeat_n(regime, 24));
         }
         let i1 = idi(&gaps, 1).unwrap();
         let i16 = idi(&gaps, 16).unwrap();

@@ -1,12 +1,11 @@
 //! The candidate distribution families.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::special::{gamma_p, ln_gamma, phi};
 
 /// The distribution family, without parameters — used for selection tables.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Family {
     /// Exponential(rate).
     Exponential,
@@ -83,7 +82,7 @@ impl std::fmt::Display for Family {
 /// assert!((d.mean() - 2.0).abs() < 1e-12);
 /// assert!((d.cdf(2.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Dist {
     /// Exponential with the given rate λ.
     Exponential {
@@ -296,7 +295,8 @@ impl Dist {
                 } else if x == 0.0 && shape < 1.0 {
                     f64::INFINITY
                 } else {
-                    (shape * rate.ln() + (shape - 1.0) * x.max(1e-300).ln() - rate * x
+                    (shape * rate.ln() + (shape - 1.0) * x.max(1e-300).ln()
+                        - rate * x
                         - ln_gamma(shape))
                     .exp()
                 }
@@ -532,7 +532,7 @@ impl Dist {
         match *self {
             Dist::Exponential { .. } => {
                 let [rate] = *p else { return None };
-                (rate > 0.0 && rate.is_finite()).then(|| Dist::Exponential { rate })?;
+                (rate > 0.0 && rate.is_finite()).then_some(())?;
                 ok(Dist::Exponential { rate })
             }
             Dist::HyperExp2 { .. } => {
@@ -705,9 +705,9 @@ mod tests {
     #[test]
     fn erlang_cdf_closed_form() {
         let d = Dist::erlang(2, 0.5);
-        for &x in &[0.5, 2.0, 6.0] {
+        for &x in &[0.5f64, 2.0, 6.0] {
             let lam = 0.5;
-            let expect = 1.0 - (-lam * x as f64).exp() * (1.0 + lam * x);
+            let expect = 1.0 - (-lam * x).exp() * (1.0 + lam * x);
             assert!((d.cdf(x) - expect).abs() < 1e-9);
         }
     }

@@ -378,8 +378,7 @@ mod tests {
         let s = samples_of(Dist::exponential(1.0), 2000, 8);
         let all = fit_all(&s);
         assert!(all.len() >= 4);
-        let penalty =
-            |r: &FitResult| r.ks + 0.005 * (r.dist.params().len() as f64 - 1.0);
+        let penalty = |r: &FitResult| r.ks + 0.005 * (r.dist.params().len() as f64 - 1.0);
         for w in all.windows(2) {
             assert!(penalty(&w[0]) <= penalty(&w[1]) + 1e-12);
         }

@@ -51,10 +51,7 @@ pub fn chi_square(hist: &Histogram, dist: &Dist) -> (f64, usize) {
             cells.push((obs_acc, exp_acc.max(1e-9)));
         }
     }
-    let chi2 = cells
-        .iter()
-        .map(|&(o, e)| if e > 0.0 { (o - e) * (o - e) / e } else { 0.0 })
-        .sum();
+    let chi2 = cells.iter().map(|&(o, e)| if e > 0.0 { (o - e) * (o - e) / e } else { 0.0 }).sum();
     (chi2, cells.len())
 }
 
@@ -97,7 +94,7 @@ mod tests {
         let samples: Vec<f64> = (1..100)
             .map(|i| {
                 let q = i as f64 / 100.0;
-                -(1.0 - q as f64).ln()
+                -(1.0 - q).ln()
             })
             .collect();
         let e = Ecdf::new(samples);

@@ -45,8 +45,7 @@ pub fn fit_line(points: &[(f64, f64)]) -> Option<LineFit> {
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
     let ss_tot: f64 = points.iter().map(|p| (p.1 - my) * (p.1 - my)).sum();
-    let ss_res: f64 =
-        points.iter().map(|p| (p.1 - slope * p.0 - intercept).powi(2)).sum();
+    let ss_res: f64 = points.iter().map(|p| (p.1 - slope * p.0 - intercept).powi(2)).sum();
     let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
     Some(LineFit { slope, intercept, r2 })
 }

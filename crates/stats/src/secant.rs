@@ -117,8 +117,8 @@ where
         let mut improved = false;
         for _ in 0..12 {
             let mut a = jtj.clone();
-            for d in 0..n {
-                a[d][d] += lambda;
+            for (d, row) in a.iter_mut().enumerate() {
+                row[d] += lambda;
             }
             let b: Vec<f64> = jtr.iter().map(|v| -v).collect();
             let Some(delta) = solve(a, b) else {
@@ -185,7 +185,8 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = b.len();
     for col in 0..n {
         // Pivot.
-        let piv = (col..n).max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
+        let piv =
+            (col..n).max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
         if a[piv][col].abs() < 1e-300 {
             return None;
         }
@@ -193,6 +194,9 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
         b.swap(col, piv);
         for row in col + 1..n {
             let f = a[row][col] / a[col][col];
+            // Reads row `col` while mutating row `row`; indexing keeps the
+            // borrows disjoint.
+            #[allow(clippy::needless_range_loop)]
             for k in col..n {
                 a[row][k] -= f * a[col][k];
             }
@@ -243,7 +247,7 @@ mod tests {
     fn fits_exponential_decay() {
         // y = exp(-k x) with k = 0.7, fit k from samples.
         let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.3).collect();
-        let ys: Vec<f64> = xs.iter().map(|&x| (-0.7 * x as f64).exp()).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| (-0.7 * x).exp()).collect();
         let fit = minimize(
             &[0.2],
             |p| {
@@ -263,7 +267,7 @@ mod tests {
     fn fits_two_parameter_curve() {
         // y = a e^{-b x}: recover a = 2, b = 0.4.
         let xs: Vec<f64> = (0..30).map(|i| i as f64 * 0.25).collect();
-        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 * (-0.4 * x as f64).exp()).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 * (-0.4 * x).exp()).collect();
         let fit = minimize(
             &[1.0, 1.0],
             |p| {

@@ -11,10 +11,9 @@
 //! [`classify_with_count`].
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A fitted spatial model for a single source processor.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum SpatialModel {
     /// Every other processor is an equally likely destination.
     Uniform,
@@ -91,9 +90,8 @@ impl SpatialModel {
                     .filter(|&j| j != src)
                     .map(|j| dist(src, j))
                     .fold(f64::INFINITY, f64::min);
-                let nearest: Vec<usize> = (0..n)
-                    .filter(|&j| j != src && dist(src, j) <= dmin + 1e-9)
-                    .collect();
+                let nearest: Vec<usize> =
+                    (0..n).filter(|&j| j != src && dist(src, j) <= dmin + 1e-9).collect();
                 let v = 1.0 / nearest.len() as f64;
                 for j in nearest {
                     p[j] = v;
@@ -118,7 +116,7 @@ impl std::fmt::Display for SpatialModel {
 }
 
 /// The result of classifying one source's destination histogram.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SpatialFit {
     /// The selected model.
     pub model: SpatialModel,
@@ -150,9 +148,8 @@ fn sse(obs: &[f64], pred: &[f64]) -> f64 {
 
 fn r2(obs: &[f64], pred: &[f64], src: usize) -> f64 {
     let n = obs.len();
-    let mean: f64 =
-        obs.iter().enumerate().filter(|&(j, _)| j != src).map(|(_, &o)| o).sum::<f64>()
-            / (n - 1) as f64;
+    let mean: f64 = obs.iter().enumerate().filter(|&(j, _)| j != src).map(|(_, &o)| o).sum::<f64>()
+        / (n - 1) as f64;
     let ss_tot: f64 = obs
         .iter()
         .enumerate()

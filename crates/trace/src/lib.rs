@@ -33,10 +33,8 @@
 pub mod profile;
 pub mod replay;
 
-use serde::{Deserialize, Serialize};
-
 /// Classification of a communication event.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum EventKind {
     /// Protocol control traffic (requests, invalidations, acks) — small.
     Control,
@@ -58,7 +56,7 @@ impl EventKind {
 }
 
 /// One communication event.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CommEvent {
     /// Unique message id within the trace.
     pub id: u64,
@@ -93,7 +91,7 @@ impl CommEvent {
 }
 
 /// An ordered communication trace over `nodes` processors.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CommTrace {
     nodes: usize,
     events: Vec<CommEvent>,
@@ -232,9 +230,8 @@ impl Extend<CommEvent> for CommTrace {
 }
 
 // A tiny hand-rolled JSON codec: the trace format is a flat object per
-// line, simple enough that pulling in serde_json (not in the approved
-// dependency set) is unnecessary. serde derives remain for embedding the
-// types in other structures.
+// line, simple enough that pulling in serde_json (unavailable in the
+// offline build environment) is unnecessary.
 mod serde_json {
     use super::{CommEvent, EventKind};
 
@@ -366,7 +363,8 @@ mod tests {
         assert!(CommTrace::from_jsonl("{\"nodes\":0}\n").is_err());
         assert!(CommTrace::from_jsonl("{\"nodes\":2}\nnot-json\n").is_err());
         // Bad endpoints.
-        let bad = "{\"nodes\":2}\n{\"id\":0,\"t\":1,\"src\":0,\"dst\":7,\"bytes\":8,\"kind\":\"data\"}\n";
+        let bad =
+            "{\"nodes\":2}\n{\"id\":0,\"t\":1,\"src\":0,\"dst\":7,\"bytes\":8,\"kind\":\"data\"}\n";
         assert!(CommTrace::from_jsonl(bad).is_err());
         // Dependency ordering violation caught by check().
         let cyc = "{\"nodes\":2}\n{\"id\":0,\"t\":5,\"src\":0,\"dst\":1,\"bytes\":8,\"kind\":\"data\",\"dep\":1}\n{\"id\":1,\"t\":9,\"src\":1,\"dst\":0,\"bytes\":8,\"kind\":\"data\"}\n";

@@ -1,11 +1,9 @@
 //! Trace profiling: per-source workload summaries.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{CommTrace, EventKind};
 
 /// Per-source profile of a trace.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SourceProfile {
     /// Source processor.
     pub src: u16,
@@ -22,7 +20,7 @@ pub struct SourceProfile {
 }
 
 /// Whole-trace profile.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TraceProfile {
     /// One entry per source processor.
     pub sources: Vec<SourceProfile>,

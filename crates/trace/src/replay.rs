@@ -19,7 +19,9 @@
 use std::collections::{BinaryHeap, HashMap};
 
 use commchar_des::SimTime;
-use commchar_mesh::{MeshConfig, NetLog, NetMessage, NodeId, OnlineWormhole};
+use commchar_mesh::{
+    LogSink, MeshConfig, NetLog, NetMessage, NodeId, OnlineWormhole, StreamingLog,
+};
 
 use crate::CommTrace;
 
@@ -61,6 +63,31 @@ impl CausalReplayer {
     /// Panics if the trace fails [`CommTrace::check`] or references nodes
     /// outside the mesh.
     pub fn replay(&self, trace: &CommTrace) -> NetLog {
+        self.replay_into(trace, NetLog::new())
+    }
+
+    /// Replays the trace with online statistics only — O(bins + P²)
+    /// memory however long the trace, at the price of losing per-message
+    /// records. Shorthand for [`replay_into`](Self::replay_into) with a
+    /// [`StreamingLog`] sized for the mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`replay`](Self::replay).
+    pub fn replay_streaming(&self, trace: &CommTrace) -> StreamingLog {
+        self.replay_into(trace, StreamingLog::new(self.cfg.shape.nodes()))
+    }
+
+    /// Replays the trace, delivering every completed message to `sink`.
+    /// This is the generic engine behind [`replay`](Self::replay)
+    /// (retained records) and [`replay_streaming`](Self::replay_streaming)
+    /// (constant memory); any [`LogSink`] works.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace fails [`CommTrace::check`] or references nodes
+    /// outside the mesh.
+    pub fn replay_into<S: LogSink>(&self, trace: &CommTrace, sink: S) -> S {
         trace.check().expect("trace must be internally consistent");
         assert!(
             trace.nodes() <= self.cfg.shape.nodes(),
@@ -83,7 +110,7 @@ impl CausalReplayer {
             per_src[s].push((idx as u64, think));
         }
 
-        let mut net = OnlineWormhole::new(self.cfg);
+        let mut net = OnlineWormhole::with_sink(self.cfg, sink);
         let mut delivered: HashMap<u64, u64> = HashMap::new(); // msg id -> tail delivery
         let mut waiting: HashMap<u64, Vec<u16>> = HashMap::new(); // dep id -> sources parked
         let mut next_idx: Vec<usize> = vec![0; n]; // cursor into per_src
@@ -93,21 +120,19 @@ impl CausalReplayer {
         // Computes the next ready entry for a source, if its dependency is
         // resolved; otherwise parks the source on the dependency.
         let arm = |s: usize,
-                       next_idx: &[usize],
-                       last_inject: &[u64],
-                       delivered: &HashMap<u64, u64>,
-                       waiting: &mut HashMap<u64, Vec<u16>>,
-                       heap: &mut BinaryHeap<Ready>| {
+                   next_idx: &[usize],
+                   last_inject: &[u64],
+                   delivered: &HashMap<u64, u64>,
+                   waiting: &mut HashMap<u64, Vec<u16>>,
+                   heap: &mut BinaryHeap<Ready>| {
             let Some(&(eidx, think)) = per_src[s].get(next_idx[s]) else { return };
             let e = events[eidx as usize];
             let base = last_inject[s] + think;
             match e.depends_on {
                 Some(dep) => match delivered.get(&dep) {
-                    Some(&d) => heap.push(Ready {
-                        inject: base.max(d),
-                        src: s as u16,
-                        idx: eidx as usize,
-                    }),
+                    Some(&d) => {
+                        heap.push(Ready { inject: base.max(d), src: s as u16, idx: eidx as usize })
+                    }
                     None => waiting.entry(dep).or_default().push(s as u16),
                 },
                 None => heap.push(Ready { inject: base, src: s as u16, idx: eidx as usize }),
@@ -145,7 +170,7 @@ impl CausalReplayer {
             events.len(),
             "causal replay stalled: dependency cycle or dep on never-sent message"
         );
-        net.into_log()
+        net.into_sink()
     }
 
     /// Naive replay at recorded timestamps — the pitfall baseline (no
@@ -213,15 +238,14 @@ mod tests {
     fn chains_of_dependencies_replay_in_order() {
         let mut tr = CommTrace::new(4);
         // Ping-pong: 0 -> 1 -> 0 -> 1 ...
-        let mut id = 0u64;
         for round in 0..10u64 {
+            let id = round;
             let (s, d) = if round % 2 == 0 { (0, 1) } else { (1, 0) };
             let mut e = ev(id, round * 10, s, d, 64);
             if id > 0 {
                 e = e.after(id - 1);
             }
             tr.push(e);
-            id += 1;
         }
         let cfg = MeshConfig::for_nodes(4);
         let log = CausalReplayer::new(cfg).replay(&tr);
@@ -242,6 +266,37 @@ mod tests {
         let mut tr = CommTrace::new(4);
         tr.push(ev(0, 0, 0, 1, 8).after(42));
         CausalReplayer::new(MeshConfig::for_nodes(4)).replay(&tr);
+    }
+
+    #[test]
+    fn streaming_replay_matches_batch_replay() {
+        let mut tr = CommTrace::new(8);
+        let mut id = 0u64;
+        for t in 0..200u64 {
+            let src = (t % 8) as u16;
+            let dst = ((t * 5 + 1) % 8) as u16;
+            if src != dst {
+                let mut e = ev(id, t * 9, src, dst, 16 + (t % 48) as u32);
+                if id > 4 && t % 3 == 0 {
+                    e = e.after(id - 4);
+                }
+                tr.push(e);
+                id += 1;
+            }
+        }
+        let cfg = MeshConfig::for_nodes(8);
+        let rep = CausalReplayer::new(cfg);
+        let log = rep.replay(&tr);
+        let stream = rep.replay_streaming(&tr);
+        assert_eq!(log.records().len() as u64, stream.messages());
+        let a = log.summary();
+        let b = stream.summary();
+        assert_eq!(a.span, b.span);
+        assert!((a.mean_latency - b.mean_latency).abs() < 1e-9);
+        assert!((a.mean_blocked - b.mean_blocked).abs() < 1e-9);
+        assert!((a.throughput - b.throughput).abs() < 1e-12);
+        assert_eq!(stream.spatial_counts(), log.spatial_counts(8));
+        assert_eq!(log.utilization(), stream.utilization());
     }
 
     #[test]

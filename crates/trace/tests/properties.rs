@@ -13,13 +13,7 @@ use std::collections::HashMap;
 /// `CommTrace::check` enforces.
 fn arb_trace(nodes: usize, max: usize) -> impl Strategy<Value = CommTrace> {
     prop::collection::vec(
-        (
-            0..nodes as u16,
-            0..nodes as u16,
-            1u32..100,
-            0u64..50_000,
-            prop::option::of(0usize..max),
-        ),
+        (0..nodes as u16, 0..nodes as u16, 1u32..100, 0u64..50_000, prop::option::of(0usize..max)),
         1..max,
     )
     .prop_map(move |raw| {

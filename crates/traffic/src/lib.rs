@@ -31,11 +31,10 @@ use commchar_stats::Dist;
 use commchar_trace::{CommEvent, CommTrace, EventKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// A discrete message-length distribution (lengths in parallel programs
 /// are multi-modal: control messages, cache blocks, bulk payloads).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LengthDist {
     values: Vec<u32>,
     probs: Vec<f64>,
@@ -104,7 +103,7 @@ impl LengthDist {
 }
 
 /// The traffic model of one source processor.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SourceModel {
     /// Message inter-generation time distribution (ticks).
     pub interarrival: Dist,
@@ -116,7 +115,7 @@ pub struct SourceModel {
 
 /// A complete open-loop traffic model: one [`SourceModel`] per processor
 /// (`None` for processors that never send).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TrafficModel {
     sources: Vec<Option<SourceModel>>,
 }

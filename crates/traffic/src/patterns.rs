@@ -23,11 +23,7 @@ fn spatial_from<F: Fn(usize) -> Vec<f64>>(n: usize, f: F) -> Vec<Option<SourceMo
         .collect()
 }
 
-fn with_rate_and_len(
-    mut sources: Vec<Option<SourceModel>>,
-    rate: f64,
-    bytes: u32,
-) -> TrafficModel {
+fn with_rate_and_len(mut sources: Vec<Option<SourceModel>>, rate: f64, bytes: u32) -> TrafficModel {
     for m in sources.iter_mut().flatten() {
         m.interarrival = Dist::exponential(rate);
         m.length = LengthDist::fixed(bytes);
@@ -59,7 +55,7 @@ pub fn uniform_poisson(n: usize, rate: f64, bytes: u32) -> TrafficModel {
 pub fn transpose(n: usize, rate: f64, bytes: u32) -> TrafficModel {
     assert!(n.is_power_of_two(), "transpose needs a power-of-two node count");
     let bits = n.trailing_zeros() as usize;
-    assert!(bits % 2 == 0, "transpose needs an even number of address bits");
+    assert!(bits.is_multiple_of(2), "transpose needs an even number of address bits");
     let half = bits / 2;
     let mask = (1usize << half) - 1;
     let sources = spatial_from(n, |s| {
@@ -106,8 +102,7 @@ pub fn hotspot(n: usize, hot: usize, p_hot: f64, rate: f64, bytes: u32) -> Traff
                         p_hot + (1.0 - p_hot) / (n - 1) as f64
                     }
                 } else {
-                    let others = if s == hot { n - 1 } else { n - 1 };
-                    (1.0 - p_hot) / others as f64
+                    (1.0 - p_hot) / (n - 1) as f64
                 }
             })
             .collect()
@@ -171,7 +166,7 @@ mod tests {
         ] {
             let tr = m.generate(20_000, 5);
             tr.check().unwrap();
-            assert!(tr.len() > 0);
+            assert!(!tr.is_empty());
         }
     }
 }

@@ -34,7 +34,12 @@ fn main() {
         } else {
             format!("{:.1}", report.mean_latency)
         };
-        println!("{:<16} {:>10.3} {:>16}", format!("{flit_bytes} B/flit"), report.max_channel_util, lat);
+        println!(
+            "{:<16} {:>10.3} {:>16}",
+            format!("{flit_bytes} B/flit"),
+            report.max_channel_util,
+            lat
+        );
     }
 
     // Sanity-check the default design point against simulation.

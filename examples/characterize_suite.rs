@@ -28,9 +28,6 @@ fn main() {
     }
     println!(
         "{}",
-        table(
-            &["application", "class", "msgs", "inter-arrival fit", "R²", "spatial model"],
-            &rows
-        )
+        table(&["application", "class", "msgs", "inter-arrival fit", "R²", "spatial model"], &rows)
     );
 }

@@ -21,7 +21,10 @@ fn main() {
 
     // 2. Analyze: fit the three communication attributes.
     let sig = characterize(&workload);
-    println!("\ntemporal:  inter-arrival ~ {} (R² = {:.4})", sig.temporal.aggregate.dist, sig.temporal.aggregate.r2);
+    println!(
+        "\ntemporal:  inter-arrival ~ {} (R² = {:.4})",
+        sig.temporal.aggregate.dist, sig.temporal.aggregate.r2
+    );
     println!("spatial:   {}", commchar::core::report::spatial_consensus(&sig));
     println!(
         "volume:    {} messages, mean {:.1} bytes",

@@ -27,8 +27,14 @@ fn main() {
     let causal = rep.replay(&out.trace).summary();
     let naive = rep.replay_naive(&out.trace).summary();
 
-    println!("causal replay:  mean latency {:.1}, mean blocked {:.1}", causal.mean_latency, causal.mean_blocked);
-    println!("naive replay:   mean latency {:.1}, mean blocked {:.1}", naive.mean_latency, naive.mean_blocked);
+    println!(
+        "causal replay:  mean latency {:.1}, mean blocked {:.1}",
+        causal.mean_latency, causal.mean_blocked
+    );
+    println!(
+        "naive replay:   mean latency {:.1}, mean blocked {:.1}",
+        naive.mean_latency, naive.mean_blocked
+    );
 
     // Causality check: in the causal replay no dependent message is
     // injected before its dependency is delivered.

@@ -1,0 +1,132 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Implements the harness surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`criterion_group!`], [`criterion_main!`] — with a
+//! simple wall-clock timer instead of criterion's statistical machinery.
+//! Each benchmark runs a short warm-up, then `sample_size` timed samples,
+//! and prints the per-iteration mean and min to stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Drives timed iterations of one benchmark body.
+pub struct Bencher {
+    samples: usize,
+}
+
+impl Bencher {
+    /// Times `body`, running warm-up iterations followed by timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        for _ in 0..2 {
+            std::hint::black_box(body());
+        }
+        let mut total = std::time::Duration::ZERO;
+        let mut min = std::time::Duration::MAX;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(body());
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        let mean = total / self.samples as u32;
+        println!("    {} samples: mean {:?}, min {:?}", self.samples, mean, min);
+    }
+}
+
+/// Top-level benchmark registry (shim of criterion's `Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        println!("bench: {name}");
+        let mut b = Bencher { samples: self.sample_size };
+        f(&mut b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        println!("  bench: {name}");
+        let mut b = Bencher { samples: self.sample_size };
+        f(&mut b);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a group callable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = <$crate::Criterion as ::core::default::Default>::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group!(benches, trivial);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

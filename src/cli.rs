@@ -7,7 +7,8 @@
 use std::fmt::Write as _;
 
 use commchar_apps::{AppId, Scale};
-use commchar_core::report::{spatial_consensus, table};
+use commchar_core::report::{suite_table, suite_timing};
+use commchar_core::suite::{cell_matrix, SuiteRunner};
 use commchar_core::{characterize, run_workload, synthesize, Workload};
 use commchar_mesh::MeshConfig;
 use commchar_trace::replay::CausalReplayer;
@@ -32,14 +33,10 @@ impl From<String> for CliError {
 }
 
 fn parse_app(name: &str) -> Result<AppId, CliError> {
-    AppId::all()
-        .iter()
-        .copied()
-        .find(|a| a.name() == name)
-        .ok_or_else(|| {
-            let names: Vec<&str> = AppId::all().iter().map(|a| a.name()).collect();
-            CliError(format!("unknown application {name:?}; expected one of {names:?}"))
-        })
+    AppId::all().iter().copied().find(|a| a.name() == name).ok_or_else(|| {
+        let names: Vec<&str> = AppId::all().iter().map(|a| a.name()).collect();
+        CliError(format!("unknown application {name:?}; expected one of {names:?}"))
+    })
 }
 
 /// Parses a scale name (`tiny|small|full`).
@@ -129,6 +126,38 @@ pub fn cmd_generate(app: &str, common: Common) -> Result<String, CliError> {
     Ok(model.generate(span, common.seed).to_jsonl())
 }
 
+/// `commchar replay --streaming <trace file contents>`: causal replay
+/// accumulating online statistics only — constant memory however long the
+/// trace, at the price of per-message records (quantiles become
+/// histogram-approximate).
+pub fn cmd_replay_streaming(jsonl: &str) -> Result<String, CliError> {
+    let trace = CommTrace::from_jsonl(jsonl)?;
+    let mesh = MeshConfig::for_nodes(trace.nodes());
+    let stream = CausalReplayer::new(mesh).replay_streaming(&trace);
+    let s = stream.summary();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "replayed {} messages on a {} -node mesh (streaming, {} histogram bins)",
+        s.messages,
+        trace.nodes(),
+        stream.latency_histogram().bins()
+    );
+    let _ = writeln!(
+        out,
+        "causal: mean latency {:.1} (≈median {:.0}, ≈p95 {:.0}), blocked {:.1}",
+        s.mean_latency, s.median_latency, s.p95_latency, s.mean_blocked
+    );
+    let _ = writeln!(
+        out,
+        "inter-arrival: mean {:.1}, cv {:.2}; throughput {:.4} bytes/tick",
+        stream.interarrival().mean(),
+        stream.interarrival().cv(),
+        s.throughput
+    );
+    Ok(out)
+}
+
 /// `commchar replay <trace file contents>`: causal replay through the mesh,
 /// returning the network summary (plus the naive comparison).
 pub fn cmd_replay(jsonl: &str) -> Result<String, CliError> {
@@ -138,7 +167,8 @@ pub fn cmd_replay(jsonl: &str) -> Result<String, CliError> {
     let causal = rep.replay(&trace).summary();
     let naive = rep.replay_naive(&trace).summary();
     let mut out = String::new();
-    let _ = writeln!(out, "replayed {} messages on a {} -node mesh", causal.messages, trace.nodes());
+    let _ =
+        writeln!(out, "replayed {} messages on a {} -node mesh", causal.messages, trace.nodes());
     let _ = writeln!(
         out,
         "causal: mean latency {:.1} (p95 {:.0}), blocked {:.1}",
@@ -152,21 +182,15 @@ pub fn cmd_replay(jsonl: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `commchar suite`: the one-line-per-application summary.
-pub fn cmd_suite(common: Common) -> String {
-    let mut rows = Vec::new();
-    for &app in AppId::all() {
-        let w = run_workload(app, common.procs, common.scale);
-        let sig = characterize(&w);
-        rows.push(vec![
-            sig.name.clone(),
-            sig.class.name().to_string(),
-            sig.volume.messages.to_string(),
-            format!("{}", sig.temporal.aggregate.dist),
-            spatial_consensus(&sig),
-        ]);
-    }
-    table(&["application", "class", "msgs", "inter-arrival fit", "spatial model"], &rows)
+/// `commchar suite [--jobs N]`: the one-line-per-application summary, run
+/// across a pool of worker threads. Returns `(table, timing)`: the table
+/// is deterministic (byte-identical for any worker count, so it can be
+/// diffed across runs); the timing text carries the wall-clock and
+/// messages/sec figures and belongs on stderr.
+pub fn cmd_suite(common: Common, jobs: usize) -> (String, String) {
+    let cells = cell_matrix(AppId::all(), &[common.procs], &[common.scale], common.seed);
+    let report = SuiteRunner::new(jobs).run(cells);
+    (suite_table(&report), suite_timing(&report))
 }
 
 /// Usage text.
@@ -182,13 +206,18 @@ COMMANDS:
     characterize --trace FILE     characterize a saved trace (causal mesh replay)
     generate <app> [--out FILE]   emit a synthetic trace from the fitted model
     replay --trace FILE           replay a saved trace (causal vs naive)
-    suite                         characterize all seven applications
+    suite                         characterize all seven applications in parallel
 
 OPTIONS:
     --procs N       processor count (default 8)
     --scale S       tiny | small | full (default small)
     --seed N        generation seed (default 42)
+    --jobs N        suite worker threads; 0 = one per hardware thread (default 0)
+    --streaming     replay with online statistics only (constant memory)
     --out FILE      write trace output to FILE instead of stdout
+
+The suite table is deterministic: any --jobs value produces byte-identical
+stdout; wall-clock and messages/sec figures go to stderr.
 
 APPLICATIONS:
     1d-fft is cholesky nbody maxflow 3d-fft mg
@@ -205,7 +234,7 @@ mod tests {
         let common = Common { procs: 4, scale: Scale::Tiny, seed: 1 };
         let (report, trace) = cmd_run("is", common).unwrap();
         assert!(report.contains("ran is on 4 processors"));
-        assert!(trace.len() > 0);
+        assert!(!trace.is_empty());
         let sig = cmd_characterize_app("is", common).unwrap();
         assert!(sig.contains("temporal attribute"));
         assert!(sig.contains("spatial attribute"));
@@ -236,8 +265,31 @@ mod tests {
         let common = Common { procs: 4, scale: Scale::Tiny, seed: 9 };
         let jsonl = cmd_generate("nbody", common).unwrap();
         let parsed = CommTrace::from_jsonl(&jsonl).unwrap();
-        assert!(parsed.len() > 0);
+        assert!(!parsed.is_empty());
         assert_eq!(parsed.nodes(), 4);
+    }
+
+    #[test]
+    fn suite_runs_all_apps_and_is_deterministic_across_jobs() {
+        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1 };
+        let (table, timing) = cmd_suite(common, 4);
+        for a in AppId::all() {
+            assert!(table.contains(a.name()), "suite table missing {a:?}");
+        }
+        assert!(table.contains("synth ratio"));
+        assert!(timing.contains("worker"));
+        let (serial_table, _) = cmd_suite(common, 1);
+        assert_eq!(table, serial_table, "suite table must not depend on --jobs");
+    }
+
+    #[test]
+    fn streaming_replay_reports_summary() {
+        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1 };
+        let (_, trace) = cmd_run("3d-fft", common).unwrap();
+        let out = cmd_replay_streaming(&trace.to_jsonl()).unwrap();
+        assert!(out.contains("streaming"));
+        assert!(out.contains("mean latency"));
+        assert!(out.contains("inter-arrival"));
     }
 
     #[test]

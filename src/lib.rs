@@ -16,11 +16,16 @@
 //! - [`apps`] — the seven application kernels
 //! - [`traffic`] — synthetic traffic generation from fitted models
 //! - [`analytic`] — M/G/1 analytical mesh model fed by fitted signatures
-//! - [`core`] — the end-to-end characterization pipeline
+//! - [`core`] — the end-to-end characterization pipeline (including the
+//!   parallel [`core::suite::SuiteRunner`])
 //! - [`cli`] — the `commchar` command-line tool's implementation
 //!
-//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
-//! system inventory.
+//! See the repository `README.md` for a quickstart, `ARCHITECTURE.md` for
+//! the crate-by-crate map (with the paper-section-to-module table) and
+//! `DESIGN.md` for the system inventory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod cli;
 

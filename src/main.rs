@@ -9,13 +9,30 @@ struct Args {
     common: Common,
     out: Option<String>,
     trace: Option<String>,
+    jobs: usize,
+    streaming: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
-    let mut args = Args { positional: Vec::new(), common: Common::default(), out: None, trace: None };
+    let mut args = Args {
+        positional: Vec::new(),
+        common: Common::default(),
+        out: None,
+        trace: None,
+        jobs: 0,
+        streaming: false,
+    };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--jobs" => {
+                args.jobs = it
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|_| "--jobs needs an integer")?;
+            }
+            "--streaming" => args.streaming = true,
             "--procs" => {
                 args.common.procs = it
                     .next()
@@ -24,8 +41,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|_| "--procs needs an integer")?;
             }
             "--scale" => {
-                args.common.scale = cli::parse_scale(it.next().ok_or("--scale needs a value")?)
-                    .map_err(|e| e.0)?;
+                args.common.scale =
+                    cli::parse_scale(it.next().ok_or("--scale needs a value")?).map_err(|e| e.0)?;
             }
             "--seed" => {
                 args.common.seed = it
@@ -87,10 +104,19 @@ fn run(argv: &[String]) -> Result<(), String> {
             emit(&jsonl, &args.out)
         }
         Some("replay") => {
-            let text = cli::cmd_replay(&read_trace(&args)?).map_err(|e| e.0)?;
+            let jsonl = read_trace(&args)?;
+            let text = if args.streaming {
+                cli::cmd_replay_streaming(&jsonl).map_err(|e| e.0)?
+            } else {
+                cli::cmd_replay(&jsonl).map_err(|e| e.0)?
+            };
             emit(&text, &None)
         }
-        Some("suite") => emit(&cli::cmd_suite(args.common), &None),
+        Some("suite") => {
+            let (table, timing) = cli::cmd_suite(args.common, args.jobs);
+            eprint!("{timing}");
+            emit(&table, &None)
+        }
         Some("help") | None => emit(&cli::usage(), &None),
         Some(other) => Err(format!("unknown command {other:?}; try `commchar help`")),
     }

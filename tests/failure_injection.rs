@@ -3,8 +3,8 @@
 //! engine or silently drop work — and malformed inputs must be rejected
 //! at the boundary.
 
-use commchar::spasm::{run, MachineConfig};
 use commchar::sp2::{run_mp, Sp2Config};
+use commchar::spasm::{run, MachineConfig};
 use commchar::trace::CommTrace;
 
 fn catches_panic<F: FnOnce() + std::panic::UnwindSafe>(f: F) -> bool {
@@ -14,15 +14,19 @@ fn catches_panic<F: FnOnce() + std::panic::UnwindSafe>(f: F) -> bool {
 #[test]
 fn spasm_processor_panic_propagates() {
     let failed = catches_panic(|| {
-        run(MachineConfig::new(4), |m| m.alloc(16), |ctx, &r| {
-            if ctx.proc_id() == 2 {
-                panic!("injected application fault");
-            }
-            // Other processors block on a barrier the faulty one never
-            // reaches; the engine must detect the death, not hang.
-            ctx.write(r, ctx.proc_id(), 1);
-            ctx.barrier(0);
-        });
+        run(
+            MachineConfig::new(4),
+            |m| m.alloc(16),
+            |ctx, &r| {
+                if ctx.proc_id() == 2 {
+                    panic!("injected application fault");
+                }
+                // Other processors block on a barrier the faulty one never
+                // reaches; the engine must detect the death, not hang.
+                ctx.write(r, ctx.proc_id(), 1);
+                ctx.barrier(0);
+            },
+        );
     });
     assert!(failed, "engine must propagate a processor panic");
 }
@@ -30,11 +34,15 @@ fn spasm_processor_panic_propagates() {
 #[test]
 fn spasm_panic_before_any_traffic_propagates() {
     let failed = catches_panic(|| {
-        run(MachineConfig::new(2), |m| m.alloc(4), |ctx, _| {
-            if ctx.proc_id() == 0 {
-                panic!("immediate fault");
-            }
-        });
+        run(
+            MachineConfig::new(2),
+            |m| m.alloc(4),
+            |ctx, _| {
+                if ctx.proc_id() == 0 {
+                    panic!("immediate fault");
+                }
+            },
+        );
     });
     assert!(failed);
 }
@@ -57,9 +65,13 @@ fn sp2_rank_panic_propagates() {
 #[test]
 fn out_of_bounds_shared_access_is_caught() {
     let failed = catches_panic(|| {
-        run(MachineConfig::new(2), |m| m.alloc(8), |ctx, &r| {
-            let _ = ctx.read(r, 64); // past the region
-        });
+        run(
+            MachineConfig::new(2),
+            |m| m.alloc(8),
+            |ctx, &r| {
+                let _ = ctx.read(r, 64); // past the region
+            },
+        );
     });
     assert!(failed);
 }
@@ -95,15 +107,19 @@ fn deadlocked_application_is_detected() {
     // finish: the engine must panic with the deadlock diagnostic instead
     // of hanging.
     let failed = catches_panic(|| {
-        run(MachineConfig::new(2), |m| m.alloc(1), |ctx, _| {
-            if ctx.proc_id() == 0 {
-                ctx.lock(7);
-                // Never unlocks; finishes holding the lock.
-            } else {
-                ctx.compute(10_000);
-                ctx.lock(7); // waits forever
-            }
-        });
+        run(
+            MachineConfig::new(2),
+            |m| m.alloc(1),
+            |ctx, _| {
+                if ctx.proc_id() == 0 {
+                    ctx.lock(7);
+                    // Never unlocks; finishes holding the lock.
+                } else {
+                    ctx.compute(10_000);
+                    ctx.lock(7); // waits forever
+                }
+            },
+        );
     });
     assert!(failed, "engine must detect the blocked processor");
 }

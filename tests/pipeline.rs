@@ -57,8 +57,8 @@ fn synthesis_round_trip_all_apps() {
         // The synthetic mean length should be close to the observed mean
         // (lengths are drawn from the empirical distribution).
         let obs = sig.volume.mean_bytes;
-        let got: f64 = synth.events().iter().map(|e| e.bytes as f64).sum::<f64>()
-            / synth.len() as f64;
+        let got: f64 =
+            synth.events().iter().map(|e| e.bytes as f64).sum::<f64>() / synth.len() as f64;
         assert!(
             (got - obs).abs() / obs < 0.35,
             "{app}: synthetic mean length {got} vs observed {obs}"
