@@ -4,7 +4,8 @@
 
 use commchar_apps::{AppId, Scale};
 use commchar_mesh::{
-    FlitLevel, MeshConfig, MeshModel, NetMessage, NodeId, OnlineWormhole, StreamingLog,
+    FlitCycleReference, FlitLevel, MeshConfig, MeshModel, NetMessage, NodeId, OnlineWormhole,
+    StreamingLog,
 };
 use commchar_stats::fit::fit_best;
 use commchar_stats::Dist;
@@ -40,6 +41,12 @@ fn bench_mesh(c: &mut Criterion) {
     let small = msgs_for(16, 500);
     c.bench_function("mesh/flit_level_500_msgs", |b| {
         b.iter(|| FlitLevel::new(mesh).simulate(black_box(&small)))
+    });
+    // The retained cycle-loop oracle, same workload — keeps the
+    // event-driven speedup visible in the criterion history alongside
+    // the BENCH_flit.json trajectory.
+    c.bench_function("mesh/flit_reference_500_msgs", |b| {
+        b.iter(|| FlitCycleReference::new(mesh).simulate(black_box(&small)))
     });
     // Same recurrence model, but folding into the constant-memory sink
     // instead of retaining every record.

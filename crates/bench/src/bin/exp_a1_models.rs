@@ -3,7 +3,9 @@
 //! FlitLevel router model, on synthetic patterns across load levels.
 
 use commchar_core::report::table;
-use commchar_mesh::{FlitLevel, MeshConfig, MeshModel, NetMessage, NodeId, OnlineWormhole};
+use commchar_mesh::{
+    FlitCycleReference, FlitLevel, MeshConfig, MeshModel, NetMessage, NodeId, OnlineWormhole,
+};
 use commchar_traffic::patterns::{bit_complement, hotspot, transpose, uniform_poisson};
 
 fn to_msgs(trace: &commchar_trace::CommTrace) -> Vec<NetMessage> {
@@ -35,7 +37,16 @@ fn main() {
             let trace = model.generate(60_000, 5);
             let msgs = to_msgs(&trace);
             let online = OnlineWormhole::new(mesh).simulate(&msgs).summary();
-            let flit = FlitLevel::new(mesh).simulate(&msgs).summary();
+            let flit_log = FlitLevel::new(mesh).simulate(&msgs);
+            // The event-driven router must be cycle-identical to the
+            // retained cycle-loop reference on every workload it reports.
+            let ref_log = FlitCycleReference::new(mesh).simulate(&msgs);
+            assert_eq!(
+                flit_log.records(),
+                ref_log.records(),
+                "{pat}/{name}: event-driven router diverged from the cycle-loop reference"
+            );
+            let flit = flit_log.summary();
             let rel = if flit.mean_latency > 0.0 {
                 100.0 * (online.mean_latency - flit.mean_latency).abs() / flit.mean_latency
             } else {

@@ -1,4 +1,5 @@
-//! Cycle-accurate flit-level wormhole router model with virtual channels.
+//! Cycle-accurate flit-level wormhole router model with virtual channels,
+//! driven by an event wheel instead of a per-cycle full-state scan.
 //!
 //! Routers have five input ports (one per neighbour plus injection), each
 //! with `virtual_channels` finite FIFO buffers; five output ports (plus
@@ -6,17 +7,65 @@
 //! while the physical channel accepts one flit per `link_delay` cycles;
 //! round-robin switch and VC allocation; wormhole flow control. Header
 //! flits pay a `router_delay` routing charge at every router; body flits
-//! stream behind on the established path. With one virtual channel the
-//! model reduces to a plain wormhole router and is used to cross-validate
-//! the faster [`OnlineWormhole`](crate::OnlineWormhole) recurrence: both
-//! produce the same zero-load latency by construction. With more virtual
-//! channels it quantifies how much head-of-line blocking the recurrence
-//! model's single-resource channels overstate (the Kumar–Bhuyan question
-//! the paper cites).
+//! stream behind on the established path.
+//!
+//! # Event-driven microarchitecture
+//!
+//! The retained [`FlitCycleReference`](crate::FlitCycleReference) walks
+//! every node × port × VC buffer every cycle. This model produces the
+//! exact same cycle-by-cycle state evolution while only touching state
+//! that has work:
+//!
+//! - **Hop cursors** — every flit carries the index of its current hop in
+//!   its worm's precomputed route (stored in one flat arena, no per-worm
+//!   allocation), so "which output does this flit want" is an O(1) array
+//!   read instead of a linear route search per candidate per cycle.
+//! - **Request queues** — each output port keeps a sorted list of input
+//!   buffers whose *head* flit requests it, maintained when a flit becomes
+//!   head-of-buffer (landing into an empty buffer, or exposed by a pop).
+//!   A cycle's switch-allocation pass visits only outputs with registered
+//!   requests, in the reference's node-major/port-minor order; stale
+//!   entries are dropped lazily at visit time. New requests registered
+//!   *behind* the sweep position join the same cycle, matching the
+//!   reference's in-cycle sequential scan.
+//! - **Event wheel** — a dirty bitset over output ports plus a
+//!   power-of-two time ring replaces both the linear `in_flight` scan and
+//!   the O(network) `next_interesting` sweep. Every enabling transition
+//!   (a flit landing, a head-ready charge elapsing, a `busy_until`
+//!   expiration, an NI injection becoming available, a buffer slot
+//!   freeing) either sets the output's dirty bit for the current cycle or
+//!   drops the output id into `ring[t & (wheel-1)]` for the cycle the
+//!   condition holds; ring slots are promoted into the bitset at the top
+//!   of each cycle and the bitset is swept in ascending output order —
+//!   the reference's node-major/port-minor order. The ring only needs
+//!   `max(link_delay, router_delay) + 2` slots because no enabling event
+//!   schedules further ahead than that; arrivals and NI entry times
+//!   beyond the horizon wait in a bucketed FIFO and a small heap. Extra
+//!   visits are harmless (a visit where nothing can move changes no
+//!   state — round-robin pointers and VC owners mutate only on actual
+//!   moves), so the visit set only needs to be a *superset* of the
+//!   reference's action times — that is what makes the two models
+//!   cycle-identical by construction, and the randomized equivalence
+//!   suite (`tests/equivalence.rs`) pins it across shapes, VC counts and
+//!   seeds.
+//! - **Flat storage** — input buffers live in one slab of power-of-two
+//!   rings (`bhead`/`blen` arrays, no per-buffer `VecDeque`), request
+//!   queues in one stride-indexed array, and the whole workspace is
+//!   reused across `run` calls, so the hot loop allocates nothing.
+//!
+//! With one virtual channel the model reduces to a plain wormhole router
+//! and cross-validates the [`OnlineWormhole`](crate::OnlineWormhole)
+//! recurrence; with more it quantifies the head-of-line blocking the
+//! recurrence model's single-resource channels overstate (the
+//! Kumar–Bhuyan question the paper cites). Throughput relative to the
+//! reference is tracked in `BENCH_flit.json` (see `scripts/check.sh
+//! --bench-smoke`).
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
-use crate::{MeshConfig, MeshModel, MsgRecord, NetLog, NetMessage, NodeId};
+use crate::sink::LogSink;
+use crate::{MeshConfig, MeshModel, MsgRecord, NetLog, NetMessage, NodeId, StreamingLog};
 
 const PORT_E: usize = 0;
 const PORT_W: usize = 1;
@@ -38,49 +87,165 @@ struct Flit {
     kind: Kind,
     /// Earliest cycle this flit may move (router charge for heads).
     ready: u64,
-}
-
-#[derive(Debug)]
-struct OutPort {
-    /// Owner worm per virtual channel.
-    owners: Vec<Option<u32>>,
-    /// Physical-channel occupancy: one flit per `link_delay`.
-    busy_until: u64,
-    /// Round-robin pointer over candidate (input buffer) indices.
-    rr: usize,
-    /// Round-robin pointer for VC allocation.
-    vc_rr: usize,
-    busy_ticks: u64,
-}
-
-impl OutPort {
-    fn new(vcs: usize) -> Self {
-        OutPort { owners: vec![None; vcs], busy_until: 0, rr: 0, vc_rr: 0, busy_ticks: 0 }
-    }
-
-    /// The output VC owned by `worm`, if any.
-    fn vc_of(&self, worm: u32) -> Option<usize> {
-        self.owners.iter().position(|&o| o == Some(worm))
-    }
-
-    /// A free output VC, searched round-robin.
-    fn free_vc(&self) -> Option<usize> {
-        let v = self.owners.len();
-        (0..v).map(|i| (self.vc_rr + i) % v).find(|&vc| self.owners[vc].is_none())
-    }
+    /// Hop cursor: absolute index into the shared route arena of the hop
+    /// this flit is currently at — `routes[hop]` is its requested output
+    /// port (the flit's node is implicit in which buffer holds it).
+    hop: u32,
 }
 
 #[derive(Debug)]
 struct Worm {
     msg: NetMessage,
-    /// `(node index, output port)` in visit order.
-    route: Vec<(usize, usize)>,
+    /// Offset/length of this worm's route in the shared route arena.
+    route_off: u32,
+    route_len: u32,
     flits: u64,
+    ejected: u64,
+    /// Furthest arena index the head flit has reached (diagnostics).
+    head_hop: u32,
     delivered: Option<u64>,
 }
 
-/// The cycle-accurate network model. See the module docs for the router
-/// microarchitecture.
+/// A flit in flight on a channel, due to land in `buf` of `node`.
+#[derive(Clone, Copy, Debug)]
+struct Landing {
+    node: u32,
+    buf: u32,
+    flit: Flit,
+}
+
+/// Reusable per-run state. Everything here is cleared (capacity kept) at
+/// the start of each run, so repeated batches on one model reuse the worm
+/// storage, route arena, buffers and event heaps without reallocating.
+#[derive(Debug, Default)]
+struct Workspace {
+    /// Message indices in (inject, id) order — replaces cloning and
+    /// re-sorting the caller's slice.
+    order: Vec<u32>,
+    worms: Vec<Worm>,
+    /// Flat route arena shared by all worms: the output port per hop (a
+    /// flit's current node is implicit in which buffer holds it).
+    routes: Vec<u8>,
+    /// Input-buffer slab: buffer `b = node*NPORTS*vcs + port*vcs + vc`
+    /// owns `cap` contiguous slots (a power of two) used as a ring —
+    /// `slab[b*cap + ((bhead[b] + i) & (cap-1))]` is its `i`-th flit.
+    /// One flat allocation replaces a `VecDeque` per buffer.
+    slab: Vec<Flit>,
+    /// Ring-start slot per buffer.
+    bhead: Vec<u32>,
+    /// Occupancy per buffer.
+    blen: Vec<u32>,
+    /// Reserved (in-flight) slots per input buffer (same indexing).
+    reserved: Vec<u32>,
+    /// Output VC owners, flat: `owners[(node*NPORTS + port) * vcs + vc]`.
+    owners: Vec<Option<u32>>,
+    /// Per output `node*NPORTS + port`:
+    busy_until: Vec<u64>,
+    busy_ticks: Vec<u64>,
+    rr: Vec<usize>,
+    vc_rr: Vec<usize>,
+    /// Request queues, flat: output `o` owns `req[o*stride ..]` with
+    /// `req_len[o]` live entries — sorted in-node input-buffer indices
+    /// whose head flit requests it (may contain stale entries, dropped at
+    /// visit). At most `stride` buffers exist per node, so the fixed
+    /// stride can never overflow.
+    req: Vec<u32>,
+    /// Live request count per output.
+    req_len: Vec<u8>,
+    /// Bitset of outputs to visit in the current cycle: the scan iterates
+    /// its set bits ascending — exactly the reference's node-major/
+    /// port-minor output order, restricted to outputs with a pending
+    /// enabling event. Bits are cleared at visit.
+    dirty: Vec<u64>,
+    /// The event wheel: `ring[T % K]` holds the outputs to mark dirty at
+    /// cycle `T`. Every wakeup is at most `K = max(link, router) + 2`
+    /// cycles ahead (busy expiry, head router charge, next-cycle
+    /// dependency marks), so a tiny ring replaces a priority queue.
+    ring: Vec<Vec<u32>>,
+    /// Flits crossing channels, bucketed by arrival time. Every forward
+    /// at cycle `t` lands at `t + link_delay`, so arrival times are
+    /// nondecreasing and a plain FIFO of buckets suffices — O(1) per
+    /// flit, no heap.
+    due: VecDeque<(u64, Vec<Landing>)>,
+    /// Recycled landing buckets.
+    spare: Vec<Vec<Landing>>,
+    /// (front entry time, node) per NI queue awaiting injection room.
+    ni_events: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Latest entry time scheduled in `ni_events` per node (dedup).
+    ni_sched: Vec<u64>,
+    /// Per-node NI queues of not-yet-injected flits, keyed by entry time
+    /// (the prefix max of availabilities — when the flit would enter the
+    /// unbounded injection buffer of the reference model).
+    pending: Vec<VecDeque<(u64, Flit)>>,
+    /// Scratch: ready candidates of the output being visited, with their
+    /// head flit (copied once during validation).
+    cand: Vec<(u32, Flit)>,
+    /// Input port per in-node buffer index (`buf / vcs` as a lookup, so
+    /// the per-move division by a runtime VC count disappears).
+    port_of: Vec<u8>,
+}
+
+impl Workspace {
+    fn reset(&mut self, nodes: usize, vcs: usize, ring_slots: usize, cap: usize) {
+        let nbuf = nodes * NPORTS * vcs;
+        let nout = nodes * NPORTS;
+        self.order.clear();
+        self.worms.clear();
+        self.routes.clear();
+        let filler = Flit { worm: 0, kind: Kind::Body, ready: 0, hop: 0 };
+        self.slab.clear();
+        self.slab.resize(nbuf * cap, filler);
+        self.bhead.clear();
+        self.bhead.resize(nbuf, 0);
+        self.blen.clear();
+        self.blen.resize(nbuf, 0);
+        self.reserved.clear();
+        self.reserved.resize(nbuf, 0);
+        self.owners.clear();
+        self.owners.resize(nout * vcs, None);
+        self.busy_until.clear();
+        self.busy_until.resize(nout, 0);
+        self.busy_ticks.clear();
+        self.busy_ticks.resize(nout, 0);
+        self.rr.clear();
+        self.rr.resize(nout, 0);
+        self.vc_rr.clear();
+        self.vc_rr.resize(nout, 0);
+        self.req.clear();
+        self.req.resize(nout * NPORTS * vcs, 0);
+        self.req_len.clear();
+        self.req_len.resize(nout, 0);
+        self.dirty.clear();
+        self.dirty.resize(nout.div_ceil(64), 0);
+        for slot in &mut self.ring {
+            slot.clear();
+        }
+        self.ring.resize_with(ring_slots, Vec::new);
+        while let Some((_, mut bucket)) = self.due.pop_front() {
+            bucket.clear();
+            self.spare.push(bucket);
+        }
+        self.ni_events.clear();
+        self.ni_sched.clear();
+        self.ni_sched.resize(nodes, u64::MAX);
+        for q in &mut self.pending {
+            q.clear();
+        }
+        self.pending.resize_with(nodes, VecDeque::new);
+        self.cand.clear();
+        self.port_of.clear();
+        self.port_of.extend((0..NPORTS * vcs).map(|b| (b / vcs) as u8));
+    }
+}
+
+/// The cycle-accurate network model: event-driven, cycle-identical to
+/// [`FlitCycleReference`](crate::FlitCycleReference) (see the module docs
+/// for the microarchitecture).
+///
+/// Like [`OnlineWormhole`](crate::OnlineWormhole), the model is generic
+/// over its [`LogSink`]: the default [`NetLog`] retains every record;
+/// [`FlitLevel::streaming`] folds deliveries into a constant-memory
+/// [`StreamingLog`] instead.
 ///
 /// # Example
 ///
@@ -95,12 +260,18 @@ struct Worm {
 /// assert_eq!(log.records().len(), 1);
 /// ```
 #[derive(Debug)]
-pub struct FlitLevel {
+pub struct FlitLevel<S: LogSink = NetLog> {
     cfg: MeshConfig,
+    sink: S,
+    /// Accumulated busy ticks per output across runs (utilization).
+    busy: Vec<u64>,
+    first_inject: Option<u64>,
+    last_delivery: u64,
+    ws: Workspace,
 }
 
 impl FlitLevel {
-    /// Creates a model with the given configuration.
+    /// Creates a model logging into a [`NetLog`].
     ///
     /// # Panics
     ///
@@ -109,57 +280,309 @@ impl FlitLevel {
     /// implement — use [`OnlineWormhole`](crate::OnlineWormhole) for torus
     /// studies.
     pub fn new(cfg: MeshConfig) -> Self {
+        FlitLevel::with_sink(cfg, NetLog::new())
+    }
+
+    /// Finishes the simulation and returns the network log, including
+    /// per-channel utilization over the observed span.
+    pub fn into_log(self) -> NetLog {
+        self.into_sink()
+    }
+}
+
+impl FlitLevel<StreamingLog> {
+    /// Creates a model accumulating into a [`StreamingLog`] sized for this
+    /// mesh — constant sink memory however many messages are simulated.
+    pub fn streaming(cfg: MeshConfig) -> Self {
+        let nodes = cfg.shape.nodes();
+        FlitLevel::with_sink(cfg, StreamingLog::new(nodes))
+    }
+}
+
+impl<S: LogSink> FlitLevel<S> {
+    /// Creates a model delivering records into `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a torus shape (see [`FlitLevel::new`]).
+    pub fn with_sink(cfg: MeshConfig, sink: S) -> Self {
         assert!(
             cfg.shape.topology() == crate::Topology::Mesh,
             "FlitLevel supports mesh topologies only"
         );
-        FlitLevel { cfg }
+        FlitLevel {
+            cfg,
+            sink,
+            busy: vec![0; cfg.shape.nodes() * NPORTS],
+            first_inject: None,
+            last_delivery: 0,
+            ws: Workspace::default(),
+        }
     }
 
-    fn build_route(&self, src: NodeId, dst: NodeId) -> Vec<(usize, usize)> {
-        let shape = self.cfg.shape;
-        let mut route = Vec::new();
-        let mut cur = shape.coord(src);
-        let goal = shape.coord(dst);
-        while cur.x != goal.x {
-            let (port, nx) = if goal.x > cur.x { (PORT_E, cur.x + 1) } else { (PORT_W, cur.x - 1) };
-            route.push((shape.node_at(cur).index(), port));
-            cur.x = nx;
+    /// The network configuration.
+    pub fn config(&self) -> &MeshConfig {
+        &self.cfg
+    }
+
+    /// The sink accumulating this network's records.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Simulates one batch of messages (any order), feeding one record per
+    /// message into the sink. May be called repeatedly; channel utilization
+    /// accumulates across batches until [`into_sink`](FlitLevel::into_sink).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation wedges (a deadlocked configuration), with a
+    /// per-worm account of what is still in flight.
+    pub fn run(&mut self, msgs: &[NetMessage]) {
+        let cfg = self.cfg;
+        let vcs = cfg.virtual_channels;
+        let nodes = cfg.shape.nodes();
+        // Horizon of the farthest wakeup an enabling event can schedule,
+        // rounded to a power of two so slot lookup is a mask, not a div.
+        let wheel = (cfg.link_delay.max(cfg.router_delay) + 2).next_power_of_two();
+        let cap = cfg.buffer_flits.next_power_of_two();
+        self.ws.reset(nodes, vcs, wheel as usize, cap);
+        if msgs.is_empty() {
+            return;
         }
-        while cur.y != goal.y {
-            let (port, ny) = if goal.y > cur.y { (PORT_S, cur.y + 1) } else { (PORT_N, cur.y - 1) };
-            route.push((shape.node_at(cur).index(), port));
-            cur.y = ny;
+
+        // Sort indices, not messages: the caller's slice is never cloned.
+        self.ws.order.extend(0..msgs.len() as u32);
+        let ws = &mut self.ws;
+        ws.order.sort_by_key(|&i| (msgs[i as usize].inject, msgs[i as usize].id));
+
+        // Build worms over the shared route arena, in injection order.
+        let order = std::mem::take(&mut ws.order);
+        for &i in &order {
+            let m = msgs[i as usize];
+            let route_off = ws.routes.len() as u32;
+            build_route(&cfg, m.src, m.dst, &mut ws.routes);
+            ws.worms.push(Worm {
+                msg: m,
+                route_off,
+                route_len: ws.routes.len() as u32 - route_off,
+                flits: cfg.flits_for(m.bytes),
+                ejected: 0,
+                head_hop: route_off,
+                delivered: None,
+            });
         }
-        route.push((shape.node_at(goal).index(), PORT_LOCAL));
-        route
+        ws.order = order;
+
+        // Per-node NI queues. Flits of one message stay contiguous (a worm
+        // may never interleave with another in the injection buffer); the
+        // head becomes available hop_latency after injection and the body
+        // follows at one flit per link_delay. Messages enter injection
+        // VC 0; VC spreading happens at the routers.
+        let hop = cfg.hop_latency();
+        for w in 0..ws.worms.len() {
+            let worm = &ws.worms[w];
+            let base = worm.msg.inject.ticks() + hop;
+            let src = worm.msg.src.index();
+            let flits = worm.flits;
+            for j in 0..flits {
+                let kind = if j == 0 {
+                    Kind::Head
+                } else if j == flits - 1 {
+                    Kind::Tail
+                } else {
+                    Kind::Body
+                };
+                let avail = base + j * cfg.link_delay;
+                let ready = if kind == Kind::Head { avail + cfg.router_delay } else { avail };
+                let hop = ws.worms[w].route_off;
+                ws.pending[src].push_back((avail, Flit { worm: w as u32, kind, ready, hop }));
+            }
+        }
+        // Rewrite availabilities as entry times — the prefix max, i.e. the
+        // cycle each flit enters the reference's (unbounded) injection
+        // buffer — and charge heads their router delay from that cycle.
+        // This decouples the charge from our *capped* injection buffers:
+        // a flit may sit in `pending` past its entry time waiting for a
+        // slot without perturbing any observable timing.
+        for (node, queue) in ws.pending.iter_mut().enumerate() {
+            let mut entered = 0u64;
+            for (entry, flit) in queue.iter_mut() {
+                entered = entered.max(*entry);
+                *entry = entered;
+                if flit.kind == Kind::Head {
+                    flit.ready = entered + cfg.router_delay;
+                }
+            }
+            if let Some(&(entry, _)) = queue.front() {
+                ws.ni_events.push(Reverse((entry, node as u32)));
+                ws.ni_sched[node] = entry;
+            }
+        }
+
+        let first = msgs[ws.order[0] as usize].inject.ticks();
+        let remaining = ws.worms.len();
+        let mut engine =
+            Engine { cfg, vcs, stride: NPORTS * vcs, wheel, cap, ws: &mut self.ws, remaining };
+        engine.run_events(first);
+
+        // Emit records in injection order (what the reference produces and
+        // what per-source inter-arrival statistics expect) and fold this
+        // batch's channel activity into the session accumulators.
+        self.first_inject = Some(self.first_inject.map_or(first, |f| f.min(first)));
+        for worm in &self.ws.worms {
+            let delivered = worm.delivered.expect("all worms delivered");
+            self.last_delivery = self.last_delivery.max(delivered);
+            let hops = cfg.shape.hop_distance(worm.msg.src, worm.msg.dst);
+            self.sink.record(MsgRecord {
+                id: worm.msg.id,
+                src: worm.msg.src,
+                dst: worm.msg.dst,
+                bytes: worm.msg.bytes,
+                inject: worm.msg.inject.ticks(),
+                delivered,
+                hops,
+                zero_load: cfg.zero_load_latency(worm.msg.bytes, hops),
+            });
+        }
+        for (acc, &ticks) in self.busy.iter_mut().zip(&self.ws.busy_ticks) {
+            *acc += ticks;
+        }
+    }
+
+    /// Finishes the simulation: hands per-channel utilization over the
+    /// observed span to the sink and returns it.
+    pub fn into_sink(mut self) -> S {
+        let span = match self.first_inject {
+            Some(first) if self.last_delivery > first => (self.last_delivery - first) as f64,
+            _ => 0.0,
+        };
+        let mut util = Vec::new();
+        for node in 0..self.cfg.shape.nodes() {
+            for port in 0..NPORTS {
+                let busy = self.busy[node * NPORTS + port];
+                if busy > 0 && span > 0.0 {
+                    util.push((out_channel_id(node, port), busy as f64 / span));
+                }
+            }
+        }
+        self.sink.finish(util);
+        self.sink
     }
 }
 
-/// Runtime state for one simulation run.
-struct Sim<'a> {
-    cfg: &'a MeshConfig,
+impl MeshModel for FlitLevel {
+    fn simulate(&mut self, msgs: &[NetMessage]) -> NetLog {
+        self.run(msgs);
+        let mut finished = std::mem::replace(self, FlitLevel::new(self.cfg));
+        // Keep the warmed-up workspace for the next batch.
+        std::mem::swap(&mut self.ws, &mut finished.ws);
+        finished.into_sink()
+    }
+}
+
+/// Matches MeshShape channel numbering: dirs 0..3, ejection 5.
+fn out_channel_id(node: usize, port: usize) -> u32 {
+    if port == PORT_LOCAL {
+        node as u32 * 6 + 5
+    } else {
+        node as u32 * 6 + port as u32
+    }
+}
+
+/// Appends the output-port sequence of the XY route from `src` to `dst`.
+fn build_route(cfg: &MeshConfig, src: NodeId, dst: NodeId, routes: &mut Vec<u8>) {
+    let shape = cfg.shape;
+    let mut cur = shape.coord(src);
+    let goal = shape.coord(dst);
+    while cur.x != goal.x {
+        let (port, nx) = if goal.x > cur.x { (PORT_E, cur.x + 1) } else { (PORT_W, cur.x - 1) };
+        routes.push(port as u8);
+        cur.x = nx;
+    }
+    while cur.y != goal.y {
+        let (port, ny) = if goal.y > cur.y { (PORT_S, cur.y + 1) } else { (PORT_N, cur.y - 1) };
+        routes.push(port as u8);
+        cur.y = ny;
+    }
+    routes.push(PORT_LOCAL as u8);
+}
+
+/// One run of the event loop over a prepared workspace.
+struct Engine<'a> {
+    cfg: MeshConfig,
     vcs: usize,
-    worms: Vec<Worm>,
-    /// Input buffers: `buffers[node][port * vcs + vc]`.
-    buffers: Vec<Vec<VecDeque<Flit>>>,
-    /// Output ports: `outputs[node][port]`.
-    outputs: Vec<Vec<OutPort>>,
-    /// Reserved (in-flight) slots per input buffer (same indexing).
-    reserved: Vec<Vec<usize>>,
-    /// Flits in flight on a channel: (arrival, node, buffer index, flit).
-    in_flight: Vec<(u64, usize, usize, Flit)>,
+    /// Buffers per node (`NPORTS * vcs`).
+    stride: usize,
+    /// Ring size: `max(link_delay, router_delay) + 2` rounded up to a
+    /// power of two — every wakeup an enabling event can schedule lies
+    /// within this horizon, and slot lookup is `& (wheel - 1)`.
+    wheel: u64,
+    /// Slab slots per buffer: `buffer_flits.next_power_of_two()`.
+    cap: usize,
+    ws: &'a mut Workspace,
     remaining: usize,
 }
 
-impl<'a> Sim<'a> {
-    fn out_channel_id(&self, node: usize, port: usize) -> u32 {
-        // Matches MeshShape channel numbering: dirs 0..3, ejection 5.
-        if port == PORT_LOCAL {
-            node as u32 * 6 + 5
-        } else {
-            node as u32 * 6 + port as u32
+impl Engine<'_> {
+    /// Head flit of buffer `b`, if any (a copy — flits are small).
+    #[inline]
+    fn bfront(&self, b: usize) -> Option<Flit> {
+        if self.ws.blen[b] == 0 {
+            return None;
         }
+        Some(self.ws.slab[b * self.cap + (self.ws.bhead[b] as usize & (self.cap - 1))])
+    }
+
+    /// Appends `f` to buffer `b` (capacity is the caller's invariant).
+    #[inline]
+    fn bpush(&mut self, b: usize, f: Flit) {
+        debug_assert!((self.ws.blen[b] as usize) < self.cap);
+        let i = (self.ws.bhead[b] + self.ws.blen[b]) as usize & (self.cap - 1);
+        self.ws.slab[b * self.cap + i] = f;
+        self.ws.blen[b] += 1;
+    }
+
+    fn run_events(&mut self, start: u64) {
+        let mut t = start;
+        let mut guard: u64 = 0;
+        let guard_limit = 200_000_000;
+        while self.remaining > 0 {
+            guard += 1;
+            assert!(
+                guard < guard_limit,
+                "flit simulation exceeded {guard_limit} steps\n{}",
+                self.wedge_report(t)
+            );
+            self.drain_ni(t);
+            self.land_arrivals(t);
+            // Promote this cycle's scheduled wakeups to dirty bits.
+            let slot = (t & (self.wheel - 1)) as usize;
+            let Workspace { ring, dirty, .. } = &mut *self.ws;
+            for o in ring[slot].drain(..) {
+                dirty[o as usize / 64] |= 1 << (o % 64);
+            }
+            self.scan(t);
+            if self.remaining == 0 {
+                break;
+            }
+            match self.next_time(t) {
+                Some(n) => t = n,
+                None => panic!("{}", self.wedge_report(t)),
+            }
+        }
+    }
+
+    /// Schedules output `o` for a visit at future cycle `at`.
+    #[inline]
+    fn mark_at(&mut self, at: u64, o: u32) {
+        self.ws.ring[(at & (self.wheel - 1)) as usize].push(o);
+    }
+
+    /// Output port requested by `f` (O(1) via the hop cursor).
+    #[inline]
+    fn flit_port(&self, f: &Flit) -> usize {
+        self.ws.routes[f.hop as usize] as usize
     }
 
     fn downstream(&self, node: usize, port: usize) -> (usize, usize) {
@@ -173,273 +596,386 @@ impl<'a> Sim<'a> {
         }
     }
 
-    /// Route lookup: output port used by `worm` at `node`.
-    fn out_port(&self, worm: u32, node: usize) -> usize {
-        self.worms[worm as usize]
-            .route
-            .iter()
-            .find(|&&(n, _)| n == node)
-            .map(|&(_, p)| p)
-            .expect("worm visited a node off its route")
-    }
-
-    fn step(&mut self, t: u64) -> bool {
-        let mut moved = false;
-        let vcs = self.vcs;
-
-        // Phase 1: land in-flight flits whose channel traversal completed.
-        let mut i = 0;
-        while i < self.in_flight.len() {
-            if self.in_flight[i].0 <= t {
-                let (_, node, buf, mut flit) = self.in_flight.swap_remove(i);
-                if flit.kind == Kind::Head {
-                    flit.ready = t + self.cfg.router_delay;
-                } else {
-                    flit.ready = t;
-                }
-                self.reserved[node][buf] -= 1;
-                self.buffers[node][buf].push_back(flit);
-                moved = true;
-            } else {
-                i += 1;
+    /// Registers `flit` (the new head of `node`'s buffer `buf`) with the
+    /// output it requests and marks that output dirty; returns the
+    /// output's global index. If the flit is still paying its router
+    /// charge, the output is also scheduled for a visit when the charge
+    /// completes.
+    fn register(&mut self, node: usize, buf: usize, flit: Flit, t: u64) -> u32 {
+        let out = self.flit_port(&flit);
+        let o = node * NPORTS + out;
+        let base = o * self.stride;
+        let len = self.ws.req_len[o] as usize;
+        let buf = buf as u32;
+        // Sorted insert by linear scan — queues hold at most `stride`
+        // (tiny) entries, and the common case is "already present".
+        let mut pos = len;
+        let mut present = false;
+        for i in 0..len {
+            let cur = self.ws.req[base + i];
+            if cur >= buf {
+                present = cur == buf;
+                pos = i;
+                break;
             }
         }
+        if !present {
+            self.ws.req.copy_within(base + pos..base + len, base + pos + 1);
+            self.ws.req[base + pos] = buf;
+            self.ws.req_len[o] = (len + 1) as u8;
+        }
+        self.ws.dirty[o / 64] |= 1 << (o % 64);
+        if flit.ready > t {
+            self.mark_at(flit.ready, o as u32);
+        }
+        o as u32
+    }
 
-        // Phase 2: switch + VC allocation, one flit per physical output.
-        let nodes = self.cfg.shape.nodes();
-        for node in 0..nodes {
-            for out in 0..NPORTS {
-                if self.outputs[node][out].busy_until > t {
-                    continue;
-                }
-                // Candidate input buffers whose head flit requests `out`.
-                let mut candidates: Vec<usize> = Vec::new();
-                for buf in 0..NPORTS * vcs {
-                    if let Some(f) = self.buffers[node][buf].front() {
-                        if f.ready <= t && self.out_port(f.worm, node) == out {
-                            candidates.push(buf);
-                        }
+    /// Appends `flit` to an input buffer, registering a request if it
+    /// became head-of-buffer.
+    fn push_buffer(&mut self, node: usize, buf: usize, flit: Flit, t: u64) {
+        let b = node * self.stride + buf;
+        self.bpush(b, flit);
+        if self.ws.blen[b] == 1 {
+            self.register(node, buf, flit, t);
+        }
+    }
+
+    /// Moves NI flits whose entry time has arrived into the injection
+    /// buffers, as far as capacity allows. Flits held back by a full
+    /// buffer are pulled in directly when a pop frees a slot
+    /// ([`move_flit`](Engine::move_flit)); their observable timing (head
+    /// router charge, head-of-buffer exposure) is fixed by the entry
+    /// times precomputed in [`FlitLevel::run`], not by when they
+    /// physically occupy a slot here.
+    fn drain_ni(&mut self, t: u64) {
+        let inj_buf = PORT_LOCAL * self.vcs;
+        while let Some(&Reverse((entry, node))) = self.ws.ni_events.peek() {
+            if entry > t {
+                break;
+            }
+            self.ws.ni_events.pop();
+            let node = node as usize;
+            let b = node * self.stride + inj_buf;
+            while (self.ws.blen[b] as usize) < self.cap {
+                match self.ws.pending[node].front() {
+                    Some(&(e, flit)) if e <= t => {
+                        self.ws.pending[node].pop_front();
+                        self.push_buffer(node, inj_buf, flit, t);
                     }
+                    _ => break,
                 }
-                if candidates.is_empty() {
-                    continue;
+            }
+            if let Some(&(e, _)) = self.ws.pending[node].front() {
+                if e > t && self.ws.ni_sched[node] != e {
+                    self.ws.ni_events.push(Reverse((e, node as u32)));
+                    self.ws.ni_sched[node] = e;
                 }
-                // Select (buffer, output vc): body/tail flits use their
-                // worm's owned VC; heads need a free VC (and downstream
-                // space). Round-robin over candidates for fairness.
-                let rr = self.outputs[node][out].rr;
-                let ncand = candidates.len();
-                let mut choice: Option<(usize, usize)> = None;
-                for k in 0..ncand {
-                    let buf = candidates[(rr + k) % ncand];
-                    let f = *self.buffers[node][buf].front().unwrap();
-                    let ovc = match f.kind {
-                        Kind::Head => match self.outputs[node][out].free_vc() {
-                            Some(vc) => vc,
-                            None => continue,
-                        },
-                        _ => match self.outputs[node][out].vc_of(f.worm) {
-                            Some(vc) => vc,
-                            None => continue, // owner not established yet
-                        },
-                    };
-                    // Capacity check downstream (ejection always sinks).
-                    if out != PORT_LOCAL {
-                        let (dn, dp) = self.downstream(node, out);
-                        let dbuf = dp * vcs + ovc;
-                        if self.buffers[dn][dbuf].len() + self.reserved[dn][dbuf]
-                            >= self.cfg.buffer_flits
-                        {
-                            continue;
-                        }
-                    }
-                    choice = Some((buf, ovc));
+            }
+        }
+    }
+
+    /// Lands flits whose channel traversal completed (the reference's
+    /// phase 1). Returns whether anything landed.
+    fn land_arrivals(&mut self, t: u64) -> bool {
+        let mut landed = false;
+        while let Some(&(at, _)) = self.ws.due.front() {
+            if at > t {
+                break;
+            }
+            let (_, mut bucket) = self.ws.due.pop_front().unwrap();
+            for Landing { node, buf, mut flit } in bucket.drain(..) {
+                let (node, buf) = (node as usize, buf as usize);
+                flit.ready = if flit.kind == Kind::Head { t + self.cfg.router_delay } else { t };
+                self.ws.reserved[node * self.stride + buf] -= 1;
+                self.push_buffer(node, buf, flit, t);
+            }
+            self.ws.spare.push(bucket);
+            landed = true;
+        }
+        landed
+    }
+
+    /// One cycle of switch + VC allocation over the outputs with work
+    /// (the reference's phase 2). Returns whether any flit moved.
+    ///
+    /// The word is re-read after every visit, so a visit that sets a bit
+    /// *ahead* of the scan position (a pop exposing a new head) joins this
+    /// same cycle, while one at or behind it waits for the next — the
+    /// in-cycle semantics of the reference's sequential pass.
+    fn scan(&mut self, t: u64) -> bool {
+        let mut moved = false;
+        for wi in 0..self.ws.dirty.len() {
+            let mut mask = !0u64;
+            loop {
+                let w = self.ws.dirty[wi] & mask;
+                if w == 0 {
                     break;
                 }
-                let Some((buf, ovc)) = choice else { continue };
-                // Move the flit.
-                let flit = self.buffers[node][buf].pop_front().unwrap();
-                let link = self.cfg.link_delay;
-                let port_state = &mut self.outputs[node][out];
-                port_state.busy_until = t + link;
-                port_state.busy_ticks += link;
-                port_state.rr = port_state.rr.wrapping_add(1);
-                match flit.kind {
-                    Kind::Head => {
-                        port_state.owners[ovc] = Some(flit.worm);
-                        port_state.vc_rr = (ovc + 1) % vcs;
-                    }
-                    Kind::Tail => port_state.owners[ovc] = None,
-                    Kind::Body => {}
-                }
-                moved = true;
-                if out == PORT_LOCAL {
-                    if flit.kind == Kind::Tail {
-                        let w = &mut self.worms[flit.worm as usize];
-                        w.delivered = Some(t + link);
-                        self.remaining -= 1;
-                    }
-                } else {
-                    let (dn, dp) = self.downstream(node, out);
-                    let dbuf = dp * vcs + ovc;
-                    self.reserved[dn][dbuf] += 1;
-                    self.in_flight.push((t + link, dn, dbuf, flit));
-                }
+                let bit = w.trailing_zeros();
+                moved |= self.visit_output(wi * 64 + bit as usize, t);
+                mask = if bit == 63 { 0 } else { !((1u64 << (bit + 1)) - 1) };
             }
         }
         moved
     }
 
-    /// Earliest future time anything can happen (for idle-time skipping).
-    fn next_interesting(&self, t: u64) -> Option<u64> {
-        let mut next: Option<u64> = None;
-        let mut consider = |cand: u64| {
-            if cand > t {
-                next = Some(next.map_or(cand, |n| n.min(cand)));
-            }
-        };
-        for &(arr, _, _, _) in &self.in_flight {
-            consider(arr);
+    /// Visits one output at cycle `t`: validates its request queue, runs
+    /// the reference's round-robin selection over the ready candidates,
+    /// and moves at most one flit. Visits are only triggered by enabling
+    /// events, and a visit that moves nothing changes no model state, so
+    /// extra visits are harmless — only a *missing* visit could diverge
+    /// from the reference, and every enabling transition schedules one:
+    /// - a flit becomes head-of-buffer or its router charge completes
+    ///   ([`register`](Engine::register)),
+    /// - the channel frees or a VC is released / an owner established
+    ///   (the move that occupied it marks `busy_until`),
+    /// - downstream capacity frees (the downstream pop marks the feeder).
+    fn visit_output(&mut self, o: usize, t: u64) -> bool {
+        self.ws.dirty[o / 64] &= !(1 << (o % 64));
+        let rlen = self.ws.req_len[o] as usize;
+        if rlen == 0 {
+            return false;
         }
-        for node in 0..self.cfg.shape.nodes() {
-            for buf in 0..NPORTS * self.vcs {
-                if let Some(f) = self.buffers[node][buf].front() {
-                    consider(f.ready);
-                    consider(self.outputs[node][self.out_port(f.worm, node)].busy_until);
+        if self.ws.busy_until[o] > t {
+            return false; // the occupying move scheduled the expiry visit
+        }
+        let node = o / NPORTS;
+        let out = o % NPORTS;
+        let base = node * self.stride;
+        let rbase = o * self.stride;
+        let mut cand = std::mem::take(&mut self.ws.cand);
+        cand.clear();
+        // One pass: drop stale entries (buffers whose current head no
+        // longer requests `o`) in place while collecting the ready
+        // candidates with a copy of their head flit.
+        let mut keep = 0;
+        for i in 0..rlen {
+            let buf = self.ws.req[rbase + i];
+            if let Some(f) = self.bfront(base + buf as usize) {
+                if self.ws.routes[f.hop as usize] as usize == out {
+                    self.ws.req[rbase + keep] = buf;
+                    keep += 1;
+                    if f.ready <= t {
+                        cand.push((buf, f));
+                    }
                 }
             }
+        }
+        self.ws.req_len[o] = keep as u8;
+
+        // Select (buffer, output vc): body/tail flits use their worm's
+        // owned VC; heads need a free VC (and downstream space).
+        // Round-robin over candidates for fairness. The reduction of the
+        // free-running round-robin counter costs one division, paid only
+        // when there is an actual contest (`ncand > 1`).
+        let mut choice: Option<(usize, usize, Flit)> = None;
+        let ncand = cand.len();
+        let start = if ncand > 1 { self.ws.rr[o] % ncand } else { 0 };
+        for k in 0..ncand {
+            let mut idx = start + k;
+            if idx >= ncand {
+                idx -= ncand;
+            }
+            let (buf, f) = cand[idx];
+            let ovc = match f.kind {
+                Kind::Head => match self.free_vc(o) {
+                    Some(vc) => vc,
+                    None => continue,
+                },
+                _ => match self.vc_of(o, f.worm) {
+                    Some(vc) => vc,
+                    None => continue, // owner not established yet
+                },
+            };
+            // Capacity check downstream (ejection always sinks).
+            if out != PORT_LOCAL {
+                let (dn, dp) = self.downstream(node, out);
+                let dbuf = dn * self.stride + dp * self.vcs + ovc;
+                if (self.ws.blen[dbuf] + self.ws.reserved[dbuf]) as usize >= self.cfg.buffer_flits {
+                    continue;
+                }
+            }
+            choice = Some((buf as usize, ovc, f));
+            break;
+        }
+        self.ws.cand = cand;
+        match choice {
+            Some((buf, ovc, f)) => {
+                self.move_flit(o, buf, ovc, f, t);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Moves `flit`, the (already validated) head of `buf`, through
+    /// output `o` on VC `ovc`.
+    fn move_flit(&mut self, o: usize, buf: usize, ovc: usize, flit: Flit, t: u64) {
+        let node = o / NPORTS;
+        let out = o % NPORTS;
+        // Drop the head slot; `flit` is the copy the visit already took.
+        let b = node * self.stride + buf;
+        self.ws.bhead[b] = ((self.ws.bhead[b] as usize + 1) & (self.cap - 1)) as u32;
+        self.ws.blen[b] -= 1;
+        let link = self.cfg.link_delay;
+        self.ws.busy_until[o] = t + link;
+        self.ws.busy_ticks[o] += link;
+        self.ws.rr[o] = self.ws.rr[o].wrapping_add(1);
+        // Revisit when the channel frees: that is also when a released VC
+        // or newly established owner becomes usable, and when the losing
+        // candidates of this cycle's round-robin get their next shot.
+        self.mark_at(t + link, o as u32);
+        // The pop freed one slot in this input buffer: the upstream output
+        // feeding it may have been capacity-blocked. Within the reference's
+        // pass the freed slot is visible to outputs scanned later the same
+        // cycle — the dirty bit joins this sweep if the feeder lies ahead
+        // of `o`; at or behind, a next-cycle wakeup stands in for the
+        // reference's rescan (all later enablings schedule their own).
+        let in_port = self.ws.port_of[buf] as usize;
+        if in_port != PORT_LOCAL {
+            let (fnode, fport) = self.downstream(node, in_port);
+            let f = (fnode * NPORTS + fport) as u32;
+            self.ws.dirty[f as usize / 64] |= 1 << (f % 64);
+            if f as usize <= o {
+                self.mark_at(t + 1, f);
+            }
+        } else {
+            // Injection pop: pull the next NI flit into the freed slot if
+            // its entry time has passed (the capped stand-in for the
+            // reference's unbounded injection buffer).
+            let b = node * self.stride + buf;
+            match self.ws.pending[node].front() {
+                Some(&(e, nf)) if e <= t => {
+                    self.ws.pending[node].pop_front();
+                    self.bpush(b, nf);
+                }
+                Some(&(e, _)) if self.ws.ni_sched[node] != e => {
+                    self.ws.ni_events.push(Reverse((e, node as u32)));
+                    self.ws.ni_sched[node] = e;
+                }
+                _ => {}
+            }
+        }
+        match flit.kind {
+            Kind::Head => {
+                self.ws.owners[o * self.vcs + ovc] = Some(flit.worm);
+                self.ws.vc_rr[o] = if ovc + 1 == self.vcs { 0 } else { ovc + 1 };
+            }
+            Kind::Tail => self.ws.owners[o * self.vcs + ovc] = None,
+            Kind::Body => {}
+        }
+        // The pop may expose a new head: register its request. If its
+        // output lies ahead of the sweep position the scan's word re-read
+        // picks it up this same cycle (as the reference's sequential pass
+        // would); the ring mark covers the at-or-behind case next cycle.
+        if let Some(next_head) = self.bfront(node * self.stride + buf) {
+            let o2 = self.register(node, buf, next_head, t);
+            if (o2 as usize) < o {
+                self.mark_at(t + 1, o2);
+            }
+        }
+        if out == PORT_LOCAL {
+            let worm = &mut self.ws.worms[flit.worm as usize];
+            worm.ejected += 1;
+            if flit.kind == Kind::Head {
+                worm.head_hop = flit.hop;
+            }
+            if flit.kind == Kind::Tail {
+                worm.delivered = Some(t + link);
+                self.remaining -= 1;
+            }
+        } else {
+            let (dn, dp) = self.downstream(node, out);
+            let dbuf = dp * self.vcs + ovc;
+            self.ws.reserved[dn * self.stride + dbuf] += 1;
+            let mut forwarded = flit;
+            forwarded.hop += 1;
+            if forwarded.kind == Kind::Head {
+                self.ws.worms[flit.worm as usize].head_hop = forwarded.hop;
+            }
+            let landing = Landing { node: dn as u32, buf: dbuf as u32, flit: forwarded };
+            let at = t + link;
+            match self.ws.due.back_mut() {
+                Some(back) if back.0 == at => back.1.push(landing),
+                _ => {
+                    debug_assert!(self.ws.due.back().is_none_or(|b| b.0 < at));
+                    let mut bucket = self.ws.spare.pop().unwrap_or_default();
+                    bucket.clear();
+                    bucket.push(landing);
+                    self.ws.due.push_back((at, bucket));
+                }
+            }
+        }
+    }
+
+    /// A free output VC at `o`, searched round-robin (`vc_rr` is always
+    /// pre-reduced, so a conditional subtract replaces the modulo).
+    fn free_vc(&self, o: usize) -> Option<usize> {
+        let v = self.vcs;
+        let vc_rr = self.ws.vc_rr[o];
+        (0..v)
+            .map(|i| {
+                let vc = vc_rr + i;
+                if vc >= v {
+                    vc - v
+                } else {
+                    vc
+                }
+            })
+            .find(|&vc| self.ws.owners[o * v + vc].is_none())
+    }
+
+    /// The output VC at `o` owned by `worm`, if any.
+    fn vc_of(&self, o: usize, worm: u32) -> Option<usize> {
+        let v = self.vcs;
+        (0..v).find(|&vc| self.ws.owners[o * v + vc] == Some(worm))
+    }
+
+    /// Earliest future time with scheduled work: the nearest nonempty ring
+    /// slot (all wakeups are at most `wheel` cycles out), the next flit
+    /// arrival bucket, or the next NI availability.
+    fn next_time(&self, t: u64) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        for j in 1..=self.wheel {
+            if !self.ws.ring[((t + j) & (self.wheel - 1)) as usize].is_empty() {
+                next = Some(t + j);
+                break;
+            }
+        }
+        if let Some(&(at, _)) = self.ws.due.front() {
+            next = Some(next.map_or(at, |n| n.min(at)));
+        }
+        if let Some(&Reverse((avail, _))) = self.ws.ni_events.peek() {
+            next = Some(next.map_or(avail, |n| n.min(avail)));
         }
         next
     }
-}
 
-impl MeshModel for FlitLevel {
-    fn simulate(&mut self, msgs: &[NetMessage]) -> NetLog {
-        let cfg = self.cfg;
-        let vcs = cfg.virtual_channels;
-        let nodes = cfg.shape.nodes();
-        let mut sorted: Vec<NetMessage> = msgs.to_vec();
-        sorted.sort_by_key(|m| (m.inject, m.id));
-
-        let worms: Vec<Worm> = sorted
-            .iter()
-            .map(|m| Worm {
-                msg: *m,
-                route: self.build_route(m.src, m.dst),
-                flits: cfg.flits_for(m.bytes),
-                delivered: None,
-            })
-            .collect();
-
-        let mut sim = Sim {
-            cfg: &cfg,
-            vcs,
-            remaining: worms.len(),
-            worms,
-            buffers: vec![(0..NPORTS * vcs).map(|_| VecDeque::new()).collect(); nodes],
-            outputs: (0..nodes).map(|_| (0..NPORTS).map(|_| OutPort::new(vcs)).collect()).collect(),
-            reserved: vec![vec![0; NPORTS * vcs]; nodes],
-            in_flight: Vec::new(),
-        };
-
-        // Per-node NI queues. Flits of one message stay contiguous (a worm
-        // may never interleave with another in the injection buffer); the
-        // head becomes available hop_latency after injection and the body
-        // follows at one flit per link_delay. Messages enter injection
-        // VC 0; VC spreading happens at the routers.
-        let hop = cfg.hop_latency();
-        let mut pending: Vec<VecDeque<(u64, Flit)>> = vec![VecDeque::new(); nodes];
-        for (w, worm) in sim.worms.iter().enumerate() {
-            let base = worm.msg.inject.ticks() + hop;
-            let src = worm.msg.src.index();
-            for j in 0..worm.flits {
-                let kind = if j == 0 {
-                    Kind::Head
-                } else if j == worm.flits - 1 {
-                    Kind::Tail
-                } else {
-                    Kind::Body
-                };
-                let avail = base + j * cfg.link_delay;
-                let ready = if kind == Kind::Head { avail + cfg.router_delay } else { avail };
-                pending[src].push_back((avail, Flit { worm: w as u32, kind, ready }));
-            }
+    /// Human-readable account of every undelivered worm, for wedge panics.
+    fn wedge_report(&self, t: u64) -> String {
+        let mut lines = vec![format!(
+            "flit simulation wedged at t={t} with {} worms undelivered:",
+            self.remaining
+        )];
+        let undelivered: Vec<&Worm> =
+            self.ws.worms.iter().filter(|w| w.delivered.is_none()).collect();
+        for worm in undelivered.iter().take(16) {
+            lines.push(format!(
+                "  worm {} ({}->{}): {}/{} flits ejected, head at hop {}/{}",
+                worm.msg.id,
+                worm.msg.src.index(),
+                worm.msg.dst.index(),
+                worm.ejected,
+                worm.flits,
+                worm.head_hop - worm.route_off,
+                worm.route_len - 1,
+            ));
         }
-
-        let mut t = sorted.first().map(|m| m.inject.ticks()).unwrap_or(0);
-        let mut guard: u64 = 0;
-        let guard_limit = 200_000_000;
-        let inj_buf = PORT_LOCAL * vcs; // injection buffer, vc 0
-        while sim.remaining > 0 {
-            for (node, queue) in pending.iter_mut().enumerate() {
-                while queue.front().is_some_and(|&(avail, _)| avail <= t) {
-                    let (_, mut flit) = queue.pop_front().unwrap();
-                    if flit.kind == Kind::Head {
-                        // The router charge starts when the head actually
-                        // reaches the router, which may be later than its
-                        // nominal availability if it queued at the NI.
-                        flit.ready = t + cfg.router_delay;
-                    }
-                    sim.buffers[node][inj_buf].push_back(flit);
-                }
-            }
-            let moved = sim.step(t);
-            guard += 1;
-            assert!(
-                guard < guard_limit,
-                "flit simulation exceeded {guard_limit} steps (deadlock?)"
-            );
-            if moved {
-                t += 1;
-            } else {
-                // Idle: skip to the next time anything can change.
-                let mut next = sim.next_interesting(t);
-                for queue in &pending {
-                    if let Some(&(avail, _)) = queue.front() {
-                        if avail > t {
-                            next = Some(next.map_or(avail, |n| n.min(avail)));
-                        }
-                    }
-                }
-                match next {
-                    Some(n) => t = n.max(t + 1),
-                    None => {
-                        panic!("flit simulation wedged with {} worms undelivered", sim.remaining)
-                    }
-                }
-            }
+        if undelivered.len() > 16 {
+            lines.push(format!("  ... and {} more", undelivered.len() - 16));
         }
-
-        let first = sorted.first().map(|m| m.inject.ticks()).unwrap_or(0);
-        let mut last = first;
-        let mut log = NetLog::new();
-        for worm in &sim.worms {
-            let delivered = worm.delivered.expect("all worms delivered");
-            last = last.max(delivered);
-            let hops = cfg.shape.hop_distance(worm.msg.src, worm.msg.dst);
-            log.push(MsgRecord {
-                id: worm.msg.id,
-                src: worm.msg.src,
-                dst: worm.msg.dst,
-                bytes: worm.msg.bytes,
-                inject: worm.msg.inject.ticks(),
-                delivered,
-                hops,
-                zero_load: cfg.zero_load_latency(worm.msg.bytes, hops),
-            });
-        }
-        let span = (last - first) as f64;
-        let mut util = Vec::new();
-        for node in 0..nodes {
-            for port in 0..NPORTS {
-                let busy = sim.outputs[node][port].busy_ticks;
-                if busy > 0 && span > 0.0 {
-                    util.push((sim.out_channel_id(node, port), busy as f64 / span));
-                }
-            }
-        }
-        log.set_utilization(util);
-        log
+        lines.join("\n")
     }
 }
 
@@ -552,5 +1088,39 @@ mod tests {
         for &(_, u) in log.utilization() {
             assert!(u > 0.0 && u <= 1.0 + 1e-9, "utilization {u} out of range");
         }
+    }
+
+    #[test]
+    fn repeated_batches_reuse_the_workspace() {
+        let cfg = MeshConfig::new(4, 2).with_virtual_channels(2);
+        let msgs: Vec<NetMessage> =
+            (0..30).map(|i| msg(i, (i % 8) as u16, ((i * 5 + 2) % 8) as u16, 24, i * 3)).collect();
+        let msgs: Vec<NetMessage> = msgs.into_iter().filter(|m| m.src != m.dst).collect();
+        let mut model = FlitLevel::new(cfg);
+        let a = model.simulate(&msgs);
+        let b = model.simulate(&msgs);
+        assert_eq!(a.records(), b.records());
+        assert_eq!(a.utilization(), b.utilization());
+    }
+
+    #[test]
+    fn streaming_sink_sees_what_the_log_sees() {
+        let cfg = MeshConfig::new(4, 2).with_virtual_channels(2);
+        let msgs: Vec<NetMessage> = (0..60u64)
+            .map(|i| msg(i, (i % 8) as u16, ((i * 3 + 1) % 8) as u16, 8 + (i % 40) as u32, i * 4))
+            .filter(|m| m.src != m.dst)
+            .collect();
+        let log = FlitLevel::new(cfg).simulate(&msgs);
+        let mut stream = FlitLevel::streaming(cfg);
+        stream.run(&msgs);
+        let s = stream.into_sink();
+        assert_eq!(log.records().len() as u64, s.messages());
+        assert_eq!(log.utilization(), s.utilization());
+        let a = log.summary();
+        let b = s.summary();
+        assert_eq!(a.span, b.span);
+        assert!((a.mean_latency - b.mean_latency).abs() < 1e-9);
+        assert!((a.mean_blocked - b.mean_blocked).abs() < 1e-9);
+        assert_eq!(s.spatial_counts(), log.spatial_counts(8));
     }
 }

@@ -12,17 +12,21 @@
 //!   needs: the network's feedback steers application time.
 //! - [`FlitLevel`] — a cycle-accurate router model (finite input buffers,
 //!   round-robin switch allocation, wormhole flow control) used for
-//!   cross-validation and ablation of the faster model.
+//!   cross-validation and ablation of the faster model. Its engine is
+//!   event-driven (per-output request queues, hop cursors, a binary-heap
+//!   event wheel) but cycle-identical to the retained cycle-loop oracle
+//!   [`FlitCycleReference`], which pins its semantics via a randomized
+//!   equivalence suite.
 //!
-//! Both produce a [`NetLog`]: one record per message with injection time,
-//! delivery time, hop count and blocked (contention) time — the raw
+//! All models produce a [`NetLog`]: one record per message with injection
+//! time, delivery time, hop count and blocked (contention) time — the raw
 //! material the statistical analysis operates on.
 //!
 //! For long-horizon runs where retaining per-message records is too
-//! expensive, [`OnlineWormhole`] is generic over a [`LogSink`]: a
-//! [`StreamingLog`] folds each delivery into online moments, auto-widening
-//! histograms and per-pair traffic matrices in O(bins + P²) memory,
-//! independent of message count.
+//! expensive, [`OnlineWormhole`] and [`FlitLevel`] are generic over a
+//! [`LogSink`]: a [`StreamingLog`] folds each delivery into online
+//! moments, auto-widening histograms and per-pair traffic matrices in
+//! O(bins + P²) memory, independent of message count.
 //!
 //! # Example
 //!
@@ -49,6 +53,7 @@
 
 mod config;
 mod flit;
+mod flit_ref;
 mod log;
 mod sink;
 mod topology;
@@ -56,6 +61,7 @@ mod wormhole;
 
 pub use config::MeshConfig;
 pub use flit::FlitLevel;
+pub use flit_ref::FlitCycleReference;
 pub use log::{MsgRecord, NetLog, NetSummary};
 pub use sink::{LogSink, StreamingLog};
 pub use topology::{ChannelId, Coord, MeshShape, NodeId, Topology};

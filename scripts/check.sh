@@ -3,8 +3,22 @@
 # suite. Degrades gracefully when rustfmt/clippy components are not
 # installed (e.g. a minimal offline toolchain): the missing step is
 # skipped with a notice instead of failing the gate.
+#
+# Flags:
+#   --bench-smoke   additionally run the flit throughput bench in quick
+#                   mode; it cross-checks both router engines for cycle
+#                   identity and rewrites BENCH_flit.json so future PRs
+#                   have a perf baseline to compare against.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+bench_smoke=0
+for arg in "$@"; do
+    case "$arg" in
+        --bench-smoke) bench_smoke=1 ;;
+        *) echo "check.sh: unknown flag '$arg'" >&2; exit 2 ;;
+    esac
+done
 
 if cargo fmt --version >/dev/null 2>&1; then
     echo "==> cargo fmt --check"
@@ -22,5 +36,10 @@ fi
 
 echo "==> cargo test --workspace"
 cargo test --workspace -q
+
+if [ "$bench_smoke" -eq 1 ]; then
+    echo "==> flit throughput bench (quick smoke)"
+    cargo run --release -p commchar-bench --bin bench_flit -- --quick
+fi
 
 echo "check.sh: all gates passed"
