@@ -35,6 +35,33 @@ pub struct MpRun {
     pub nprocs: usize,
 }
 
+impl MpRun {
+    /// The trace in the packed columnar format of `commchar-tracestore` —
+    /// the compact alternative to [`CommTrace::to_jsonl`] for traces
+    /// headed to disk.
+    pub fn packed_trace(&self) -> Vec<u8> {
+        commchar_tracestore::pack_trace(&self.trace)
+    }
+
+    /// Streams the trace into `out` through a
+    /// [`TraceWriter`](commchar_tracestore::TraceWriter) without an
+    /// intermediate buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from `out`.
+    pub fn write_packed<W: std::io::Write>(
+        &self,
+        out: W,
+    ) -> Result<W, commchar_tracestore::TraceStoreError> {
+        let mut w = commchar_tracestore::TraceWriter::new(out, self.trace.nodes())?;
+        for &e in self.trace.events() {
+            w.push(e)?;
+        }
+        w.finish()
+    }
+}
+
 /// Per-rank execution context: point-to-point operations, collectives,
 /// logical clock, and tracing.
 ///

@@ -165,21 +165,35 @@ impl CommTrace {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first malformed line.
+    /// Returns a description of the first malformed line, naming its
+    /// 1-based line number and quoting a truncated excerpt of the payload
+    /// — so a single corrupt line in a gigabyte trace is locatable, and
+    /// distinguishable from a format bug.
     pub fn from_jsonl(s: &str) -> Result<CommTrace, String> {
-        let mut lines = s.lines().filter(|l| !l.trim().is_empty());
-        let header = lines.next().ok_or("empty input")?;
-        let nodes = serde_json::field_u64(header, "nodes")
-            .ok_or_else(|| format!("bad header: {header}"))? as usize;
+        // Line numbers count every physical line; blank lines are
+        // skipped for parsing but still advance the count.
+        let mut lines = s.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+        let (header_no, header) = lines.next().ok_or("empty input: no header line")?;
+        let nodes = serde_json::field_u64(header, "nodes").ok_or_else(|| {
+            format!(
+                "line {}: bad header, expected {{\"nodes\":N}} ({})",
+                header_no + 1,
+                excerpt(header)
+            )
+        })? as usize;
         if nodes == 0 {
-            return Err("header declares zero nodes".into());
+            return Err(format!("line {}: header declares zero nodes", header_no + 1));
         }
         let mut trace = CommTrace::new(nodes);
-        for (i, line) in lines.enumerate() {
+        for (i, line) in lines {
             let ev = serde_json::parse_event(line)
-                .ok_or_else(|| format!("bad event on line {}: {line}", i + 2))?;
+                .ok_or_else(|| format!("line {}: unparseable event ({})", i + 1, excerpt(line)))?;
             if (ev.src as usize) >= nodes || (ev.dst as usize) >= nodes || ev.src == ev.dst {
-                return Err(format!("invalid endpoints on line {}: {line}", i + 2));
+                return Err(format!(
+                    "line {}: endpoints invalid for {nodes} nodes ({})",
+                    i + 1,
+                    excerpt(line)
+                ));
             }
             trace.push(ev);
         }
@@ -226,6 +240,21 @@ impl Extend<CommEvent> for CommTrace {
         for e in iter {
             self.push(e);
         }
+    }
+}
+
+/// Truncated, quoted payload excerpt for error messages: at most 60
+/// characters of the offending line, with an ellipsis when cut.
+fn excerpt(line: &str) -> String {
+    const MAX: usize = 60;
+    let mut cut = line.len().min(MAX);
+    while !line.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    if cut < line.len() {
+        format!("{:?}…", &line[..cut])
+    } else {
+        format!("{line:?}")
     }
 }
 
@@ -355,6 +384,28 @@ mod tests {
         let parsed = CommTrace::from_jsonl(&tr.to_jsonl()).unwrap();
         assert_eq!(parsed.nodes(), 5);
         assert_eq!(parsed.events(), tr.events());
+    }
+
+    #[test]
+    fn jsonl_errors_name_line_and_excerpt() {
+        // A long corrupt line in the middle: the error must carry the
+        // 1-based physical line number and a truncated excerpt.
+        let long = format!("{{\"id\":2,\"t\":3,{}}}", "x".repeat(500));
+        let input = format!(
+            "{{\"nodes\":4}}\n{{\"id\":0,\"t\":1,\"src\":0,\"dst\":1,\"bytes\":8,\"kind\":\"data\"}}\n\n{long}\n"
+        );
+        let err = CommTrace::from_jsonl(&input).unwrap_err();
+        assert!(err.starts_with("line 4:"), "{err}");
+        assert!(err.contains('…'), "excerpt not truncated: {err}");
+        assert!(err.len() < 160, "error should not embed the whole payload: {err}");
+        // Bad header errors carry the line number too.
+        let err = CommTrace::from_jsonl("{\"sodes\":4}\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        // Out-of-range endpoints name the line and the node bound.
+        let bad =
+            "{\"nodes\":2}\n{\"id\":0,\"t\":1,\"src\":0,\"dst\":7,\"bytes\":8,\"kind\":\"data\"}\n";
+        let err = CommTrace::from_jsonl(bad).unwrap_err();
+        assert!(err.starts_with("line 2:") && err.contains("2 nodes"), "{err}");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Trace profiling: per-source workload summaries.
 
-use crate::{CommTrace, EventKind};
+use crate::{CommEvent, CommTrace, EventKind};
 
 /// Per-source profile of a trace.
 #[derive(Clone, Debug)]
@@ -36,6 +36,95 @@ pub struct TraceProfile {
     pub kind_counts: [u64; 3],
 }
 
+/// Incremental profile builder — the sink form of [`profile`], for
+/// callers that stream events (a packed-trace reader, a live profiler)
+/// instead of holding a whole [`CommTrace`].
+///
+/// Push events in any order; [`finish`](ProfileAccum::finish) produces
+/// exactly the [`TraceProfile`] that [`profile`] would compute over the
+/// same events.
+#[derive(Clone, Debug)]
+pub struct ProfileAccum {
+    sources: Vec<SourceProfile>,
+    times: Vec<Vec<u64>>,
+    kind_counts: [u64; 3],
+    first: u64,
+    last: u64,
+    total_bytes: u64,
+    messages: u64,
+}
+
+impl ProfileAccum {
+    /// Starts an empty profile over `nodes` processors.
+    pub fn new(nodes: usize) -> Self {
+        ProfileAccum {
+            sources: (0..nodes)
+                .map(|s| SourceProfile {
+                    src: s as u16,
+                    messages: 0,
+                    bytes: 0,
+                    mean_gap: 0.0,
+                    dest_counts: vec![0; nodes],
+                    dest_bytes: vec![0; nodes],
+                })
+                .collect(),
+            times: vec![Vec::new(); nodes],
+            kind_counts: [0; 3],
+            first: u64::MAX,
+            last: 0,
+            total_bytes: 0,
+            messages: 0,
+        }
+    }
+
+    /// Accounts one event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event's endpoints are out of range for the node
+    /// count given to [`new`](ProfileAccum::new).
+    pub fn push(&mut self, e: &CommEvent) {
+        let s = &mut self.sources[e.src as usize];
+        s.messages += 1;
+        s.bytes += e.bytes as u64;
+        s.dest_counts[e.dst as usize] += 1;
+        s.dest_bytes[e.dst as usize] += e.bytes as u64;
+        self.times[e.src as usize].push(e.t);
+        self.total_bytes += e.bytes as u64;
+        self.first = self.first.min(e.t);
+        self.last = self.last.max(e.t);
+        self.messages += 1;
+        self.kind_counts[match e.kind {
+            EventKind::Control => 0,
+            EventKind::Data => 1,
+            EventKind::Sync => 2,
+        }] += 1;
+    }
+
+    /// Completes the per-source gap statistics and returns the profile.
+    pub fn finish(mut self) -> TraceProfile {
+        for (s, ts) in self.sources.iter_mut().zip(&mut self.times) {
+            ts.sort_unstable();
+            if ts.len() >= 2 {
+                let total: u64 = ts.windows(2).map(|w| w[1] - w[0]).sum();
+                s.mean_gap = total as f64 / (ts.len() - 1) as f64;
+            }
+        }
+        TraceProfile {
+            sources: self.sources,
+            messages: self.messages,
+            bytes: self.total_bytes,
+            mean_bytes: if self.messages == 0 {
+                0.0
+            } else {
+                self.total_bytes as f64 / self.messages as f64
+            },
+            span: if self.messages == 0 { 0 } else { self.last - self.first },
+            kind_counts: self.kind_counts,
+        }
+    }
+}
+
 /// Computes the profile of a trace.
 ///
 /// # Example
@@ -50,55 +139,11 @@ pub struct TraceProfile {
 /// assert_eq!(p.sources[0].mean_gap, 100.0);
 /// ```
 pub fn profile(trace: &CommTrace) -> TraceProfile {
-    let n = trace.nodes();
-    let mut sources: Vec<SourceProfile> = (0..n)
-        .map(|s| SourceProfile {
-            src: s as u16,
-            messages: 0,
-            bytes: 0,
-            mean_gap: 0.0,
-            dest_counts: vec![0; n],
-            dest_bytes: vec![0; n],
-        })
-        .collect();
-    let mut kind_counts = [0u64; 3];
-    let mut first = u64::MAX;
-    let mut last = 0u64;
-    let mut total_bytes = 0u64;
-
-    let mut times: Vec<Vec<u64>> = vec![Vec::new(); n];
+    let mut accum = ProfileAccum::new(trace.nodes());
     for e in trace.events() {
-        let s = &mut sources[e.src as usize];
-        s.messages += 1;
-        s.bytes += e.bytes as u64;
-        s.dest_counts[e.dst as usize] += 1;
-        s.dest_bytes[e.dst as usize] += e.bytes as u64;
-        times[e.src as usize].push(e.t);
-        total_bytes += e.bytes as u64;
-        first = first.min(e.t);
-        last = last.max(e.t);
-        kind_counts[match e.kind {
-            EventKind::Control => 0,
-            EventKind::Data => 1,
-            EventKind::Sync => 2,
-        }] += 1;
+        accum.push(e);
     }
-    for (s, ts) in sources.iter_mut().zip(&mut times) {
-        ts.sort_unstable();
-        if ts.len() >= 2 {
-            let total: u64 = ts.windows(2).map(|w| w[1] - w[0]).sum();
-            s.mean_gap = total as f64 / (ts.len() - 1) as f64;
-        }
-    }
-    let messages = trace.len() as u64;
-    TraceProfile {
-        sources,
-        messages,
-        bytes: total_bytes,
-        mean_bytes: if messages == 0 { 0.0 } else { total_bytes as f64 / messages as f64 },
-        span: if messages == 0 { 0 } else { last - first },
-        kind_counts,
-    }
+    accum.finish()
 }
 
 /// Per-source inter-arrival (inter-send) gaps — the temporal attribute's

@@ -1,0 +1,401 @@
+//! Seekable block reader: footer index, checksum verification, and
+//! sequential / streaming / parallel decode.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use commchar_mesh::{MsgRecord, NetLog};
+use commchar_trace::profile::{ProfileAccum, TraceProfile};
+use commchar_trace::{CommEvent, CommTrace};
+
+use crate::varint::Cursor;
+use crate::{columns, fnv1a, StreamKind, TraceStoreError, FOOTER_MAGIC, MAGIC};
+
+/// One block's location, from the footer index.
+#[derive(Clone, Copy, Debug)]
+struct BlockMeta {
+    /// Absolute offset of the block's 8-byte header.
+    offset: usize,
+    /// Payload bytes (excluding the 8-byte header).
+    payload_len: usize,
+    /// Records in the block.
+    count: usize,
+}
+
+/// A packed trace file opened for reading.
+///
+/// Opening parses the magic, header and footer index only; block payloads
+/// are decoded on demand, so a reader over a memory-mapped or fully-read
+/// file can seek to any block without touching the others.
+#[derive(Debug)]
+pub struct TraceReader<'a> {
+    bytes: &'a [u8],
+    kind: StreamKind,
+    nodes: usize,
+    blocks: Vec<BlockMeta>,
+    records: u64,
+    utilization: Vec<(u32, f64)>,
+}
+
+impl<'a> TraceReader<'a> {
+    /// Parses the file structure (header + footer index) without decoding
+    /// any block.
+    ///
+    /// # Errors
+    ///
+    /// Any structural problem — short file, bad magic at either end, a
+    /// footer that does not tile the block region — yields a typed
+    /// [`TraceStoreError`].
+    pub fn open(bytes: &'a [u8]) -> Result<Self, TraceStoreError> {
+        if bytes.len() < MAGIC.len() {
+            return Err(TraceStoreError::BadMagic { found: bytes.to_vec() });
+        }
+        if bytes[..MAGIC.len()] != MAGIC {
+            return Err(TraceStoreError::BadMagic { found: bytes[..MAGIC.len()].to_vec() });
+        }
+        let mut header = Cursor::new(&bytes[MAGIC.len()..]);
+        let kind = StreamKind::from_code(header.byte("stream kind")?)?;
+        let nodes = header.varint("node count")? as usize;
+        let header_end = MAGIC.len() + header.pos();
+        if kind == StreamKind::Events && nodes == 0 {
+            return Err(TraceStoreError::Corrupt("header declares zero nodes".into()));
+        }
+
+        // Trailer: ... [footer payload][u32le footer len][footer magic].
+        let tail = FOOTER_MAGIC.len() + 4;
+        if bytes.len() < header_end + tail {
+            return Err(TraceStoreError::Truncated {
+                context: "footer trailer",
+                needed: header_end + tail,
+                have: bytes.len(),
+            });
+        }
+        let magic_at = bytes.len() - FOOTER_MAGIC.len();
+        if bytes[magic_at..] != FOOTER_MAGIC {
+            return Err(TraceStoreError::BadMagic { found: bytes[magic_at..].to_vec() });
+        }
+        let len_at = magic_at - 4;
+        let footer_len =
+            u32::from_le_bytes(bytes[len_at..magic_at].try_into().expect("4 bytes")) as usize;
+        let footer_start = len_at.checked_sub(footer_len).ok_or(TraceStoreError::Truncated {
+            context: "footer payload",
+            needed: footer_len + tail,
+            have: bytes.len(),
+        })?;
+        if footer_start < header_end {
+            return Err(TraceStoreError::Corrupt(format!(
+                "footer length {footer_len} overlaps the header"
+            )));
+        }
+
+        let mut footer = Cursor::new(&bytes[footer_start..len_at]);
+        let block_count = footer.varint("footer block count")? as usize;
+        if block_count > footer_start {
+            // Each block needs ≥8 bytes of file, so this count is a lie.
+            return Err(TraceStoreError::Corrupt(format!(
+                "footer claims {block_count} blocks in a {footer_start}-byte file"
+            )));
+        }
+        let mut blocks = Vec::with_capacity(block_count);
+        let mut offset = header_end;
+        let mut records = 0u64;
+        for i in 0..block_count {
+            let payload_len = footer.varint("footer block length")? as usize;
+            let count = footer.varint("footer block record count")? as usize;
+            let end =
+                offset.checked_add(8 + payload_len).filter(|&e| e <= footer_start).ok_or_else(
+                    || TraceStoreError::Corrupt(format!("block {i} extends past the footer")),
+                )?;
+            blocks.push(BlockMeta { offset, payload_len, count });
+            records += count as u64;
+            offset = end;
+        }
+        if offset != footer_start {
+            return Err(TraceStoreError::Corrupt(format!(
+                "{} unindexed bytes between the last block and the footer",
+                footer_start - offset
+            )));
+        }
+
+        // NetLog streams carry a utilization trailer after the index.
+        let utilization = if kind == StreamKind::NetLog {
+            let n = footer.varint("utilization count")? as usize;
+            if n > footer.remaining() {
+                return Err(TraceStoreError::Corrupt(format!(
+                    "utilization trailer claims {n} entries in {} bytes",
+                    footer.remaining()
+                )));
+            }
+            let mut util = Vec::with_capacity(n);
+            for _ in 0..n {
+                let chan = footer.varint("utilization channel")?;
+                if chan > u32::MAX as u64 {
+                    return Err(TraceStoreError::Corrupt(format!("channel id {chan} exceeds u32")));
+                }
+                let bits = footer.bytes(8, "utilization fraction")?;
+                util.push((
+                    chan as u32,
+                    f64::from_bits(u64::from_le_bytes(bits.try_into().expect("8 bytes"))),
+                ));
+            }
+            util
+        } else {
+            Vec::new()
+        };
+        if footer.remaining() != 0 {
+            return Err(TraceStoreError::Corrupt(format!(
+                "{} trailing bytes in the footer",
+                footer.remaining()
+            )));
+        }
+
+        Ok(TraceReader { bytes, kind, nodes, blocks, records, utilization })
+    }
+
+    /// What the stream contains.
+    pub fn kind(&self) -> StreamKind {
+        self.kind
+    }
+
+    /// Processor count from the header (0 for a netlog of unknown mesh).
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total records across all blocks, from the index alone.
+    pub fn len(&self) -> u64 {
+        self.records
+    }
+
+    /// Whether the stream holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Per-channel utilization from a netlog stream's footer.
+    pub fn utilization(&self) -> &[(u32, f64)] {
+        &self.utilization
+    }
+
+    /// Verifies one block's checksum and returns its payload.
+    fn payload(&self, block: usize) -> Result<&'a [u8], TraceStoreError> {
+        let meta = self.blocks[block];
+        let head = &self.bytes[meta.offset..meta.offset + 8];
+        let stored_len = u32::from_le_bytes(head[..4].try_into().expect("4 bytes")) as usize;
+        if stored_len != meta.payload_len {
+            return Err(TraceStoreError::Corrupt(format!(
+                "block {block} header length {stored_len} disagrees with the footer index \
+                 ({} bytes)",
+                meta.payload_len
+            )));
+        }
+        let stored = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
+        let payload = &self.bytes[meta.offset + 8..meta.offset + 8 + meta.payload_len];
+        let computed = fnv1a(payload);
+        if stored != computed {
+            return Err(TraceStoreError::ChecksumMismatch { block, stored, computed });
+        }
+        Ok(payload)
+    }
+
+    fn expect_kind(&self, kind: StreamKind) -> Result<(), TraceStoreError> {
+        if self.kind != kind {
+            return Err(TraceStoreError::Corrupt(format!(
+                "stream holds {} records, expected {}",
+                self.kind.name(),
+                kind.name()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Decodes one block of events (checksum-verified).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a checksum mismatch, a non-event stream, or any decode
+    /// error inside the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= self.block_count()`.
+    pub fn decode_events(&self, block: usize) -> Result<Vec<CommEvent>, TraceStoreError> {
+        self.expect_kind(StreamKind::Events)?;
+        let events = columns::decode_events(self.payload(block)?, self.nodes)?;
+        if events.len() != self.blocks[block].count {
+            return Err(TraceStoreError::Corrupt(format!(
+                "block {block} decoded {} events but the index promised {}",
+                events.len(),
+                self.blocks[block].count
+            )));
+        }
+        Ok(events)
+    }
+
+    /// Decodes one block of netlog records (checksum-verified).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a checksum mismatch, a non-netlog stream, or any decode
+    /// error inside the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= self.block_count()`.
+    pub fn decode_records(&self, block: usize) -> Result<Vec<MsgRecord>, TraceStoreError> {
+        self.expect_kind(StreamKind::NetLog)?;
+        let records = columns::decode_records(self.payload(block)?)?;
+        if records.len() != self.blocks[block].count {
+            return Err(TraceStoreError::Corrupt(format!(
+                "block {block} decoded {} records but the index promised {}",
+                records.len(),
+                self.blocks[block].count
+            )));
+        }
+        Ok(records)
+    }
+
+    /// Streams every event in file order with one-block memory.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first decode error.
+    pub fn for_each_event(&self, mut f: impl FnMut(CommEvent)) -> Result<(), TraceStoreError> {
+        for block in 0..self.blocks.len() {
+            for e in self.decode_events(block)? {
+                f(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes the whole stream into a validated [`CommTrace`]
+    /// sequentially.
+    ///
+    /// # Errors
+    ///
+    /// Fails on any block decode error, or if the assembled trace
+    /// violates [`CommTrace::check`] (duplicate ids, dangling or
+    /// non-causal dependencies).
+    pub fn read_trace(&self) -> Result<CommTrace, TraceStoreError> {
+        self.expect_kind(StreamKind::Events)?;
+        let mut trace = CommTrace::new(self.nodes);
+        self.for_each_event(|e| trace.push(e))?;
+        trace.check().map_err(TraceStoreError::Corrupt)?;
+        Ok(trace)
+    }
+
+    /// Decodes the whole stream into a validated [`CommTrace`], fanning
+    /// blocks out over `jobs` worker threads (`0` = one per hardware
+    /// thread). Workers claim blocks from a shared atomic cursor and
+    /// write into per-block slots, so the assembled trace is identical to
+    /// [`read_trace`](Self::read_trace) for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// The first failing block (in file order) determines the error.
+    pub fn read_trace_parallel(&self, jobs: usize) -> Result<CommTrace, TraceStoreError> {
+        self.expect_kind(StreamKind::Events)?;
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            jobs
+        };
+        let workers = jobs.min(self.blocks.len());
+        if workers <= 1 {
+            return self.read_trace();
+        }
+        type Slot = Mutex<Option<Result<Vec<CommEvent>, TraceStoreError>>>;
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Slot> = self.blocks.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= self.blocks.len() {
+                        break;
+                    }
+                    let decoded = self.decode_events(i);
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(decoded);
+                });
+            }
+        });
+        let mut trace = CommTrace::new(self.nodes);
+        for slot in slots {
+            let decoded = slot
+                .into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("scope joined, so every slot is filled")?;
+            for e in decoded {
+                trace.push(e);
+            }
+        }
+        trace.check().map_err(TraceStoreError::Corrupt)?;
+        Ok(trace)
+    }
+
+    /// Decodes the whole stream into a [`NetLog`] (records in file order,
+    /// utilization restored from the footer).
+    ///
+    /// # Errors
+    ///
+    /// Fails on any block decode error or a non-netlog stream.
+    pub fn read_netlog(&self) -> Result<NetLog, TraceStoreError> {
+        self.expect_kind(StreamKind::NetLog)?;
+        let mut log = NetLog::new();
+        for block in 0..self.blocks.len() {
+            for r in self.decode_records(block)? {
+                log.push(r);
+            }
+        }
+        log.set_utilization(self.utilization.clone());
+        Ok(log)
+    }
+}
+
+/// One-shot sequential unpack of a packed [`CommTrace`].
+///
+/// # Errors
+///
+/// Any structural or per-block decode failure.
+pub fn unpack_trace(bytes: &[u8]) -> Result<CommTrace, TraceStoreError> {
+    TraceReader::open(bytes)?.read_trace()
+}
+
+/// One-shot parallel unpack of a packed [`CommTrace`] (`jobs` worker
+/// threads, `0` = one per hardware thread).
+///
+/// # Errors
+///
+/// Any structural or per-block decode failure.
+pub fn unpack_trace_parallel(bytes: &[u8], jobs: usize) -> Result<CommTrace, TraceStoreError> {
+    TraceReader::open(bytes)?.read_trace_parallel(jobs)
+}
+
+/// One-shot unpack of a packed [`NetLog`].
+///
+/// # Errors
+///
+/// Any structural or per-block decode failure.
+pub fn unpack_netlog(bytes: &[u8]) -> Result<NetLog, TraceStoreError> {
+    TraceReader::open(bytes)?.read_netlog()
+}
+
+/// Profiles a packed event stream block-at-a-time — the whole-trace
+/// [`TraceProfile`] without ever materializing the event list.
+///
+/// # Errors
+///
+/// Any structural or per-block decode failure.
+pub fn profile_packed(bytes: &[u8]) -> Result<TraceProfile, TraceStoreError> {
+    let reader = TraceReader::open(bytes)?;
+    reader.expect_kind(StreamKind::Events)?;
+    let mut accum = ProfileAccum::new(reader.nodes());
+    reader.for_each_event(|e| accum.push(&e))?;
+    Ok(accum.finish())
+}

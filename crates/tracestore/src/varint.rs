@@ -1,0 +1,150 @@
+//! LEB128 varints and zigzag mapping — the scalar encoding under every
+//! column.
+
+use crate::TraceStoreError;
+
+/// Appends `v` as an LEB128 varint (7 bits per byte, MSB = continuation).
+pub(crate) fn put(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Maps a signed delta onto an unsigned varint-friendly value.
+pub(crate) fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub(crate) fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// A checked cursor over a block payload.
+#[derive(Debug)]
+pub(crate) struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads one LEB128 varint, rejecting both truncation and encodings
+    /// longer than 10 bytes (which cannot fit a `u64`).
+    pub(crate) fn varint(&mut self, context: &'static str) -> Result<u64, TraceStoreError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let Some(&byte) = self.bytes.get(self.pos) else {
+                return Err(TraceStoreError::Truncated {
+                    context,
+                    needed: self.pos + 1,
+                    have: self.bytes.len(),
+                });
+            };
+            self.pos += 1;
+            // The 10th byte of a u64 varint may only carry the top bit
+            // (shift 63); anything more is out of range.
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(TraceStoreError::VarintOverflow { context });
+            }
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a zigzag-encoded signed varint.
+    pub(crate) fn svarint(&mut self, context: &'static str) -> Result<i64, TraceStoreError> {
+        Ok(unzigzag(self.varint(context)?))
+    }
+
+    /// Reads `n` raw bytes.
+    pub(crate) fn bytes(
+        &mut self,
+        n: usize,
+        context: &'static str,
+    ) -> Result<&'a [u8], TraceStoreError> {
+        let end = self.pos.checked_add(n).ok_or(TraceStoreError::VarintOverflow { context })?;
+        if end > self.bytes.len() {
+            return Err(TraceStoreError::Truncated {
+                context,
+                needed: end,
+                have: self.bytes.len(),
+            });
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one raw byte.
+    pub(crate) fn byte(&mut self, context: &'static str) -> Result<u8, TraceStoreError> {
+        Ok(self.bytes(1, context)?[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_edges() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            put(&mut buf, v);
+            assert_eq!(Cursor::new(&buf).varint("t").unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn truncated_varint_is_typed() {
+        // Continuation bit set but no next byte.
+        let err = Cursor::new(&[0x80]).varint("x").unwrap_err();
+        assert!(matches!(err, TraceStoreError::Truncated { .. }), "{err}");
+    }
+
+    #[test]
+    fn overlong_varint_is_out_of_range() {
+        // 11 continuation bytes can never encode a u64.
+        let buf = [0x80u8; 10];
+        let mut long = buf.to_vec();
+        long.push(0x01);
+        let err = Cursor::new(&long).varint("x").unwrap_err();
+        assert!(matches!(err, TraceStoreError::VarintOverflow { .. }), "{err}");
+        // A 10-byte encoding whose last byte exceeds one leftover bit.
+        let mut big = [0xffu8; 9].to_vec();
+        big.push(0x02);
+        let err = Cursor::new(&big).varint("x").unwrap_err();
+        assert!(matches!(err, TraceStoreError::VarintOverflow { .. }), "{err}");
+    }
+}

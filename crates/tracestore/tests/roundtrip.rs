@@ -1,0 +1,125 @@
+//! Property-based round-trip suite: random event streams pack → unpack
+//! identically (for any block size and worker count), and causal replay
+//! of a packed trace is record-identical to replaying the source
+//! JSON-lines trace.
+
+use commchar_mesh::MeshConfig;
+use commchar_trace::replay::CausalReplayer;
+use commchar_trace::{CommEvent, CommTrace, EventKind};
+use commchar_tracestore::writer::pack_trace_with_block_len;
+use commchar_tracestore::{
+    load_trace, pack_trace, profile_packed, unpack_trace, unpack_trace_parallel, TraceReader,
+};
+use proptest::prelude::*;
+
+/// Random trace with random kinds, lengths and a valid dependency
+/// structure (dependencies strictly precede their dependents in `(t, id)`
+/// order, as `CommTrace::check` requires).
+fn arb_trace(nodes: usize, max: usize) -> impl Strategy<Value = CommTrace> {
+    prop::collection::vec(
+        (
+            0..nodes as u16,
+            0..nodes as u16,
+            1u32..100_000,
+            0u64..1_000_000,
+            0u8..3,
+            prop::option::of(0usize..max),
+        ),
+        1..max,
+    )
+    .prop_map(move |raw| {
+        let mut trace = CommTrace::new(nodes);
+        let mut id = 0u64;
+        let mut times: Vec<(u64, u64)> = Vec::new();
+        for (s, d, bytes, t, kind, dep) in raw {
+            if s == d {
+                continue;
+            }
+            let kind = match kind {
+                0 => EventKind::Control,
+                1 => EventKind::Data,
+                _ => EventKind::Sync,
+            };
+            // Sparse ids exercise the delta coder's sign handling.
+            let sparse_id = id * 3 + (t % 2);
+            let mut e = CommEvent::new(sparse_id, t, s, d, bytes, kind);
+            if let Some(dep) = dep {
+                if let Some(&(dep_t, dep_id)) = times.get(dep % times.len().max(1)) {
+                    if (dep_t, dep_id) < (t, sparse_id) {
+                        e = e.after(dep_id);
+                    }
+                }
+            }
+            trace.push(e);
+            times.push((t, sparse_id));
+            id += 1;
+        }
+        trace
+    })
+}
+
+proptest! {
+    /// Pack → unpack returns exactly the input events, nodes and order.
+    #[test]
+    fn pack_unpack_is_identity(trace in arb_trace(16, 200)) {
+        let packed = pack_trace(&trace);
+        let back = unpack_trace(&packed).unwrap();
+        prop_assert_eq!(back.nodes(), trace.nodes());
+        prop_assert_eq!(back.events(), trace.events());
+        // And packing the unpacked trace reproduces the same bytes.
+        prop_assert_eq!(pack_trace(&back), packed);
+    }
+
+    /// Block size never changes the decoded stream, only the framing.
+    #[test]
+    fn block_size_is_invisible(trace in arb_trace(8, 120), block_len in 1usize..64) {
+        let packed = pack_trace_with_block_len(&trace, block_len);
+        let reader = TraceReader::open(&packed).unwrap();
+        prop_assert_eq!(reader.len(), trace.len() as u64);
+        prop_assert_eq!(reader.block_count(), trace.len().div_ceil(block_len));
+        let back = reader.read_trace().unwrap();
+        prop_assert_eq!(back.events(), trace.events());
+    }
+
+    /// Parallel decode equals sequential decode for any worker count.
+    #[test]
+    fn parallel_decode_matches_sequential(trace in arb_trace(8, 150), jobs in 1usize..6) {
+        let packed = pack_trace_with_block_len(&trace, 16);
+        let seq = unpack_trace(&packed).unwrap();
+        let par = unpack_trace_parallel(&packed, jobs).unwrap();
+        prop_assert_eq!(seq.events(), par.events());
+    }
+
+    /// Causal replay over the packed trace produces a `NetLog` identical
+    /// to replaying the source JSON-lines trace — the packed store is a
+    /// drop-in substrate for the static strategy.
+    #[test]
+    fn replay_packed_equals_replay_jsonl(trace in arb_trace(8, 80)) {
+        prop_assume!(!trace.is_empty());
+        let from_jsonl = load_trace(trace.to_jsonl().as_bytes()).unwrap();
+        let from_packed = load_trace(&pack_trace(&trace)).unwrap();
+        let cfg = MeshConfig::for_nodes(8);
+        let rep = CausalReplayer::new(cfg);
+        let log_jsonl = rep.replay(&from_jsonl);
+        let log_packed = rep.replay(&from_packed);
+        prop_assert_eq!(log_jsonl.records(), log_packed.records());
+    }
+
+    /// Streaming profile over packed bytes equals the in-memory profile.
+    #[test]
+    fn packed_profile_matches_in_memory(trace in arb_trace(6, 100)) {
+        let packed = pack_trace_with_block_len(&trace, 32);
+        let streamed = profile_packed(&packed).unwrap();
+        let direct = commchar_trace::profile::profile(&trace);
+        prop_assert_eq!(streamed.messages, direct.messages);
+        prop_assert_eq!(streamed.bytes, direct.bytes);
+        prop_assert_eq!(streamed.span, direct.span);
+        prop_assert_eq!(streamed.kind_counts, direct.kind_counts);
+        for (a, b) in streamed.sources.iter().zip(&direct.sources) {
+            prop_assert_eq!(a.messages, b.messages);
+            prop_assert_eq!(&a.dest_counts, &b.dest_counts);
+            prop_assert_eq!(&a.dest_bytes, &b.dest_bytes);
+            prop_assert!((a.mean_gap - b.mean_gap).abs() < 1e-12);
+        }
+    }
+}

@@ -4,11 +4,16 @@
 # installed (e.g. a minimal offline toolchain): the missing step is
 # skipped with a notice instead of failing the gate.
 #
+# Always runs a trace round-trip smoke through the CLI: generate a trace,
+# pack it to the columnar binary format, cat it back to JSON-lines and
+# diff against the original.
+#
 # Flags:
-#   --bench-smoke   additionally run the flit throughput bench in quick
-#                   mode; it cross-checks both router engines for cycle
-#                   identity and rewrites BENCH_flit.json so future PRs
-#                   have a perf baseline to compare against.
+#   --bench-smoke   additionally run the flit throughput and trace store
+#                   benches in quick mode; they cross-check their fast
+#                   paths against references for identity and rewrite
+#                   BENCH_flit.json / BENCH_trace.json so future PRs have
+#                   perf baselines to compare against.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,9 +42,20 @@ fi
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+echo "==> trace round-trip smoke (pack / cat / diff)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run --release -q -- generate nbody --procs 4 --scale tiny --out "$tmpdir/t.jsonl"
+cargo run --release -q -- trace pack "$tmpdir/t.jsonl" --out "$tmpdir/t.cct"
+cargo run --release -q -- trace cat "$tmpdir/t.cct" --out "$tmpdir/t.roundtrip.jsonl"
+diff "$tmpdir/t.jsonl" "$tmpdir/t.roundtrip.jsonl"
+cargo run --release -q -- trace stat "$tmpdir/t.cct" | sed 's/^/    /'
+
 if [ "$bench_smoke" -eq 1 ]; then
     echo "==> flit throughput bench (quick smoke)"
     cargo run --release -p commchar-bench --bin bench_flit -- --quick
+    echo "==> trace store bench (quick smoke)"
+    cargo run --release -p commchar-bench --bin bench_trace -- --quick
 fi
 
 echo "check.sh: all gates passed"

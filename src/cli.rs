@@ -13,6 +13,7 @@ use commchar_core::{characterize, run_workload, synthesize, Workload};
 use commchar_mesh::MeshConfig;
 use commchar_trace::replay::CausalReplayer;
 use commchar_trace::CommTrace;
+use commchar_tracestore::{is_packed, load_trace, pack_trace, TraceReader, TraceStoreError};
 
 /// Error type for CLI operations.
 #[derive(Debug)]
@@ -29,6 +30,12 @@ impl std::error::Error for CliError {}
 impl From<String> for CliError {
     fn from(s: String) -> Self {
         CliError(s)
+    }
+}
+
+impl From<TraceStoreError> for CliError {
+    fn from(e: TraceStoreError) -> Self {
+        CliError(e.to_string())
     }
 }
 
@@ -97,9 +104,10 @@ pub fn cmd_characterize_app(app: &str, common: Common) -> Result<String, CliErro
 }
 
 /// `commchar characterize --trace <file contents>`: signature report for a
-/// saved trace (replayed causally through a fitted-size mesh).
-pub fn cmd_characterize_trace(jsonl: &str) -> Result<String, CliError> {
-    let trace = CommTrace::from_jsonl(jsonl)?;
+/// saved trace (replayed causally through a fitted-size mesh). Accepts
+/// either trace format, sniffed by magic bytes.
+pub fn cmd_characterize_trace(input: &[u8]) -> Result<String, CliError> {
+    let trace = load_trace(input)?;
     let mesh = MeshConfig::for_nodes(trace.nodes());
     let netlog = CausalReplayer::new(mesh).replay(&trace);
     let exec = netlog.summary().span;
@@ -115,23 +123,29 @@ pub fn cmd_characterize_trace(jsonl: &str) -> Result<String, CliError> {
     Ok(report_signature(&w))
 }
 
-/// `commchar generate <app>`: fit an application and emit a synthetic trace
-/// of the same span, as JSON-lines.
-pub fn cmd_generate(app: &str, common: Common) -> Result<String, CliError> {
+/// `commchar generate <app>`: fit an application and produce a synthetic
+/// trace of the same span.
+pub fn cmd_generate_trace(app: &str, common: Common) -> Result<CommTrace, CliError> {
     let app = parse_app(app)?;
     let w = run_workload(app, common.procs, common.scale);
     let sig = characterize(&w);
     let model = synthesize(&sig, w.mesh);
     let span = w.netlog.summary().span.max(1);
-    Ok(model.generate(span, common.seed).to_jsonl())
+    Ok(model.generate(span, common.seed))
+}
+
+/// `commchar generate <app>`: the synthetic trace as JSON-lines.
+pub fn cmd_generate(app: &str, common: Common) -> Result<String, CliError> {
+    Ok(cmd_generate_trace(app, common)?.to_jsonl())
 }
 
 /// `commchar replay --streaming <trace file contents>`: causal replay
 /// accumulating online statistics only — constant memory however long the
 /// trace, at the price of per-message records (quantiles become
-/// histogram-approximate).
-pub fn cmd_replay_streaming(jsonl: &str) -> Result<String, CliError> {
-    let trace = CommTrace::from_jsonl(jsonl)?;
+/// histogram-approximate). Accepts either trace format, sniffed by magic
+/// bytes.
+pub fn cmd_replay_streaming(input: &[u8]) -> Result<String, CliError> {
+    let trace = load_trace(input)?;
     let mesh = MeshConfig::for_nodes(trace.nodes());
     let stream = CausalReplayer::new(mesh).replay_streaming(&trace);
     let s = stream.summary();
@@ -159,9 +173,10 @@ pub fn cmd_replay_streaming(jsonl: &str) -> Result<String, CliError> {
 }
 
 /// `commchar replay <trace file contents>`: causal replay through the mesh,
-/// returning the network summary (plus the naive comparison).
-pub fn cmd_replay(jsonl: &str) -> Result<String, CliError> {
-    let trace = CommTrace::from_jsonl(jsonl)?;
+/// returning the network summary (plus the naive comparison). Accepts
+/// either trace format, sniffed by magic bytes.
+pub fn cmd_replay(input: &[u8]) -> Result<String, CliError> {
+    let trace = load_trace(input)?;
     let mesh = MeshConfig::for_nodes(trace.nodes());
     let rep = CausalReplayer::new(mesh);
     let causal = rep.replay(&trace).summary();
@@ -179,6 +194,56 @@ pub fn cmd_replay(jsonl: &str) -> Result<String, CliError> {
         "naive : mean latency {:.1} (p95 {:.0}), blocked {:.1}",
         naive.mean_latency, naive.p95_latency, naive.mean_blocked
     );
+    Ok(out)
+}
+
+/// `commchar trace pack <file>`: convert a trace (either format) to the
+/// packed columnar binary format. Returns the packed bytes, which the
+/// binary writes to `--out` (packed output is not printable).
+pub fn cmd_trace_pack(input: &[u8]) -> Result<Vec<u8>, CliError> {
+    let trace = load_trace(input)?;
+    Ok(pack_trace(&trace))
+}
+
+/// `commchar trace cat <file>`: print a trace (either format) as
+/// JSON-lines — the inverse of `trace pack`.
+pub fn cmd_trace_cat(input: &[u8]) -> Result<String, CliError> {
+    Ok(load_trace(input)?.to_jsonl())
+}
+
+/// `commchar trace stat <file>`: summarize a trace file — format, nodes,
+/// event and kind counts, time span, and the packed-vs-JSONL size ratio
+/// (for packed input, the block index is shown too).
+pub fn cmd_trace_stat(input: &[u8]) -> Result<String, CliError> {
+    let mut out = String::new();
+    let packed = is_packed(input);
+    let trace = load_trace(input)?;
+    let jsonl_len = trace.to_jsonl().len();
+    let packed_len = if packed { input.len() } else { pack_trace(&trace).len() };
+    let _ = writeln!(out, "format      : {}", if packed { "packed (CCTRACE1)" } else { "jsonl" });
+    let _ = writeln!(out, "nodes       : {}", trace.nodes());
+    let _ = writeln!(out, "events      : {}", trace.len());
+    let mut kinds = [0usize; 3];
+    let mut span = (u64::MAX, 0u64);
+    for e in trace.events() {
+        kinds[e.kind as usize] += 1;
+        span.0 = span.0.min(e.t);
+        span.1 = span.1.max(e.t);
+    }
+    let _ =
+        writeln!(out, "kinds       : {} control, {} data, {} sync", kinds[0], kinds[1], kinds[2]);
+    if !trace.is_empty() {
+        let _ = writeln!(out, "span        : ticks {} ..= {}", span.0, span.1);
+    }
+    if packed {
+        let reader = TraceReader::open(input)?;
+        let _ = writeln!(out, "blocks      : {}", reader.block_count());
+    }
+    let _ = writeln!(out, "jsonl bytes : {jsonl_len}");
+    let _ = writeln!(out, "packed bytes: {packed_len}");
+    if packed_len > 0 {
+        let _ = writeln!(out, "ratio       : {:.2}x", jsonl_len as f64 / packed_len as f64);
+    }
     Ok(out)
 }
 
@@ -207,6 +272,9 @@ COMMANDS:
     generate <app> [--out FILE]   emit a synthetic trace from the fitted model
     replay --trace FILE           replay a saved trace (causal vs naive)
     suite                         characterize all seven applications in parallel
+    trace pack FILE --out FILE    convert a trace to the packed binary format
+    trace cat FILE                print a trace (either format) as JSON-lines
+    trace stat FILE               summarize a trace file (format, sizes, ratio)
 
 OPTIONS:
     --procs N       processor count (default 8)
@@ -214,10 +282,14 @@ OPTIONS:
     --seed N        generation seed (default 42)
     --jobs N        suite worker threads; 0 = one per hardware thread (default 0)
     --streaming     replay with online statistics only (constant memory)
+    --packed        write run/generate trace output in the packed binary format
     --out FILE      write trace output to FILE instead of stdout
 
 The suite table is deterministic: any --jobs value produces byte-identical
 stdout; wall-clock and messages/sec figures go to stderr.
+
+Trace files may be JSON-lines or the packed columnar format (CCTRACE1);
+every command that reads a trace sniffs the format from the magic bytes.
 
 APPLICATIONS:
     1d-fft is cholesky nbody maxflow 3d-fft mg
@@ -253,11 +325,55 @@ mod tests {
         let common = Common { procs: 4, scale: Scale::Tiny, seed: 1 };
         let (_, trace) = cmd_run("3d-fft", common).unwrap();
         let jsonl = trace.to_jsonl();
-        let report = cmd_characterize_trace(&jsonl).unwrap();
+        let report = cmd_characterize_trace(jsonl.as_bytes()).unwrap();
         assert!(report.contains("processors  : 4"));
-        let replay = cmd_replay(&jsonl).unwrap();
+        let replay = cmd_replay(jsonl.as_bytes()).unwrap();
         assert!(replay.contains("causal:"));
         assert!(replay.contains("naive :"));
+    }
+
+    #[test]
+    fn trace_commands_roundtrip_both_formats() {
+        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1 };
+        let (_, trace) = cmd_run("3d-fft", common).unwrap();
+        let jsonl = trace.to_jsonl();
+        let packed = cmd_trace_pack(jsonl.as_bytes()).unwrap();
+        assert!(packed.len() < jsonl.len());
+        // cat inverts pack; packing the packed file is a no-op.
+        assert_eq!(cmd_trace_cat(&packed).unwrap(), jsonl);
+        assert_eq!(cmd_trace_pack(&packed).unwrap(), packed);
+        // every trace-consuming command accepts the packed form too.
+        let from_jsonl = cmd_characterize_trace(jsonl.as_bytes()).unwrap();
+        let from_packed = cmd_characterize_trace(&packed).unwrap();
+        assert_eq!(from_jsonl, from_packed);
+        assert_eq!(cmd_replay(jsonl.as_bytes()).unwrap(), cmd_replay(&packed).unwrap());
+        assert_eq!(
+            cmd_replay_streaming(jsonl.as_bytes()).unwrap(),
+            cmd_replay_streaming(&packed).unwrap()
+        );
+    }
+
+    #[test]
+    fn trace_stat_reports_both_formats() {
+        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1 };
+        let (_, trace) = cmd_run("nbody", common).unwrap();
+        let jsonl = trace.to_jsonl();
+        let packed = cmd_trace_pack(jsonl.as_bytes()).unwrap();
+        let s_jsonl = cmd_trace_stat(jsonl.as_bytes()).unwrap();
+        assert!(s_jsonl.contains("format      : jsonl"));
+        assert!(s_jsonl.contains("ratio"));
+        let s_packed = cmd_trace_stat(&packed).unwrap();
+        assert!(s_packed.contains("format      : packed (CCTRACE1)"));
+        assert!(s_packed.contains("blocks      :"));
+        assert!(s_packed.contains(&format!("events      : {}", trace.len())));
+    }
+
+    #[test]
+    fn trace_commands_reject_garbage_with_typed_errors() {
+        let err = cmd_trace_cat(b"CCTRACE1\xffgarbage").unwrap_err();
+        assert!(err.0.contains("stream kind"), "unexpected error: {err}");
+        let err = cmd_replay(b"not json at all").unwrap_err();
+        assert!(err.0.contains("line 1"), "unexpected error: {err}");
     }
 
     #[test]
@@ -286,7 +402,7 @@ mod tests {
     fn streaming_replay_reports_summary() {
         let common = Common { procs: 4, scale: Scale::Tiny, seed: 1 };
         let (_, trace) = cmd_run("3d-fft", common).unwrap();
-        let out = cmd_replay_streaming(&trace.to_jsonl()).unwrap();
+        let out = cmd_replay_streaming(trace.to_jsonl().as_bytes()).unwrap();
         assert!(out.contains("streaming"));
         assert!(out.contains("mean latency"));
         assert!(out.contains("inter-arrival"));

@@ -11,6 +11,8 @@
 //! - [`mesh`] — 2-D mesh wormhole network simulator
 //! - [`stats`] — distribution fitting and goodness-of-fit (SAS substitute)
 //! - [`trace`] — communication traces, profiling, causal replay
+//! - [`tracestore`] — blocked columnar binary trace store with parallel
+//!   block decode (the at-scale alternative to JSON-lines)
 //! - [`spasm`] — execution-driven CC-NUMA simulator (dynamic strategy)
 //! - [`sp2`] — MPI-like runtime with the IBM SP2 cost model (static strategy)
 //! - [`apps`] — the seven application kernels
@@ -38,4 +40,5 @@ pub use commchar_sp2 as sp2;
 pub use commchar_spasm as spasm;
 pub use commchar_stats as stats;
 pub use commchar_trace as trace;
+pub use commchar_tracestore as tracestore;
 pub use commchar_traffic as traffic;

@@ -11,6 +11,7 @@ struct Args {
     trace: Option<String>,
     jobs: usize,
     streaming: bool,
+    packed: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -21,6 +22,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         trace: None,
         jobs: 0,
         streaming: false,
+        packed: false,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -33,6 +35,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|_| "--jobs needs an integer")?;
             }
             "--streaming" => args.streaming = true,
+            "--packed" => args.packed = true,
             "--procs" => {
                 args.common.procs = it
                     .next()
@@ -70,9 +73,24 @@ fn emit(text: &str, out: &Option<String>) -> Result<(), String> {
     }
 }
 
-fn read_trace(args: &Args) -> Result<String, String> {
-    let path = args.trace.as_ref().ok_or("this command needs --trace FILE")?;
-    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+/// Writes trace output in the format selected by `--packed`. Packed output
+/// is binary, so it refuses to go to a terminal-bound stdout.
+fn emit_trace(trace: &commchar::trace::CommTrace, args: &Args) -> Result<(), String> {
+    if args.packed {
+        let path = args.out.as_ref().ok_or("--packed output is binary; it needs --out FILE")?;
+        let bytes = commchar::tracestore::pack_trace(trace);
+        std::fs::write(path, bytes).map_err(|e| format!("writing {path}: {e}"))
+    } else {
+        emit(&trace.to_jsonl(), &args.out)
+    }
+}
+
+fn read_file(path: &str) -> Result<Vec<u8>, String> {
+    std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn read_trace(args: &Args) -> Result<Vec<u8>, String> {
+    read_file(args.trace.as_ref().ok_or("this command needs --trace FILE")?)
 }
 
 fn run(argv: &[String]) -> Result<(), String> {
@@ -84,7 +102,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             let (report, trace) = cli::cmd_run(app, args.common).map_err(|e| e.0)?;
             print!("{report}");
             if args.out.is_some() {
-                emit(&trace.to_jsonl(), &args.out)?;
+                emit_trace(&trace, &args)?;
             }
             Ok(())
         }
@@ -100,17 +118,39 @@ fn run(argv: &[String]) -> Result<(), String> {
         }
         Some("generate") => {
             let app = args.positional.get(1).ok_or("generate needs an application name")?;
-            let jsonl = cli::cmd_generate(app, args.common).map_err(|e| e.0)?;
-            emit(&jsonl, &args.out)
+            let trace = cli::cmd_generate_trace(app, args.common).map_err(|e| e.0)?;
+            emit_trace(&trace, &args)
         }
         Some("replay") => {
-            let jsonl = read_trace(&args)?;
+            let input = read_trace(&args)?;
             let text = if args.streaming {
-                cli::cmd_replay_streaming(&jsonl).map_err(|e| e.0)?
+                cli::cmd_replay_streaming(&input).map_err(|e| e.0)?
             } else {
-                cli::cmd_replay(&jsonl).map_err(|e| e.0)?
+                cli::cmd_replay(&input).map_err(|e| e.0)?
             };
             emit(&text, &None)
+        }
+        Some("trace") => {
+            let sub = args.positional.get(1).map(String::as_str);
+            if !matches!(sub, Some("pack" | "cat" | "stat")) {
+                return Err("trace needs a subcommand: pack | cat | stat".to_string());
+            }
+            let input = match args.positional.get(2) {
+                Some(path) => read_file(path)?,
+                None => read_trace(&args)?,
+            };
+            match sub {
+                Some("pack") => {
+                    let path = args
+                        .out
+                        .as_ref()
+                        .ok_or("trace pack output is binary; it needs --out FILE")?;
+                    let bytes = cli::cmd_trace_pack(&input).map_err(|e| e.0)?;
+                    std::fs::write(path, bytes).map_err(|e| format!("writing {path}: {e}"))
+                }
+                Some("cat") => emit(&cli::cmd_trace_cat(&input).map_err(|e| e.0)?, &args.out),
+                _ => emit(&cli::cmd_trace_stat(&input).map_err(|e| e.0)?, &None),
+            }
         }
         Some("suite") => {
             let (table, timing) = cli::cmd_suite(args.common, args.jobs);
