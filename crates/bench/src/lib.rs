@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fit_reference;
+
 use commchar_apps::{AppId, Scale};
 use commchar_core::suite::{cell_matrix, SuiteReport, SuiteRunner};
 use commchar_core::{characterize, run_workload, CommSignature, Workload};

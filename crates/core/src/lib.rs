@@ -44,7 +44,6 @@ use commchar_mesh::{MeshConfig, NetLog, NetSummary};
 use commchar_stats::fit::{fit_best, FitResult};
 use commchar_stats::spatial::{classify_with_count, normalize, SpatialFit};
 use commchar_stats::Dist;
-use commchar_trace::profile::{interarrival_aggregate, interarrival_by_source};
 use commchar_trace::replay::CausalReplayer;
 use commchar_trace::CommTrace;
 use commchar_traffic::{LengthDist, SourceModel, TrafficModel};
@@ -155,53 +154,140 @@ pub struct CommSignature {
 /// Minimum messages from a source before its temporal fit is attempted.
 const MIN_SAMPLES: usize = 8;
 
+/// Why a workload cannot be characterized.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CharError {
+    /// The trace holds no events at all.
+    EmptyTrace,
+    /// The trace is temporally degenerate: fewer than two aggregate
+    /// inter-arrival gaps (at most two messages), so no distribution can
+    /// meaningfully be fitted. Carries the gap count observed.
+    DegenerateTemporal {
+        /// Aggregate inter-arrival gaps available (0 or 1).
+        gaps: usize,
+    },
+}
+
+impl std::fmt::Display for CharError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CharError::EmptyTrace => write!(f, "cannot characterize an empty trace"),
+            CharError::DegenerateTemporal { gaps } => write!(
+                f,
+                "degenerate trace: {gaps} inter-arrival gap(s), need at least 2 to fit a \
+                 distribution"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CharError {}
+
 /// Analyzes a workload into its communication signature.
+///
+/// Equivalent to [`try_characterize`] but panicking on degenerate input —
+/// the convenient form for workloads produced by [`run_workload`], which
+/// are never degenerate.
 ///
 /// # Panics
 ///
-/// Panics if the workload's trace is empty (nothing to characterize).
+/// Panics if the workload's trace is empty or has fewer than two
+/// inter-arrival gaps (see [`CharError`]).
 pub fn characterize(w: &Workload) -> CommSignature {
-    assert!(!w.trace.is_empty(), "cannot characterize an empty trace");
+    try_characterize(w).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Analyzes a workload into its communication signature, fanning the
+/// per-source distribution fits across `jobs` worker threads — see
+/// [`try_characterize_jobs`].
+///
+/// # Panics
+///
+/// Panics on degenerate input (see [`CharError`]).
+pub fn characterize_jobs(w: &Workload, jobs: usize) -> CommSignature {
+    try_characterize_jobs(w, jobs).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Analyzes a workload into its communication signature, sequentially.
+///
+/// # Errors
+///
+/// [`CharError`] on an empty or temporally degenerate trace.
+pub fn try_characterize(w: &Workload) -> Result<CommSignature, CharError> {
+    try_characterize_jobs(w, 1)
+}
+
+/// Analyzes a workload into its communication signature.
+///
+/// One streaming pass over the trace extracts every raw view the three
+/// attributes need — per-source and aggregate inter-arrival gaps, spatial
+/// destination-count rows, message lengths, volume totals — then the
+/// independent distribution fits (the aggregate fit plus one per active
+/// source) fan out across at most `jobs` worker threads (`0` = one per
+/// hardware thread). Results are scattered back by source index, so the
+/// signature — and any report rendered from it — is byte-identical for
+/// every `jobs` value.
+///
+/// # Errors
+///
+/// [`CharError`] on an empty or temporally degenerate trace.
+pub fn try_characterize_jobs(w: &Workload, jobs: usize) -> Result<CommSignature, CharError> {
+    if w.trace.is_empty() {
+        return Err(CharError::EmptyTrace);
+    }
     let n = w.nprocs;
 
-    // Temporal: inter-arrival gaps, aggregate and per source.
-    let agg = interarrival_aggregate(&w.trace);
-    let aggregate = fit_best(&agg).expect("aggregate inter-arrival fit");
-    let per_source = interarrival_by_source(&w.trace)
-        .into_iter()
-        .map(|gaps| if gaps.len() >= MIN_SAMPLES { fit_best(&gaps) } else { None })
-        .collect();
-    let burstiness = commchar_stats::burstiness::burstiness(&agg);
+    // The single streaming pass: profile + temporal samples + lengths.
+    let x = commchar_trace::profile::extract(&w.trace);
+    if x.aggregate.len() < 2 {
+        return Err(CharError::DegenerateTemporal { gaps: x.aggregate.len() });
+    }
 
-    // Spatial: per-source destination histograms, classified by regression
-    // against uniform / bimodal-uniform / locality-decay.
+    // Temporal: independent fits — task 0 is the aggregate, the rest one
+    // per source with enough samples — claimed by whichever worker is
+    // free, scattered back in deterministic source order.
+    let fit_sources: Vec<usize> =
+        (0..x.per_source.len()).filter(|&s| x.per_source[s].len() >= MIN_SAMPLES).collect();
+    let mut fits = commchar_pool::run_indexed(jobs, fit_sources.len() + 1, |i| match i {
+        0 => fit_best(&x.aggregate),
+        _ => fit_best(&x.per_source[fit_sources[i - 1]]),
+    });
+    let aggregate = fits[0].take().expect("≥ 2 samples always admit a fit");
+    let mut per_source: Vec<Option<FitResult>> = vec![None; x.per_source.len()];
+    for (slot, fit) in fit_sources.iter().zip(fits.drain(1..)) {
+        per_source[*slot] = fit;
+    }
+    let burstiness = commchar_stats::burstiness::burstiness(&x.aggregate);
+
+    // Spatial: per-source destination histograms (the profile's
+    // destination-count rows), classified by regression against
+    // uniform / bimodal-uniform / locality-decay.
     let shape = w.mesh.shape;
     let dist_fn = move |a: usize, b: usize| {
         shape.hop_distance(commchar_mesh::NodeId(a as u16), commchar_mesh::NodeId(b as u16)) as f64
     };
-    let counts = w.netlog.spatial_counts(n);
+    let profile = &x.profile;
     let spatial: Vec<Option<SpatialSig>> = (0..n)
         .map(|s| {
-            let observed = normalize(&counts[s], s)?;
-            let sent: u64 = counts[s].iter().sum();
+            let counts = &profile.sources.get(s)?.dest_counts;
+            let observed = normalize(counts, s)?;
+            let sent: u64 = counts.iter().sum();
             let fit = classify_with_count(&observed, s, &dist_fn, Some(sent));
             Some(SpatialSig { observed, fit })
         })
         .collect();
 
     // Volume.
-    let lengths_raw = w.netlog.lengths();
-    let profile = commchar_trace::profile::profile(&w.trace);
     let volume = VolumeSig {
         messages: profile.messages,
         bytes: profile.bytes,
         mean_bytes: profile.mean_bytes,
-        lengths: LengthDist::from_observed(&lengths_raw),
+        lengths: LengthDist::from_observed(&x.lengths),
         per_source_msgs: profile.sources.iter().map(|s| s.messages).collect(),
         per_source_bytes: profile.sources.iter().map(|s| s.bytes).collect(),
     };
 
-    CommSignature {
+    Ok(CommSignature {
         name: w.name.clone(),
         class: w.class,
         nprocs: n,
@@ -210,7 +296,7 @@ pub fn characterize(w: &Workload) -> CommSignature {
         volume,
         network: w.netlog.summary(),
         exec_ticks: w.exec_ticks,
-    }
+    })
 }
 
 /// Characterizes one traffic class in isolation (control / data / sync),
@@ -441,6 +527,56 @@ mod tests {
             assert!(s.mean_bytes > 0.0);
             assert!(s.interarrival.r2 > 0.0, "{:?}: r2 = {}", s.kind, s.interarrival.r2);
         }
+    }
+
+    fn degenerate_workload(events: usize) -> Workload {
+        let mesh = MeshConfig::for_nodes(4);
+        let mut trace = CommTrace::new(4);
+        for i in 0..events {
+            trace.push(commchar_trace::CommEvent::new(
+                i as u64,
+                100 * i as u64,
+                0,
+                1,
+                8,
+                commchar_trace::EventKind::Data,
+            ));
+        }
+        let netlog = CausalReplayer::new(mesh).replay(&trace);
+        Workload {
+            name: "degenerate".into(),
+            class: AppClass::MessagePassing,
+            nprocs: 4,
+            mesh,
+            trace,
+            netlog,
+            exec_ticks: 0,
+        }
+    }
+
+    #[test]
+    fn degenerate_traces_yield_typed_errors_not_panics() {
+        assert_eq!(try_characterize(&degenerate_workload(0)).err(), Some(CharError::EmptyTrace));
+        // One message: zero gaps. Two messages: one gap. Both degenerate.
+        assert_eq!(
+            try_characterize(&degenerate_workload(1)).err(),
+            Some(CharError::DegenerateTemporal { gaps: 0 })
+        );
+        assert_eq!(
+            try_characterize(&degenerate_workload(2)).err(),
+            Some(CharError::DegenerateTemporal { gaps: 1 })
+        );
+        // Three messages is the smallest characterizable trace.
+        let sig = try_characterize(&degenerate_workload(3)).unwrap();
+        assert_eq!(sig.volume.messages, 3);
+        let msg = CharError::DegenerateTemporal { gaps: 1 }.to_string();
+        assert!(msg.contains("degenerate"), "unhelpful message: {msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate trace")]
+    fn characterize_panic_message_names_the_problem() {
+        let _ = characterize(&degenerate_workload(1));
     }
 
     #[test]

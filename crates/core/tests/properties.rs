@@ -2,11 +2,14 @@
 //! synthetic traffic with known ground truth.
 
 use commchar_apps::AppClass;
-use commchar_core::{characterize, synthesize, Workload};
+use commchar_core::report::signature_report;
+use commchar_core::{characterize, synthesize, try_characterize_jobs, Workload};
 use commchar_mesh::MeshConfig;
 use commchar_stats::spatial::SpatialModel;
 use commchar_trace::replay::CausalReplayer;
+use commchar_trace::{CommEvent, CommTrace, EventKind};
 use commchar_traffic::patterns::{hotspot, uniform_poisson};
+use proptest::collection::vec;
 use proptest::prelude::*;
 
 fn workload_from(model: &commchar_traffic::TrafficModel, duration: u64, seed: u64) -> Workload {
@@ -83,6 +86,46 @@ proptest! {
             }
         }
         prop_assert!(favored * 3 >= classified * 2, "{favored}/{classified} found the hotspot");
+    }
+
+    /// The parallel fit fan-out must be invisible: characterizing an
+    /// arbitrary small trace with any worker count yields a signature
+    /// identical to the sequential one field-for-field (Debug renders
+    /// floats shortest-roundtrip, so the comparison is bitwise on every
+    /// score and parameter) and an identical rendered report.
+    #[test]
+    fn parallel_characterize_is_identical_to_sequential(
+        n in 3usize..8,
+        jobs in 2usize..9,
+        evs in vec((0u64..20_000, 0usize..64, 0usize..64, 1u32..512, 0u8..3), 3..150),
+    ) {
+        let mut trace = CommTrace::new(n);
+        for (i, &(t, s, d, bytes, kind)) in evs.iter().enumerate() {
+            let src = s % n;
+            let dst = (src + 1 + d % (n - 1)) % n;
+            let kind = match kind {
+                0 => EventKind::Control,
+                1 => EventKind::Data,
+                _ => EventKind::Sync,
+            };
+            trace.push(CommEvent::new(i as u64, t, src as u16, dst as u16, bytes, kind));
+        }
+        trace.sort();
+        let mesh = MeshConfig::for_nodes(n);
+        let netlog = CausalReplayer::new(mesh).replay(&trace);
+        let w = Workload {
+            name: "prop".into(),
+            class: AppClass::MessagePassing,
+            nprocs: n,
+            mesh,
+            trace,
+            netlog,
+            exec_ticks: 20_000,
+        };
+        let seq = try_characterize_jobs(&w, 1).unwrap();
+        let par = try_characterize_jobs(&w, jobs).unwrap();
+        prop_assert_eq!(signature_report(&seq), signature_report(&par));
+        prop_assert_eq!(format!("{seq:?}"), format!("{par:?}"));
     }
 
     /// Synthesis round-trip: fitting the synthetic traffic of a fitted

@@ -1,0 +1,147 @@
+//! # commchar-pool
+//!
+//! The one work-claiming fan-out primitive used everywhere the workspace
+//! parallelizes independent index-addressed work: suite cells
+//! (`commchar-core::suite`), packed-trace block decode
+//! (`commchar-tracestore`), and per-source distribution fitting
+//! (`commchar-core::characterize`).
+//!
+//! The scheme is deliberately tiny — scoped threads, no dependencies, no
+//! unsafe:
+//!
+//! - workers claim indices `0..count` from a shared atomic cursor
+//!   (whichever worker is free takes the next item — cheap work stealing
+//!   that tolerates wildly uneven item costs);
+//! - each result is written to its input-indexed slot, so the returned
+//!   `Vec` is in input order **regardless of worker count or completion
+//!   order** — callers get determinism for free;
+//! - `jobs <= 1` (or a single item) short-circuits to a plain sequential
+//!   loop on the calling thread, so the sequential path is exactly the
+//!   parallel path minus threads.
+//!
+//! # Example
+//!
+//! ```
+//! let squares = commchar_pool::run_indexed(4, 8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a `--jobs` knob: `0` means one worker per available hardware
+/// thread, anything else is taken literally.
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// Runs `f(0), f(1), …, f(count - 1)` across at most `jobs` scoped worker
+/// threads (`0` = one per hardware thread) and returns the results in
+/// index order.
+///
+/// Work distribution is a shared atomic cursor; result ordering never
+/// depends on the worker count, so output built from the returned `Vec`
+/// is byte-identical for any `jobs` value as long as `f` itself is
+/// deterministic per index.
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f` (a panicking item fails
+/// the whole fan-out rather than silently dropping a slot).
+pub fn run_indexed<T, F>(jobs: usize, count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = resolve_jobs(jobs).min(count);
+    if workers <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    let result = f(i);
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+                })
+            })
+            .collect();
+        // Join explicitly so a worker's panic payload surfaces verbatim
+        // (the scope's implicit join would replace it with its own
+        // generic message).
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("scope joined, so every slot is filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        // Uneven per-item cost: later items finish first on any pool, but
+        // the output order must still be the input order.
+        let out = run_indexed(4, 32, |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            i * 10
+        });
+        assert_eq!(out, (0..32).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let seq = run_indexed(1, 100, |i| i as u64 * i as u64 % 97);
+        let par = run_indexed(8, 100, |i| i as u64 * i as u64 % 97);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn zero_count_is_empty() {
+        let out: Vec<u32> = run_indexed(4, 0, |_| unreachable!("no items to run"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_jobs_resolves_to_hardware_threads() {
+        assert!(resolve_jobs(0) >= 1);
+        assert_eq!(resolve_jobs(3), 3);
+        let out = run_indexed(0, 5, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let _ = run_indexed(2, 8, |i| {
+            assert!(i != 5, "boom");
+            i
+        });
+    }
+}

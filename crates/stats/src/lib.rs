@@ -17,7 +17,8 @@
 //!   ([`fit`]), refined by non-linear least squares using the
 //!   **multivariate secant (Broyden) method** ([`secant`]) — the same
 //!   iterative curve-fitting procedure the paper ran in SAS — and ranked
-//!   model selection ([`fit::fit_best`]).
+//!   model selection ([`fit::fit_best`]). Repeated fits over one sample
+//!   share a [`fit::FitContext`] (one sort, one dedup, one moments pass).
 //! - Goodness-of-fit ([`gof`]): Kolmogorov–Smirnov statistic, chi-square,
 //!   and R² against the empirical CDF (the paper reports regression R²).
 //! - [`spatial`] — spatial traffic models (uniform, bimodal-uniform /

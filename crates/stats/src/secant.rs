@@ -41,9 +41,12 @@ pub struct SecantFit {
 ///
 /// `residuals` returns the residual vector at a parameter point, or `None`
 /// if the point is infeasible (the solver treats it as infinitely bad).
-/// The residual length must be constant across calls.
+/// The residual length must be constant across calls. A residual vector
+/// containing non-finite values (NaN / ±∞) is treated exactly like an
+/// infeasible point — the solver never iterates on NaNs.
 ///
-/// Returns `None` if the starting point itself is infeasible.
+/// Returns `None` if the starting point itself is infeasible or produces
+/// non-finite residuals.
 ///
 /// # Example
 ///
@@ -64,7 +67,14 @@ where
 {
     let n = p0.len();
     let mut p = p0.to_vec();
-    let mut r = residuals(&p)?;
+    let r0 = residuals(&p)?;
+    if !all_finite(&r0) {
+        // A NaN/∞ residual at the start would poison every SSE comparison
+        // (`NaN < sse` is always false) and the solver would spin its full
+        // iteration budget to report a bogus "converged" NaN fit.
+        return None;
+    }
+    let mut r = r0;
     let m = r.len();
     let mut sse = dot(&r, &r);
 
@@ -76,11 +86,13 @@ where
                 let h = (p[j].abs() * opts.rel_step).max(1e-8);
                 let mut pj = p.to_vec();
                 pj[j] += h;
-                let Some(rj) = residuals(&pj) else {
+                // Non-finite residuals are infeasible points for the
+                // difference quotient, same as a `None` return.
+                let Some(rj) = residuals(&pj).filter(|r| all_finite(r)) else {
                     // Try backward difference at the boundary.
                     let mut pb = p.to_vec();
                     pb[j] -= h;
-                    let Some(rb) = residuals(&pb) else { return false };
+                    let Some(rb) = residuals(&pb).filter(|r| all_finite(r)) else { return false };
                     for i in 0..m {
                         jac[i][j] = (r[i] - rb[i]) / h;
                     }
@@ -126,7 +138,7 @@ where
                 continue;
             };
             let cand: Vec<f64> = p.iter().zip(&delta).map(|(pi, di)| pi + di).collect();
-            if let Some(rc) = residuals(&cand) {
+            if let Some(rc) = residuals(&cand).filter(|r| all_finite(r)) {
                 let sse_c = dot(&rc, &rc);
                 if sse_c < sse {
                     // Broyden rank-one update: J += (Δr − JΔp)Δpᵀ / ‖Δp‖².
@@ -177,6 +189,10 @@ where
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn all_finite(v: &[f64]) -> bool {
+    v.iter().all(|x| x.is_finite())
 }
 
 /// Solves `A x = b` by Gaussian elimination with partial pivoting.
@@ -287,6 +303,65 @@ mod tests {
     fn infeasible_start_is_none() {
         let fit = minimize(&[1.0], |_| None::<Vec<f64>>, SecantOptions::default());
         assert!(fit.is_none());
+    }
+
+    #[test]
+    fn nan_residuals_at_start_is_none() {
+        // Pathological objective: the residuals are NaN everywhere.
+        // Pre-fix, this iterated for the full budget on NaNs and came
+        // back "converged" with a NaN SSE; it must bail out instead.
+        let fit = minimize(
+            &[1.0, 2.0],
+            |p| Some(vec![f64::NAN, p[0] * f64::NAN]),
+            SecantOptions::default(),
+        );
+        assert!(fit.is_none());
+    }
+
+    #[test]
+    fn nan_residuals_off_start_do_not_poison_fit() {
+        // Finite at the start, NaN one step away in every direction: the
+        // Jacobian refresh must treat those points as infeasible (pre-fix
+        // a NaN entered the Jacobian and the pivot search panicked on
+        // `partial_cmp(NaN)`), so the solver returns the start unharmed.
+        let fit = minimize(
+            &[1.0],
+            |p| {
+                if (p[0] - 1.0).abs() < 1e-12 {
+                    Some(vec![0.5])
+                } else {
+                    Some(vec![f64::NAN])
+                }
+            },
+            SecantOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(fit.params, vec![1.0]);
+        assert!(fit.sse.is_finite());
+        assert!(!fit.converged);
+    }
+
+    #[test]
+    fn infinite_residuals_near_pole_still_minimizes() {
+        // A pole at p = 0 emits ±∞ residuals rather than None; the solver
+        // must skirt it and still pull the parameter toward the optimum
+        // at 2 from the feasible side.
+        let fit = minimize(
+            &[0.5],
+            |p| {
+                if p[0] == 0.0 {
+                    Some(vec![f64::INFINITY])
+                } else if p[0] < 0.0 {
+                    Some(vec![f64::NEG_INFINITY])
+                } else {
+                    Some(vec![p[0] - 2.0, (1.0 / p[0]).min(1e6) * 1e-9])
+                }
+            },
+            SecantOptions::default(),
+        )
+        .unwrap();
+        assert!(fit.sse.is_finite());
+        assert!((fit.params[0] - 2.0).abs() < 0.1, "got {:?}", fit.params);
     }
 
     #[test]

@@ -47,11 +47,30 @@ pub struct TraceProfile {
 pub struct ProfileAccum {
     sources: Vec<SourceProfile>,
     times: Vec<Vec<u64>>,
+    lengths: Vec<u32>,
     kind_counts: [u64; 3],
     first: u64,
     last: u64,
     total_bytes: u64,
     messages: u64,
+}
+
+/// Everything one streaming pass over a trace yields for the
+/// characterization pipeline: the volume/spatial profile plus the raw
+/// temporal samples, so the analyzer never re-walks the event list.
+#[derive(Clone, Debug)]
+pub struct GapExtract {
+    /// The whole-trace profile ([`ProfileAccum::finish`]'s output):
+    /// per-source message/byte/destination counts and the volume totals.
+    pub profile: TraceProfile,
+    /// Per-source inter-send gaps in ticks, identical to
+    /// [`interarrival_by_source`] over the same events.
+    pub per_source: Vec<Vec<f64>>,
+    /// Aggregate inter-arrival gaps across all sources in time order,
+    /// identical to [`interarrival_aggregate`] over the same events.
+    pub aggregate: Vec<f64>,
+    /// Every event's payload length, in push order.
+    pub lengths: Vec<u32>,
 }
 
 impl ProfileAccum {
@@ -69,6 +88,7 @@ impl ProfileAccum {
                 })
                 .collect(),
             times: vec![Vec::new(); nodes],
+            lengths: Vec::new(),
             kind_counts: [0; 3],
             first: u64::MAX,
             last: 0,
@@ -90,6 +110,7 @@ impl ProfileAccum {
         s.dest_counts[e.dst as usize] += 1;
         s.dest_bytes[e.dst as usize] += e.bytes as u64;
         self.times[e.src as usize].push(e.t);
+        self.lengths.push(e.bytes);
         self.total_bytes += e.bytes as u64;
         self.first = self.first.min(e.t);
         self.last = self.last.max(e.t);
@@ -102,15 +123,39 @@ impl ProfileAccum {
     }
 
     /// Completes the per-source gap statistics and returns the profile.
-    pub fn finish(mut self) -> TraceProfile {
+    pub fn finish(self) -> TraceProfile {
+        self.finish_with_gaps().profile
+    }
+
+    /// Completes the profile **and** hands back the temporal raw samples
+    /// the same pass already ordered: per-source and aggregate
+    /// inter-arrival gaps, plus the observed message lengths.
+    ///
+    /// This is the single-streaming-pass entry point of the
+    /// characterization pipeline — one walk over the events feeds the
+    /// temporal fits, the spatial classification (via the profile's
+    /// `dest_counts` rows) and the volume attribute, where the analyzer
+    /// previously re-traversed and re-sorted the trace once per view.
+    pub fn finish_with_gaps(mut self) -> GapExtract {
+        let mut per_source = Vec::with_capacity(self.times.len());
         for (s, ts) in self.sources.iter_mut().zip(&mut self.times) {
             ts.sort_unstable();
             if ts.len() >= 2 {
                 let total: u64 = ts.windows(2).map(|w| w[1] - w[0]).sum();
                 s.mean_gap = total as f64 / (ts.len() - 1) as f64;
             }
+            per_source.push(ts.windows(2).map(|w| (w[1] - w[0]) as f64).collect());
         }
-        TraceProfile {
+        // Aggregate arrival order: merge the per-source sorted times. A
+        // flat sort is simplest and the per-source vectors are already
+        // sorted, so this is the merge pass of a mergesort in disguise.
+        let mut all: Vec<u64> = Vec::with_capacity(self.messages as usize);
+        for ts in &self.times {
+            all.extend_from_slice(ts);
+        }
+        all.sort_unstable();
+        let aggregate = all.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+        let profile = TraceProfile {
             sources: self.sources,
             messages: self.messages,
             bytes: self.total_bytes,
@@ -121,8 +166,19 @@ impl ProfileAccum {
             },
             span: if self.messages == 0 { 0 } else { self.last - self.first },
             kind_counts: self.kind_counts,
-        }
+        };
+        GapExtract { profile, per_source, aggregate, lengths: self.lengths }
     }
+}
+
+/// One streaming pass over a trace yielding the profile plus the temporal
+/// raw samples — see [`ProfileAccum::finish_with_gaps`].
+pub fn extract(trace: &CommTrace) -> GapExtract {
+    let mut accum = ProfileAccum::new(trace.nodes());
+    for e in trace.events() {
+        accum.push(e);
+    }
+    accum.finish_with_gaps()
 }
 
 /// Computes the profile of a trace.
@@ -215,5 +271,19 @@ mod tests {
         assert_eq!(p.messages, 0);
         assert_eq!(p.span, 0);
         assert_eq!(p.mean_bytes, 0.0);
+    }
+
+    #[test]
+    fn extract_matches_the_separate_passes() {
+        let tr = trace();
+        let x = extract(&tr);
+        assert_eq!(x.per_source, interarrival_by_source(&tr));
+        assert_eq!(x.aggregate, interarrival_aggregate(&tr));
+        assert_eq!(x.lengths, vec![8, 40, 8, 16]);
+        assert_eq!(x.profile.messages, profile(&tr).messages);
+        assert_eq!(x.profile.sources[0].dest_counts, vec![0, 2, 1]);
+        let empty = extract(&CommTrace::new(2));
+        assert!(empty.aggregate.is_empty());
+        assert!(empty.lengths.is_empty());
     }
 }

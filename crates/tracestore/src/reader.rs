@@ -1,9 +1,6 @@
 //! Seekable block reader: footer index, checksum verification, and
 //! sequential / streaming / parallel decode.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
 use commchar_mesh::{MsgRecord, NetLog};
 use commchar_trace::profile::{ProfileAccum, TraceProfile};
 use commchar_trace::{CommEvent, CommTrace};
@@ -292,46 +289,23 @@ impl<'a> TraceReader<'a> {
 
     /// Decodes the whole stream into a validated [`CommTrace`], fanning
     /// blocks out over `jobs` worker threads (`0` = one per hardware
-    /// thread). Workers claim blocks from a shared atomic cursor and
-    /// write into per-block slots, so the assembled trace is identical to
-    /// [`read_trace`](Self::read_trace) for any worker count.
+    /// thread) via [`commchar_pool::run_indexed`]. Decoded blocks come
+    /// back in file order regardless of worker count, so the assembled
+    /// trace is identical to [`read_trace`](Self::read_trace).
     ///
     /// # Errors
     ///
     /// The first failing block (in file order) determines the error.
     pub fn read_trace_parallel(&self, jobs: usize) -> Result<CommTrace, TraceStoreError> {
         self.expect_kind(StreamKind::Events)?;
-        let jobs = if jobs == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        } else {
-            jobs
-        };
-        let workers = jobs.min(self.blocks.len());
-        if workers <= 1 {
+        if commchar_pool::resolve_jobs(jobs).min(self.blocks.len()) <= 1 {
             return self.read_trace();
         }
-        type Slot = Mutex<Option<Result<Vec<CommEvent>, TraceStoreError>>>;
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Slot> = self.blocks.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= self.blocks.len() {
-                        break;
-                    }
-                    let decoded = self.decode_events(i);
-                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(decoded);
-                });
-            }
-        });
+        let decoded =
+            commchar_pool::run_indexed(jobs, self.blocks.len(), |i| self.decode_events(i));
         let mut trace = CommTrace::new(self.nodes);
-        for slot in slots {
-            let decoded = slot
-                .into_inner()
-                .unwrap_or_else(|e| e.into_inner())
-                .expect("scope joined, so every slot is filled")?;
-            for e in decoded {
+        for block in decoded {
+            for e in block? {
                 trace.push(e);
             }
         }

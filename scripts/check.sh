@@ -4,15 +4,18 @@
 # installed (e.g. a minimal offline toolchain): the missing step is
 # skipped with a notice instead of failing the gate.
 #
-# Always runs a trace round-trip smoke through the CLI: generate a trace,
-# pack it to the columnar binary format, cat it back to JSON-lines and
-# diff against the original.
+# Always runs two CLI smokes: a trace round-trip (generate a trace, pack
+# it to the columnar binary format, cat it back to JSON-lines and diff
+# against the original), and a characterize determinism check (the same
+# workload characterized with --jobs 1 and --jobs 4 must print identical
+# reports).
 #
 # Flags:
-#   --bench-smoke   additionally run the flit throughput and trace store
-#                   benches in quick mode; they cross-check their fast
-#                   paths against references for identity and rewrite
-#                   BENCH_flit.json / BENCH_trace.json so future PRs have
+#   --bench-smoke   additionally run the flit throughput, trace store and
+#                   characterization benches in quick mode; they
+#                   cross-check their fast paths against references for
+#                   identity and rewrite BENCH_flit.json /
+#                   BENCH_trace.json / BENCH_fit.json so future PRs have
 #                   perf baselines to compare against.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -51,11 +54,18 @@ cargo run --release -q -- trace cat "$tmpdir/t.cct" --out "$tmpdir/t.roundtrip.j
 diff "$tmpdir/t.jsonl" "$tmpdir/t.roundtrip.jsonl"
 cargo run --release -q -- trace stat "$tmpdir/t.cct" | sed 's/^/    /'
 
+echo "==> characterize determinism smoke (--jobs 4 vs --jobs 1 diff)"
+cargo run --release -q -- characterize cholesky --procs 8 --scale tiny --jobs 1 >"$tmpdir/sig.j1.txt"
+cargo run --release -q -- characterize cholesky --procs 8 --scale tiny --jobs 4 >"$tmpdir/sig.j4.txt"
+diff "$tmpdir/sig.j1.txt" "$tmpdir/sig.j4.txt"
+
 if [ "$bench_smoke" -eq 1 ]; then
     echo "==> flit throughput bench (quick smoke)"
     cargo run --release -p commchar-bench --bin bench_flit -- --quick
     echo "==> trace store bench (quick smoke)"
     cargo run --release -p commchar-bench --bin bench_trace -- --quick
+    echo "==> characterization fit bench (quick smoke)"
+    cargo run --release -p commchar-bench --bin bench_fit -- --quick
 fi
 
 echo "check.sh: all gates passed"

@@ -9,7 +9,7 @@ use std::fmt::Write as _;
 use commchar_apps::{AppId, Scale};
 use commchar_core::report::{suite_table, suite_timing};
 use commchar_core::suite::{cell_matrix, SuiteRunner};
-use commchar_core::{characterize, run_workload, synthesize, Workload};
+use commchar_core::{characterize, run_workload, synthesize, try_characterize_jobs, Workload};
 use commchar_mesh::MeshConfig;
 use commchar_trace::replay::CausalReplayer;
 use commchar_trace::CommTrace;
@@ -77,9 +77,17 @@ impl Default for Common {
     }
 }
 
-/// Renders a workload signature as the standard report.
-pub fn report_signature(w: &Workload) -> String {
-    commchar_core::report::signature_report(&characterize(w))
+/// Renders a workload signature as the standard report, fanning the
+/// per-source distribution fits over `jobs` worker threads (`0` = one per
+/// hardware thread; the report is byte-identical for any value).
+///
+/// # Errors
+///
+/// A [`CliError`] (instead of a panic) when the trace is empty or has too
+/// few inter-arrival gaps to fit — see [`commchar_core::CharError`].
+pub fn report_signature(w: &Workload, jobs: usize) -> Result<String, CliError> {
+    let sig = try_characterize_jobs(w, jobs).map_err(|e| CliError(e.to_string()))?;
+    Ok(commchar_core::report::signature_report(&sig))
 }
 
 /// `commchar run <app>`: run an application and return (report, trace).
@@ -96,17 +104,21 @@ pub fn cmd_run(app: &str, common: Common) -> Result<(String, CommTrace), CliErro
     Ok((report, w.trace))
 }
 
-/// `commchar characterize <app>`: full signature report for an application.
-pub fn cmd_characterize_app(app: &str, common: Common) -> Result<String, CliError> {
+/// `commchar characterize <app> [--jobs N]`: full signature report for an
+/// application. `jobs` parallelizes the per-source fits; the report text
+/// does not depend on it.
+pub fn cmd_characterize_app(app: &str, common: Common, jobs: usize) -> Result<String, CliError> {
     let app = parse_app(app)?;
     let w = run_workload(app, common.procs, common.scale);
-    Ok(report_signature(&w))
+    report_signature(&w, jobs)
 }
 
-/// `commchar characterize --trace <file contents>`: signature report for a
-/// saved trace (replayed causally through a fitted-size mesh). Accepts
-/// either trace format, sniffed by magic bytes.
-pub fn cmd_characterize_trace(input: &[u8]) -> Result<String, CliError> {
+/// `commchar characterize --trace <file contents> [--jobs N]`: signature
+/// report for a saved trace (replayed causally through a fitted-size
+/// mesh). Accepts either trace format, sniffed by magic bytes. `jobs`
+/// parallelizes the per-source fits; the report text does not depend on
+/// it.
+pub fn cmd_characterize_trace(input: &[u8], jobs: usize) -> Result<String, CliError> {
     let trace = load_trace(input)?;
     let mesh = MeshConfig::for_nodes(trace.nodes());
     let netlog = CausalReplayer::new(mesh).replay(&trace);
@@ -120,7 +132,7 @@ pub fn cmd_characterize_trace(input: &[u8]) -> Result<String, CliError> {
         netlog,
         exec_ticks: exec,
     };
-    Ok(report_signature(&w))
+    report_signature(&w, jobs)
 }
 
 /// `commchar generate <app>`: fit an application and produce a synthetic
@@ -251,7 +263,9 @@ pub fn cmd_trace_stat(input: &[u8]) -> Result<String, CliError> {
 /// across a pool of worker threads. Returns `(table, timing)`: the table
 /// is deterministic (byte-identical for any worker count, so it can be
 /// diffed across runs); the timing text carries the wall-clock and
-/// messages/sec figures and belongs on stderr.
+/// messages/sec figures and belongs on stderr. Any worker budget left
+/// over by the cell fan-out flows down to each cell's per-source fits
+/// (see [`SuiteRunner::run`]).
 pub fn cmd_suite(common: Common, jobs: usize) -> (String, String) {
     let cells = cell_matrix(AppId::all(), &[common.procs], &[common.scale], common.seed);
     let report = SuiteRunner::new(jobs).run(cells);
@@ -269,6 +283,7 @@ COMMANDS:
     run <app> [--out FILE]        run an application, optionally saving its trace
     characterize <app>            run and print the full communication signature
     characterize --trace FILE     characterize a saved trace (causal mesh replay)
+                                  (both forms accept --jobs for parallel fitting)
     generate <app> [--out FILE]   emit a synthetic trace from the fitted model
     replay --trace FILE           replay a saved trace (causal vs naive)
     suite                         characterize all seven applications in parallel
@@ -280,13 +295,16 @@ OPTIONS:
     --procs N       processor count (default 8)
     --scale S       tiny | small | full (default small)
     --seed N        generation seed (default 42)
-    --jobs N        suite worker threads; 0 = one per hardware thread (default 0)
+    --jobs N        worker threads for suite cells and per-source distribution
+                    fits; 0 = one per hardware thread (default 0). Output is
+                    byte-identical for any value; only wall-clock changes.
     --streaming     replay with online statistics only (constant memory)
     --packed        write run/generate trace output in the packed binary format
     --out FILE      write trace output to FILE instead of stdout
 
-The suite table is deterministic: any --jobs value produces byte-identical
-stdout; wall-clock and messages/sec figures go to stderr.
+The suite table and the characterize reports are deterministic: any --jobs
+value produces byte-identical stdout; wall-clock and messages/sec figures
+go to stderr.
 
 Trace files may be JSON-lines or the packed columnar format (CCTRACE1);
 every command that reads a trace sniffs the format from the magic bytes.
@@ -307,10 +325,28 @@ mod tests {
         let (report, trace) = cmd_run("is", common).unwrap();
         assert!(report.contains("ran is on 4 processors"));
         assert!(!trace.is_empty());
-        let sig = cmd_characterize_app("is", common).unwrap();
+        let sig = cmd_characterize_app("is", common, 1).unwrap();
         assert!(sig.contains("temporal attribute"));
         assert!(sig.contains("spatial attribute"));
         assert!(sig.contains("volume attribute"));
+    }
+
+    #[test]
+    fn characterize_jobs_does_not_change_the_report() {
+        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1 };
+        let serial = cmd_characterize_app("is", common, 1).unwrap();
+        let parallel = cmd_characterize_app("is", common, 4).unwrap();
+        assert_eq!(serial, parallel, "characterize report must not depend on --jobs");
+    }
+
+    #[test]
+    fn degenerate_trace_is_a_cli_error_not_a_panic() {
+        // Two events -> one inter-arrival gap: too few to fit.
+        let mut tr = CommTrace::new(4);
+        tr.push(commchar_trace::CommEvent::new(0, 0, 0, 1, 8, commchar_trace::EventKind::Data));
+        tr.push(commchar_trace::CommEvent::new(1, 9, 0, 1, 8, commchar_trace::EventKind::Data));
+        let err = cmd_characterize_trace(tr.to_jsonl().as_bytes(), 1).unwrap_err();
+        assert!(err.0.contains("degenerate"), "unexpected error: {err}");
     }
 
     #[test]
@@ -325,7 +361,7 @@ mod tests {
         let common = Common { procs: 4, scale: Scale::Tiny, seed: 1 };
         let (_, trace) = cmd_run("3d-fft", common).unwrap();
         let jsonl = trace.to_jsonl();
-        let report = cmd_characterize_trace(jsonl.as_bytes()).unwrap();
+        let report = cmd_characterize_trace(jsonl.as_bytes(), 2).unwrap();
         assert!(report.contains("processors  : 4"));
         let replay = cmd_replay(jsonl.as_bytes()).unwrap();
         assert!(replay.contains("causal:"));
@@ -343,8 +379,8 @@ mod tests {
         assert_eq!(cmd_trace_cat(&packed).unwrap(), jsonl);
         assert_eq!(cmd_trace_pack(&packed).unwrap(), packed);
         // every trace-consuming command accepts the packed form too.
-        let from_jsonl = cmd_characterize_trace(jsonl.as_bytes()).unwrap();
-        let from_packed = cmd_characterize_trace(&packed).unwrap();
+        let from_jsonl = cmd_characterize_trace(jsonl.as_bytes(), 1).unwrap();
+        let from_packed = cmd_characterize_trace(&packed, 1).unwrap();
         assert_eq!(from_jsonl, from_packed);
         assert_eq!(cmd_replay(jsonl.as_bytes()).unwrap(), cmd_replay(&packed).unwrap());
         assert_eq!(

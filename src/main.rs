@@ -108,11 +108,11 @@ fn run(argv: &[String]) -> Result<(), String> {
         }
         Some("characterize") => {
             let text = if args.trace.is_some() {
-                cli::cmd_characterize_trace(&read_trace(&args)?).map_err(|e| e.0)?
+                cli::cmd_characterize_trace(&read_trace(&args)?, args.jobs).map_err(|e| e.0)?
             } else {
                 let app =
                     args.positional.get(1).ok_or("characterize needs an app or --trace FILE")?;
-                cli::cmd_characterize_app(app, args.common).map_err(|e| e.0)?
+                cli::cmd_characterize_app(app, args.common, args.jobs).map_err(|e| e.0)?
             };
             emit(&text, &None)
         }
