@@ -160,12 +160,33 @@ impl AppId {
     /// Panics on invalid processor counts (each kernel documents its own
     /// constraints; all accept powers of two between 2 and 32).
     pub fn run(self, nprocs: usize, scale: Scale) -> AppOutput {
+        self.run_engine(nprocs, scale, commchar_mesh::EngineKind::Recurrence)
+    }
+
+    /// Like [`AppId::run`] but with an explicit closed-loop network engine.
+    ///
+    /// For shared-memory kernels (dynamic strategy) the engine sits inside
+    /// the execution-driven simulation and steers it. Message-passing
+    /// kernels use the static strategy — acquisition is engine-free and the
+    /// engine choice applies when the trace is replayed — so `engine` is
+    /// ignored here.
+    ///
+    /// # Panics
+    ///
+    /// Same constraints as [`AppId::run`].
+    pub fn run_engine(
+        self,
+        nprocs: usize,
+        scale: Scale,
+        engine: commchar_mesh::EngineKind,
+    ) -> AppOutput {
+        let cfg = commchar_spasm::MachineConfig::new(nprocs).with_engine(engine);
         match self {
-            AppId::Fft1d => sm::fft1d::run(nprocs, scale),
-            AppId::Is => sm::is::run(nprocs, scale),
-            AppId::Cholesky => sm::cholesky::run(nprocs, scale),
-            AppId::Nbody => sm::nbody::run(nprocs, scale),
-            AppId::Maxflow => sm::maxflow::run(nprocs, scale),
+            AppId::Fft1d => sm::fft1d::run_cfg(cfg, scale),
+            AppId::Is => sm::is::run_cfg(cfg, scale),
+            AppId::Cholesky => sm::cholesky::run_cfg(cfg, scale),
+            AppId::Nbody => sm::nbody::run_cfg(cfg, scale),
+            AppId::Maxflow => sm::maxflow::run_cfg(cfg, scale),
             AppId::Fft3d => mp::fft3d::run(nprocs, scale),
             AppId::Mg => mp::mg::run(nprocs, scale),
         }

@@ -143,6 +143,13 @@ pub fn run(nprocs: usize, scale: Scale) -> AppOutput {
     run_sized(nprocs, n, band)
 }
 
+/// Runs at the default size for `scale` on a caller-configured machine
+/// (e.g. with a different network engine or coherence protocol).
+pub fn run_cfg(cfg: MachineConfig, scale: Scale) -> AppOutput {
+    let (n, band) = sizes(scale);
+    run_sized_with(cfg, n, band)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

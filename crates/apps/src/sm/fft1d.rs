@@ -123,6 +123,12 @@ pub fn run(nprocs: usize, scale: Scale) -> AppOutput {
     run_sized(nprocs, points(scale))
 }
 
+/// Runs at the default size for `scale` on a caller-configured machine
+/// (e.g. with a different network engine or coherence protocol).
+pub fn run_cfg(cfg: MachineConfig, scale: Scale) -> AppOutput {
+    run_sized_with(cfg, points(scale))
+}
+
 /// The parallel FFT body: bit-reversal then staged butterflies, with a
 /// barrier separating stages. Butterfly index space is split evenly.
 fn fft_parallel(ctx: &mut Ctx, re: Region, im: Region, n: usize) {

@@ -150,6 +150,13 @@ pub fn run(nprocs: usize, scale: Scale) -> AppOutput {
     run_sized(nprocs, nkeys, range)
 }
 
+/// Runs at the default size for `scale` on a caller-configured machine
+/// (e.g. with a different network engine or coherence protocol).
+pub fn run_cfg(cfg: MachineConfig, scale: Scale) -> AppOutput {
+    let (nkeys, range) = sizes(scale);
+    run_sized_with(cfg, nkeys, range)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

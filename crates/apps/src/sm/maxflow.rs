@@ -267,6 +267,13 @@ pub fn run(nprocs: usize, scale: Scale) -> AppOutput {
     run_sized(nprocs, layers, width)
 }
 
+/// Runs at the default size for `scale` on a caller-configured machine
+/// (e.g. with a different network engine or coherence protocol).
+pub fn run_cfg(cfg: MachineConfig, scale: Scale) -> AppOutput {
+    let (layers, width) = sizes(scale);
+    run_sized_with(cfg, layers, width)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

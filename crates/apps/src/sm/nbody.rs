@@ -176,6 +176,13 @@ pub fn run(nprocs: usize, scale: Scale) -> AppOutput {
     run_sized(nprocs, n, steps)
 }
 
+/// Runs at the default size for `scale` on a caller-configured machine
+/// (e.g. with a different network engine or coherence protocol).
+pub fn run_cfg(cfg: MachineConfig, scale: Scale) -> AppOutput {
+    let (n, steps) = sizes(scale);
+    run_sized_with(cfg, n, steps)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,48 @@
+//! Experiment — engine fidelity: what the fast network model costs.
+//!
+//! The paper's Figure 1 loop runs one network simulator; this codebase
+//! makes the simulator pluggable (`NetEngine`). Here each application is
+//! characterized twice — once with the channel-recurrence wormhole model
+//! in the loop, once with the cycle-accurate flit-level router — and the
+//! resulting latency distributions and fitted signatures are compared.
+//! Because the loop is closed, engine latency differences feed back into
+//! application progress: execution time and even the message population
+//! may shift, not just the measured latencies. The signature's stability
+//! across engines is evidence the characterization captures application
+//! structure rather than simulator artifacts.
+
+use commchar_apps::{AppId, Scale};
+use commchar_core::report::table;
+use commchar_core::{characterize, run_workload_engine};
+use commchar_mesh::EngineKind;
+
+fn main() {
+    println!("engine fidelity: recurrence vs cycle-accurate flit, closed loop\n");
+    let mut rows = Vec::new();
+    for app in [AppId::Is, AppId::Cholesky, AppId::Nbody, AppId::Fft3d] {
+        for kind in [EngineKind::Recurrence, EngineKind::FlitLevel] {
+            let w = run_workload_engine(app, 8, Scale::Tiny, kind);
+            let sig = characterize(&w);
+            let s = w.netlog.summary();
+            rows.push(vec![
+                app.name().to_string(),
+                kind.name().to_string(),
+                s.messages.to_string(),
+                w.exec_ticks.to_string(),
+                format!("{:.1}", s.mean_latency),
+                format!("{:.0}", s.p95_latency),
+                format!("{:.1}", s.mean_blocked),
+                format!("{}", sig.temporal.aggregate.dist),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        table(&["app", "engine", "msgs", "exec ticks", "mean lat", "p95", "blocked", "fit"], &rows)
+    );
+    println!("(shared-memory rows: the engine steers the execution, so message");
+    println!(" populations and execution time may differ between engines; 3d-fft");
+    println!(" uses the static strategy, so only the replayed latencies change.");
+    println!(" A fitted distribution family that survives the engine swap is");
+    println!(" robust to network-model fidelity — the methodology's claim.)");
+}

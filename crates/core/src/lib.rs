@@ -11,7 +11,11 @@
 //! 2. **Analyze** the network log ([`characterize`]): fit the message
 //!    inter-arrival time distribution (per source and aggregate), classify
 //!    each source's spatial distribution, and summarize the volume
-//!    attribute — producing a [`CommSignature`].
+//!    attribute — producing a [`CommSignature`]. [`characterize_jobs`] fans
+//!    the per-source fits across worker threads (the CLI's `--jobs` knob)
+//!    with results identical to the serial path; [`try_characterize`]
+//!    surfaces degenerate inputs (an empty log) as a typed [`CharError`]
+//!    instead of panicking.
 //! 3. **Synthesize** ([`synthesize`]): turn the signature back into an
 //!    open-loop [`commchar_traffic::TrafficModel`], usable to drive network
 //!    studies with realistic workloads (and to validate the fits against
@@ -20,6 +24,13 @@
 //! The whole matrix of (application × configuration × seed) cells runs in
 //! parallel through [`suite::SuiteRunner`], which fans cells across scoped
 //! worker threads and returns results in deterministic input order.
+//!
+//! Both strategies drive the mesh through a pluggable closed-loop engine
+//! ([`commchar_mesh::NetEngine`]): the default channel-recurrence wormhole
+//! model, or the cycle-accurate flit-level router run incrementally.
+//! [`run_workload_engine`] and [`suite::SuiteRunner::with_engine`] select
+//! it (the CLI's `--engine` flag); [`run_workload`] keeps the recurrence
+//! default and its historical output byte-for-byte.
 //!
 //! # Example
 //!
@@ -40,7 +51,7 @@ pub mod report;
 pub mod suite;
 
 use commchar_apps::{AppClass, AppId, Scale};
-use commchar_mesh::{MeshConfig, NetLog, NetSummary};
+use commchar_mesh::{EngineKind, MeshConfig, NetLog, NetSummary};
 use commchar_stats::fit::{fit_best, FitResult};
 use commchar_stats::spatial::{classify_with_count, normalize, SpatialFit};
 use commchar_stats::Dist;
@@ -74,11 +85,33 @@ pub struct Workload {
 ///
 /// Panics on invalid processor counts for the chosen kernel.
 pub fn run_workload(app: AppId, nprocs: usize, scale: Scale) -> Workload {
+    run_workload_engine(app, nprocs, scale, EngineKind::Recurrence)
+}
+
+/// Like [`run_workload`] but with an explicit closed-loop network engine.
+///
+/// Dynamic-strategy applications run with the chosen engine *in the loop*
+/// (its delivery times steer the simulated processors); static-strategy
+/// applications acquire their trace engine-free and the choice applies at
+/// causal replay. [`EngineKind::Recurrence`] reproduces [`run_workload`]
+/// exactly.
+///
+/// # Panics
+///
+/// Panics on invalid processor counts for the chosen kernel.
+pub fn run_workload_engine(
+    app: AppId,
+    nprocs: usize,
+    scale: Scale,
+    engine: EngineKind,
+) -> Workload {
     let mesh = MeshConfig::for_nodes(nprocs);
-    let out = app.run(nprocs, scale);
+    let out = app.run_engine(nprocs, scale, engine);
     let netlog = match out.netlog {
         Some(log) => log, // dynamic strategy: closed-loop co-simulation
-        None => CausalReplayer::new(mesh).replay(&out.trace), // static strategy
+        None => CausalReplayer::new(mesh) // static strategy
+            .try_replay(&out.trace, engine)
+            .unwrap_or_else(|e| panic!("{e}")),
     };
     Workload {
         name: out.name.to_string(),

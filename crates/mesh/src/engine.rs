@@ -1,0 +1,340 @@
+//! Pluggable closed-loop network engines — the feedback arrow of the
+//! paper's Figure 1 as a trait.
+//!
+//! The methodology's execution-driven acquisition loop needs exactly one
+//! thing from the network: *inject a message now, learn its delivery time
+//! immediately*, so the network's latency can steer application time. The
+//! paper hard-wired that loop to its single CSIM simulator; this crate
+//! originally hard-wired it to [`OnlineWormhole`]. [`NetEngine`] names the
+//! contract instead, so every driver (the shared-memory co-simulation, the
+//! causal trace replayer, the suite runner, the CLI) is generic over which
+//! network answers:
+//!
+//! - [`OnlineWormhole`] — the channel-granularity recurrence model. Its
+//!   [`send`](OnlineWormhole::send) already *is* the closed loop; the trait
+//!   impl is zero-cost delegation.
+//! - [`IncrementalFlit`] — the cycle-accurate [`FlitLevel`] router accepting
+//!   out-of-band sends. The flit router is not causal (a later injection can
+//!   retroactively change an earlier delivery through round-robin
+//!   allocation and buffer contention), so it keeps a *committed* state that
+//!   only ever processes finalized cycles — cycles no future injection can
+//!   perturb — plus a cloned *speculative* state run ahead to deliver the
+//!   newest message. The returned delivery time is the engine's best
+//!   feedback given all traffic so far; the **final log is cycle-identical
+//!   to a batch [`FlitLevel`] run** over the same injection schedule, which
+//!   is the property the equivalence suite pins.
+//!
+//! [`EngineKind`] is the runtime selector the CLI's `--engine` flag parses
+//! into; drivers match on it to construct the engine they are generic over.
+
+use commchar_des::SimTime;
+
+use crate::flit::ClosedLoop;
+use crate::sink::{LogSink, StreamingLog};
+use crate::{MeshConfig, NetLog, NetMessage, OnlineWormhole};
+
+/// An error surfaced by a closed-loop engine instead of a panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// A message was injected earlier than a previously injected one.
+    /// Closed-loop engines resolve contention in injection order, so a
+    /// time-ordered feed is part of the contract; a violation means the
+    /// trace (or the driver's event loop) is malformed.
+    OutOfOrder {
+        /// Id of the offending message.
+        id: u64,
+        /// Its injection time.
+        inject: SimTime,
+        /// The latest injection time seen before it.
+        last: SimTime,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::OutOfOrder { id, inject, last } => write!(
+                f,
+                "messages must be injected in nondecreasing time order \
+                 (message {id} at {inject:?} after {last:?})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Which network engine closes the loop — the runtime selector behind the
+/// CLI's `--engine recurrence|flit` flag.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The channel-granularity recurrence model ([`OnlineWormhole`]) —
+    /// fast, causal, the default and the historical behavior.
+    #[default]
+    Recurrence,
+    /// The cycle-accurate flit router in incremental mode
+    /// ([`IncrementalFlit`]) — slower, but the final log is
+    /// cycle-identical to a batch [`FlitLevel`](crate::FlitLevel) run.
+    FlitLevel,
+}
+
+impl EngineKind {
+    /// The flag spelling of this kind (`"recurrence"` / `"flit"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Recurrence => "recurrence",
+            EngineKind::FlitLevel => "flit",
+        }
+    }
+
+    /// Parses a `--engine` flag value.
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        match s {
+            "recurrence" => Some(EngineKind::Recurrence),
+            "flit" => Some(EngineKind::FlitLevel),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A closed-loop network engine: inject one message at a time, in
+/// nondecreasing injection order, and learn each delivery time
+/// immediately — the feedback arrow from the network simulator to the
+/// event generator in the paper's Figure 1.
+///
+/// Implementations log every delivered message into a [`LogSink`] and
+/// hand it over (with per-channel utilization) at [`finish`](NetEngine::finish).
+pub trait NetEngine {
+    /// The sink accumulating this engine's records.
+    type Sink: LogSink;
+
+    /// The network configuration.
+    fn config(&self) -> &MeshConfig;
+
+    /// Injects a message and returns the delivery time of its tail flit
+    /// at the destination network interface, or
+    /// [`EngineError::OutOfOrder`] if `msg.inject` precedes a previously
+    /// injected message.
+    fn send(&mut self, msg: NetMessage) -> Result<SimTime, EngineError>;
+
+    /// The sink accumulating this engine's records so far.
+    fn sink(&self) -> &Self::Sink;
+
+    /// Finishes the simulation and returns the sink, with per-channel
+    /// utilization over the observed span folded in.
+    fn finish(self) -> Self::Sink;
+}
+
+impl<S: LogSink> NetEngine for OnlineWormhole<S> {
+    type Sink = S;
+
+    fn config(&self) -> &MeshConfig {
+        OnlineWormhole::config(self)
+    }
+
+    fn send(&mut self, msg: NetMessage) -> Result<SimTime, EngineError> {
+        self.try_send(msg)
+    }
+
+    fn sink(&self) -> &S {
+        OnlineWormhole::sink(self)
+    }
+
+    fn finish(self) -> S {
+        self.into_sink()
+    }
+}
+
+/// The cycle-accurate [`FlitLevel`](crate::FlitLevel) router as a
+/// closed-loop engine: accepts one message at a time and reports each
+/// delivery without requiring the full batch up front.
+///
+/// Delivery times returned by [`send`](IncrementalFlit::send) are the
+/// router's exact answer *given all traffic injected so far* — the flit
+/// router is not causal, so a later injection may retroactively change an
+/// earlier message's true delivery (the recurrence model has no such
+/// revisions). What is pinned, by the same style of randomized equivalence
+/// suite that pins the router against its oracle, is the **final log**:
+/// records and channel utilization out of [`finish`](NetEngine::finish)
+/// are identical to a batch [`FlitLevel::run`](crate::FlitLevel::run) over
+/// the same messages.
+#[derive(Debug)]
+pub struct IncrementalFlit<S: LogSink = NetLog> {
+    cfg: MeshConfig,
+    core: ClosedLoop,
+    sink: S,
+    last_inject: SimTime,
+}
+
+impl IncrementalFlit {
+    /// Creates an idle closed-loop router logging into a [`NetLog`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a torus shape (the flit router is mesh-only).
+    pub fn new(cfg: MeshConfig) -> Self {
+        IncrementalFlit::with_sink(cfg, NetLog::new())
+    }
+}
+
+impl IncrementalFlit<StreamingLog> {
+    /// Creates an idle closed-loop router accumulating into a
+    /// [`StreamingLog`] sized for this mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a torus shape (the flit router is mesh-only).
+    pub fn streaming(cfg: MeshConfig) -> Self {
+        let nodes = cfg.shape.nodes();
+        IncrementalFlit::with_sink(cfg, StreamingLog::new(nodes))
+    }
+}
+
+impl<S: LogSink> IncrementalFlit<S> {
+    /// Creates an idle closed-loop router delivering records into `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a torus shape (the flit router is mesh-only).
+    pub fn with_sink(cfg: MeshConfig, sink: S) -> Self {
+        IncrementalFlit { cfg, core: ClosedLoop::new(cfg), sink, last_inject: SimTime::ZERO }
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &MeshConfig {
+        &self.cfg
+    }
+
+    /// The sink accumulating this engine's records. Records are emitted at
+    /// [`into_sink`](IncrementalFlit::into_sink) — once delivery times are
+    /// final — so mid-run the sink is still empty.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Injects a message and returns the delivery cycle of its tail flit,
+    /// or [`EngineError::OutOfOrder`] on a time-ordering violation.
+    pub fn try_send(&mut self, msg: NetMessage) -> Result<SimTime, EngineError> {
+        if msg.inject < self.last_inject {
+            return Err(EngineError::OutOfOrder {
+                id: msg.id,
+                inject: msg.inject,
+                last: self.last_inject,
+            });
+        }
+        self.last_inject = msg.inject;
+        Ok(SimTime::from_ticks(self.core.send(msg)))
+    }
+
+    /// Finishes the simulation: drains every in-flight worm, emits one
+    /// record per message in injection order, and returns the sink with
+    /// per-channel utilization folded in — byte-identical to what a batch
+    /// [`FlitLevel`](crate::FlitLevel) produces for the same schedule.
+    pub fn into_sink(mut self) -> S {
+        self.core.finish_into(&mut self.sink);
+        self.sink
+    }
+}
+
+impl<S: LogSink> NetEngine for IncrementalFlit<S> {
+    type Sink = S;
+
+    fn config(&self) -> &MeshConfig {
+        IncrementalFlit::config(self)
+    }
+
+    fn send(&mut self, msg: NetMessage) -> Result<SimTime, EngineError> {
+        self.try_send(msg)
+    }
+
+    fn sink(&self) -> &S {
+        IncrementalFlit::sink(self)
+    }
+
+    fn finish(self) -> S {
+        self.into_sink()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn msg(id: u64, src: u16, dst: u16, bytes: u32, inject: u64) -> NetMessage {
+        NetMessage {
+            id,
+            src: NodeId(src),
+            dst: NodeId(dst),
+            bytes,
+            inject: SimTime::from_ticks(inject),
+        }
+    }
+
+    #[test]
+    fn engine_kind_round_trips_through_names() {
+        for kind in [EngineKind::Recurrence, EngineKind::FlitLevel] {
+            assert_eq!(EngineKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(EngineKind::parse("csim"), None);
+        assert_eq!(EngineKind::default(), EngineKind::Recurrence);
+    }
+
+    #[test]
+    fn out_of_order_is_an_error_not_a_panic() {
+        let cfg = MeshConfig::new(2, 2);
+        let mut flit = IncrementalFlit::new(cfg);
+        flit.try_send(msg(0, 0, 1, 8, 100)).unwrap();
+        let err = flit.try_send(msg(1, 1, 0, 8, 50)).unwrap_err();
+        assert!(err.to_string().contains("nondecreasing"), "{err}");
+
+        let mut rec = OnlineWormhole::new(cfg);
+        rec.try_send(msg(0, 0, 1, 8, 100)).unwrap();
+        let err = rec.try_send(msg(1, 1, 0, 8, 50)).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::OutOfOrder {
+                id: 1,
+                inject: SimTime::from_ticks(50),
+                last: SimTime::from_ticks(100),
+            }
+        );
+    }
+
+    #[test]
+    fn trait_path_matches_inherent_wormhole_send() {
+        let cfg = MeshConfig::new(4, 2);
+        let mut direct = OnlineWormhole::new(cfg);
+        let mut via_trait = OnlineWormhole::new(cfg);
+        for i in 0..50u64 {
+            let m = msg(i, (i % 8) as u16, ((i * 5 + 1) % 8) as u16, 16 + (i % 64) as u32, i * 4);
+            if m.src != m.dst {
+                let a = direct.send(m);
+                let b = NetEngine::send(&mut via_trait, m).unwrap();
+                assert_eq!(a, b);
+            }
+        }
+        let a = direct.into_log();
+        let b = NetEngine::finish(via_trait);
+        assert_eq!(a.records(), b.records());
+        assert_eq!(a.utilization(), b.utilization());
+    }
+
+    #[test]
+    fn incremental_flit_send_reports_plausible_latency() {
+        let cfg = MeshConfig::new(4, 4);
+        let mut flit = IncrementalFlit::new(cfg);
+        let d = flit.try_send(msg(0, 0, 15, 32, 0)).unwrap();
+        let hops = cfg.shape.hop_distance(NodeId(0), NodeId(15));
+        assert_eq!(d.ticks(), cfg.zero_load_latency(32, hops));
+        let log = flit.into_sink();
+        assert_eq!(log.records().len(), 1);
+        assert_eq!(log.records()[0].delivered, d.ticks());
+    }
+}

@@ -93,7 +93,7 @@ struct Flit {
     hop: u32,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Copy, Debug)]
 struct Worm {
     msg: NetMessage,
     /// Offset/length of this worm's route in the shared route arena.
@@ -117,7 +117,9 @@ struct Landing {
 /// Reusable per-run state. Everything here is cleared (capacity kept) at
 /// the start of each run, so repeated batches on one model reuse the worm
 /// storage, route arena, buffers and event heaps without reallocating.
-#[derive(Debug, Default)]
+/// `Clone` exists for the closed-loop engine ([`ClosedLoop`]), whose
+/// speculative state is a snapshot of the committed one.
+#[derive(Clone, Debug, Default)]
 struct Workspace {
     /// Message indices in (inject, id) order — replaces cloning and
     /// re-sorting the caller's slice.
@@ -235,6 +237,52 @@ impl Workspace {
         self.cand.clear();
         self.port_of.clear();
         self.port_of.extend((0..NPORTS * vcs).map(|b| (b / vcs) as u8));
+    }
+
+    /// Makes `self` a snapshot of `src`, reusing every allocation and
+    /// skipping the parts that provably match — the speculative-state
+    /// refresh of the closed-loop engine, which must not cost O(history)
+    /// per message:
+    ///
+    /// - `routes` is an append-only arena, so only its new suffix is
+    ///   copied;
+    /// - worms below the `finalized` watermark (delivered in both states)
+    ///   hold their final, state-independent values and are skipped; only
+    ///   the mutable tail is refreshed;
+    /// - everything else is mesh-sized or in-flight-sized and is copied
+    ///   with `clone_from` (capacity kept).
+    ///
+    /// `self` must be an earlier snapshot of the same run (or empty), so
+    /// its arenas are prefixes of `src`'s.
+    fn sync_from(&mut self, src: &Workspace, finalized: usize) {
+        debug_assert!(self.routes.len() <= src.routes.len());
+        debug_assert!(self.worms.len() <= src.worms.len());
+        debug_assert!(finalized <= self.worms.len());
+        self.routes.extend_from_slice(&src.routes[self.routes.len()..]);
+        let known = self.worms.len();
+        self.worms[finalized..].copy_from_slice(&src.worms[finalized..known]);
+        self.worms.extend_from_slice(&src.worms[known..]);
+        self.order.clone_from(&src.order);
+        self.slab.clone_from(&src.slab);
+        self.bhead.clone_from(&src.bhead);
+        self.blen.clone_from(&src.blen);
+        self.reserved.clone_from(&src.reserved);
+        self.owners.clone_from(&src.owners);
+        self.busy_until.clone_from(&src.busy_until);
+        self.busy_ticks.clone_from(&src.busy_ticks);
+        self.rr.clone_from(&src.rr);
+        self.vc_rr.clone_from(&src.vc_rr);
+        self.req.clone_from(&src.req);
+        self.req_len.clone_from(&src.req_len);
+        self.dirty.clone_from(&src.dirty);
+        self.ring.clone_from(&src.ring);
+        self.due.clone_from(&src.due);
+        self.spare.clone_from(&src.spare);
+        self.ni_events.clone_from(&src.ni_events);
+        self.ni_sched.clone_from(&src.ni_sched);
+        self.pending.clone_from(&src.pending);
+        self.cand.clone_from(&src.cand);
+        self.port_of.clone_from(&src.port_of);
     }
 }
 
@@ -424,7 +472,7 @@ impl<S: LogSink> FlitLevel<S> {
         let remaining = ws.worms.len();
         let mut engine =
             Engine { cfg, vcs, stride: NPORTS * vcs, wheel, cap, ws: &mut self.ws, remaining };
-        engine.run_events(first);
+        engine.advance(None, Goal::Drain);
 
         // Emit records in injection order (what the reference produces and
         // what per-source inter-arrival statistics expect) and fold this
@@ -508,6 +556,20 @@ fn build_route(cfg: &MeshConfig, src: NodeId, dst: NodeId, routes: &mut Vec<u8>)
     routes.push(PORT_LOCAL as u8);
 }
 
+/// What [`Engine::advance`] runs the event loop toward.
+#[derive(Clone, Copy, Debug)]
+enum Goal {
+    /// Run until every worm is delivered (the batch semantics).
+    Drain,
+    /// Run until worm `w` is delivered.
+    Deliver(u32),
+    /// Run every cycle strictly before the horizon, then stop. Cycles
+    /// below the horizon are *final* for the closed-loop engine: no
+    /// message injected from now on can put a flit into a network
+    /// interface earlier than `inject + hop_latency`.
+    Before(u64),
+}
+
 /// One run of the event loop over a prepared workspace.
 struct Engine<'a> {
     cfg: MeshConfig,
@@ -543,11 +605,46 @@ impl Engine<'_> {
         self.ws.blen[b] += 1;
     }
 
-    fn run_events(&mut self, start: u64) {
-        let mut t = start;
+    /// Runs the event loop from `clock` (the last processed cycle, `None`
+    /// before the first) until `goal` is met, and returns the new clock.
+    ///
+    /// The loop never stops *inside* a cycle — only between event times —
+    /// so a paused engine resumes exactly where a straight-through run
+    /// would be: `advance(Before(c))` then `advance(Drain)` is
+    /// cycle-identical to `advance(Drain)` alone, provided any events
+    /// added in between lie at or beyond `c`. That property is what lets
+    /// the closed-loop engine ([`ClosedLoop`]) interleave out-of-band
+    /// injections with simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a wedge report if the goal is `Drain` or `Deliver` and
+    /// the event queues run dry (or the step guard trips) first.
+    fn advance(&mut self, mut clock: Option<u64>, goal: Goal) -> Option<u64> {
         let mut guard: u64 = 0;
         let guard_limit = 200_000_000;
-        while self.remaining > 0 {
+        loop {
+            match goal {
+                Goal::Drain if self.remaining == 0 => return clock,
+                Goal::Deliver(w) if self.ws.worms[w as usize].delivered.is_some() => {
+                    return clock;
+                }
+                _ => {}
+            }
+            let t = match clock {
+                Some(c) => self.next_time(c),
+                None => self.first_time(),
+            };
+            let t = match t {
+                Some(t) => t,
+                None if matches!(goal, Goal::Before(_)) => return clock,
+                None => panic!("{}", self.wedge_report(clock.unwrap_or(0))),
+            };
+            if let Goal::Before(cut) = goal {
+                if t >= cut {
+                    return clock;
+                }
+            }
             guard += 1;
             assert!(
                 guard < guard_limit,
@@ -563,13 +660,7 @@ impl Engine<'_> {
                 dirty[o as usize / 64] |= 1 << (o % 64);
             }
             self.scan(t);
-            if self.remaining == 0 {
-                break;
-            }
-            match self.next_time(t) {
-                Some(n) => t = n,
-                None => panic!("{}", self.wedge_report(t)),
-            }
+            clock = Some(t);
         }
     }
 
@@ -932,6 +1023,17 @@ impl Engine<'_> {
         (0..v).find(|&vc| self.ws.owners[o * v + vc] == Some(worm))
     }
 
+    /// The first cycle with any work, before any cycle has been processed:
+    /// nothing is in flight and the wheel is empty, so only the NI entry
+    /// heap can hold events. (The batch loop formerly started at the first
+    /// *injection* time; the cycles between injection and NI entry have no
+    /// work, and a visit with no work changes no state, so starting at the
+    /// first entry is cycle-identical.)
+    fn first_time(&self) -> Option<u64> {
+        debug_assert!(self.ws.due.is_empty(), "first_time called with flits in flight");
+        self.ws.ni_events.peek().map(|&Reverse((e, _))| e)
+    }
+
     /// Earliest future time with scheduled work: the nearest nonempty ring
     /// slot (all wakeups are at most `wheel` cycles out), the next flit
     /// arrival bucket, or the next NI availability.
@@ -976,6 +1078,261 @@ impl Engine<'_> {
             lines.push(format!("  ... and {} more", undelivered.len() - 16));
         }
         lines.join("\n")
+    }
+}
+
+/// One snapshot of the event loop: the workspace plus where the loop
+/// stands in time. Cloning a `LoopState` is what makes speculation cheap —
+/// every field of [`Workspace`] is a flat vector or small heap, so the
+/// snapshot is a handful of memcpys sized by the mesh, not by history.
+#[derive(Clone, Debug)]
+struct LoopState {
+    ws: Workspace,
+    /// Last processed cycle (`None` before the first).
+    clock: Option<u64>,
+    remaining: usize,
+    /// Count of leading worms whose values are final in this state: every
+    /// worm below the watermark was delivered on a committed (or promoted)
+    /// trajectory, so no later traffic can touch it. The snapshot refresh
+    /// skips them — that is what keeps a send O(mesh + in-flight) instead
+    /// of O(history).
+    finalized: usize,
+}
+
+impl LoopState {
+    /// An empty state, filled on first [`LoopState::sync_from`].
+    fn empty() -> LoopState {
+        LoopState { ws: Workspace::default(), clock: None, remaining: 0, finalized: 0 }
+    }
+
+    /// Makes `self` a snapshot of `src`, reusing allocations (see
+    /// [`Workspace::sync_from`]). `self` must be an earlier snapshot of
+    /// the same run (or empty), so `self.finalized <= src.finalized`.
+    fn sync_from(&mut self, src: &LoopState) {
+        debug_assert!(self.finalized <= src.finalized);
+        self.ws.sync_from(&src.ws, self.finalized);
+        self.clock = src.clock;
+        self.remaining = src.remaining;
+        self.finalized = src.finalized;
+    }
+}
+
+/// The incremental-injection flit engine core: accepts one message at a
+/// time (nondecreasing injection order, validated by the caller) and
+/// reports each message's delivery cycle immediately, while guaranteeing
+/// that the *final* log is cycle-identical to a batch
+/// [`FlitLevel::run`] over the same injection schedule.
+///
+/// # Committed and speculative state
+///
+/// The flit router is not causal the way the recurrence model is: a later
+/// injection can retroactively change an earlier message's delivery
+/// (round-robin allocation, buffer contention). So an exact synchronous
+/// answer to "when will this message arrive" is impossible before the
+/// future traffic is known. The engine keeps two copies of the loop state:
+///
+/// - **committed** — has processed only cycles that are already *final*:
+///   every cycle strictly below `inject + hop_latency` of the latest
+///   injection (no future flit can enter a network interface earlier than
+///   that, and injections are nondecreasing, so nothing can perturb those
+///   cycles). The committed trajectory is therefore exactly the batch
+///   trajectory, which is what makes the final log identical.
+/// - **speculative** — a clone of the committed state run ahead far enough
+///   to deliver the newest message, *assuming no further traffic*. Its
+///   delivery cycle is the value [`send`](ClosedLoop::send) returns: the
+///   engine's best feedback given everything injected so far.
+///
+/// On the next send, the speculation is **promoted** to committed for free
+/// when it never crossed the new safe horizon (the common case under
+/// bursty traffic: speculation barely runs ahead), and discarded otherwise
+/// — the committed state then re-advances, redoing only the cycles the
+/// speculation guessed at. Either way no cycle is ever committed until it
+/// is final.
+#[derive(Debug)]
+pub(crate) struct ClosedLoop {
+    cfg: MeshConfig,
+    committed: LoopState,
+    spec: Option<LoopState>,
+    /// Per-node prefix max of NI entry times — the running counterpart of
+    /// the batch model's entry-time rewrite over each pending queue.
+    entered: Vec<u64>,
+}
+
+impl ClosedLoop {
+    /// # Panics
+    ///
+    /// Panics on a torus shape (see [`FlitLevel::new`]).
+    pub(crate) fn new(cfg: MeshConfig) -> Self {
+        assert!(
+            cfg.shape.topology() == crate::Topology::Mesh,
+            "FlitLevel supports mesh topologies only"
+        );
+        let mut ws = Workspace::default();
+        let wheel = (cfg.link_delay.max(cfg.router_delay) + 2).next_power_of_two();
+        ws.reset(
+            cfg.shape.nodes(),
+            cfg.virtual_channels,
+            wheel as usize,
+            cfg.buffer_flits.next_power_of_two(),
+        );
+        ClosedLoop {
+            cfg,
+            committed: LoopState { ws, clock: None, remaining: 0, finalized: 0 },
+            spec: None,
+            entered: vec![0; cfg.shape.nodes()],
+        }
+    }
+
+    /// Runs one state's event loop toward `goal`.
+    fn advance(cfg: &MeshConfig, st: &mut LoopState, goal: Goal) {
+        let vcs = cfg.virtual_channels;
+        let wheel = (cfg.link_delay.max(cfg.router_delay) + 2).next_power_of_two();
+        let mut engine = Engine {
+            cfg: *cfg,
+            vcs,
+            stride: NPORTS * vcs,
+            wheel,
+            cap: cfg.buffer_flits.next_power_of_two(),
+            ws: &mut st.ws,
+            remaining: st.remaining,
+        };
+        st.clock = engine.advance(st.clock, goal);
+        st.remaining = engine.remaining;
+    }
+
+    /// Builds the message's worm and queues its flits at the source NI of
+    /// the committed state, mirroring the batch model's construction: the
+    /// head becomes available `hop_latency` after injection, the body
+    /// follows at one flit per `link_delay`, and entry times are the
+    /// running per-node prefix max. Entry times are always at or beyond
+    /// the safe horizon, so appending never touches a committed cycle.
+    fn add_worm(&mut self, m: NetMessage) -> u32 {
+        let cfg = self.cfg;
+        let ws = &mut self.committed.ws;
+        let w = ws.worms.len() as u32;
+        let route_off = ws.routes.len() as u32;
+        build_route(&cfg, m.src, m.dst, &mut ws.routes);
+        let flits = cfg.flits_for(m.bytes);
+        ws.worms.push(Worm {
+            msg: m,
+            route_off,
+            route_len: ws.routes.len() as u32 - route_off,
+            flits,
+            ejected: 0,
+            head_hop: route_off,
+            delivered: None,
+        });
+        let src = m.src.index();
+        let base = m.inject.ticks() + cfg.hop_latency();
+        let was_empty = ws.pending[src].is_empty();
+        for j in 0..flits {
+            let kind = if j == 0 {
+                Kind::Head
+            } else if j == flits - 1 {
+                Kind::Tail
+            } else {
+                Kind::Body
+            };
+            let avail = base + j * cfg.link_delay;
+            let entry = self.entered[src].max(avail);
+            self.entered[src] = entry;
+            // Mirrors the batch model's entry-time rewrite: heads are
+            // charged their router delay from the entry cycle, while body
+            // and tail flits keep their raw availability.
+            let ready = if kind == Kind::Head { entry + cfg.router_delay } else { avail };
+            ws.pending[src].push_back((entry, Flit { worm: w, kind, ready, hop: route_off }));
+        }
+        // A nonempty queue already has its front's NI event scheduled (the
+        // standing invariant of `drain_ni`/`move_flit`); an empty one needs
+        // the new front announced.
+        if was_empty {
+            let e = ws.pending[src].front().expect("flits just queued").0;
+            ws.ni_events.push(Reverse((e, src as u32)));
+            ws.ni_sched[src] = e;
+        }
+        self.committed.remaining += 1;
+        w
+    }
+
+    /// Injects `m` (nondecreasing injection order is the caller's
+    /// invariant) and returns the cycle its tail flit reaches the
+    /// destination NI, given all traffic injected so far.
+    pub(crate) fn send(&mut self, m: NetMessage) -> u64 {
+        // Cycles strictly below the horizon can no longer change: this
+        // message's first flit cannot enter an NI before it, and neither
+        // can any later message's.
+        let horizon = m.inject.ticks() + self.cfg.hop_latency();
+        let mut scratch = match self.spec.take() {
+            // The speculation never processed a non-final cycle:
+            // everything it did would have been redone identically, so it
+            // *becomes* the committed state; the old committed state is
+            // recycled as the next speculation's buffer.
+            Some(spec) if spec.clock.is_none_or(|c| c < horizon) => {
+                std::mem::replace(&mut self.committed, spec)
+            }
+            // Discarded speculation: its buffers are recycled.
+            Some(spec) => spec,
+            None => LoopState::empty(),
+        };
+        Self::advance(&self.cfg, &mut self.committed, Goal::Before(horizon));
+        // Committed deliveries are final — advance the watermark the
+        // snapshot refresh skips below.
+        while self.committed.finalized < self.committed.ws.worms.len()
+            && self.committed.ws.worms[self.committed.finalized].delivered.is_some()
+        {
+            self.committed.finalized += 1;
+        }
+        let w = self.add_worm(m);
+        scratch.sync_from(&self.committed);
+        Self::advance(&self.cfg, &mut scratch, Goal::Deliver(w));
+        let delivered = scratch.ws.worms[w as usize].delivered.expect("Deliver goal reached");
+        self.spec = Some(scratch);
+        delivered
+    }
+
+    /// Finishes the run: promotes the speculation (with no further sends it
+    /// is unconditionally the true trajectory), drains every worm, emits
+    /// one record per message in injection order, and hands per-channel
+    /// utilization to the sink — byte-identical to what a batch
+    /// [`FlitLevel`] produces for the same schedule.
+    pub(crate) fn finish_into<S: LogSink>(mut self, sink: &mut S) {
+        if let Some(spec) = self.spec.take() {
+            self.committed = spec;
+        }
+        Self::advance(&self.cfg, &mut self.committed, Goal::Drain);
+        let cfg = self.cfg;
+        let mut first_inject: Option<u64> = None;
+        let mut last_delivery = 0u64;
+        for worm in &self.committed.ws.worms {
+            let delivered = worm.delivered.expect("all worms delivered");
+            first_inject.get_or_insert(worm.msg.inject.ticks());
+            last_delivery = last_delivery.max(delivered);
+            let hops = cfg.shape.hop_distance(worm.msg.src, worm.msg.dst);
+            sink.record(MsgRecord {
+                id: worm.msg.id,
+                src: worm.msg.src,
+                dst: worm.msg.dst,
+                bytes: worm.msg.bytes,
+                inject: worm.msg.inject.ticks(),
+                delivered,
+                hops,
+                zero_load: cfg.zero_load_latency(worm.msg.bytes, hops),
+            });
+        }
+        let span = match first_inject {
+            Some(first) if last_delivery > first => (last_delivery - first) as f64,
+            _ => 0.0,
+        };
+        let mut util = Vec::new();
+        for node in 0..cfg.shape.nodes() {
+            for port in 0..NPORTS {
+                let busy = self.committed.ws.busy_ticks[node * NPORTS + port];
+                if busy > 0 && span > 0.0 {
+                    util.push((out_channel_id(node, port), busy as f64 / span));
+                }
+            }
+        }
+        sink.finish(util);
     }
 }
 

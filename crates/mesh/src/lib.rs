@@ -18,6 +18,13 @@
 //!   [`FlitCycleReference`], which pins its semantics via a randomized
 //!   equivalence suite.
 //!
+//! Both models close the paper's Figure 1 feedback loop through the
+//! [`NetEngine`] trait: [`OnlineWormhole`] natively, and [`FlitLevel`]
+//! through [`IncrementalFlit`], an incremental-injection mode that
+//! advances the event wheel just far enough to report each delivery while
+//! keeping the final log cycle-identical to a batch run. Drivers select
+//! between them at runtime via [`EngineKind`].
+//!
 //! All models produce a [`NetLog`]: one record per message with injection
 //! time, delivery time, hop count and blocked (contention) time — the raw
 //! material the statistical analysis operates on.
@@ -52,6 +59,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod engine;
 mod flit;
 mod flit_ref;
 mod log;
@@ -60,6 +68,7 @@ mod topology;
 mod wormhole;
 
 pub use config::MeshConfig;
+pub use engine::{EngineError, EngineKind, IncrementalFlit, NetEngine};
 pub use flit::FlitLevel;
 pub use flit_ref::FlitCycleReference;
 pub use log::{MsgRecord, NetLog, NetSummary};

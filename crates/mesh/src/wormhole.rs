@@ -102,14 +102,37 @@ impl<S: LogSink> OnlineWormhole<S> {
     /// # Panics
     ///
     /// Panics if `msg.inject` precedes a previously injected message (the
-    /// model requires time-ordered injection) or if `src == dst`.
+    /// model requires time-ordered injection) or if `src == dst`. Callers
+    /// that want the ordering violation as a value rather than a panic —
+    /// the [`NetEngine`](crate::NetEngine) trait path — use
+    /// [`try_send`](OnlineWormhole::try_send).
     pub fn send(&mut self, msg: NetMessage) -> SimTime {
-        assert!(
+        debug_assert!(
             msg.inject >= self.last_inject,
             "messages must be injected in nondecreasing time order ({:?} after {:?})",
             msg.inject,
             self.last_inject
         );
+        self.try_send(msg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`send`](OnlineWormhole::send): returns
+    /// [`EngineError::OutOfOrder`](crate::EngineError::OutOfOrder) instead
+    /// of panicking when `msg.inject` precedes a previously injected
+    /// message, so a malformed trace surfaces as an error from the replay
+    /// layer rather than a panic from deep inside the network model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` (no route to oneself).
+    pub fn try_send(&mut self, msg: NetMessage) -> Result<SimTime, crate::EngineError> {
+        if msg.inject < self.last_inject {
+            return Err(crate::EngineError::OutOfOrder {
+                id: msg.id,
+                inject: msg.inject,
+                last: self.last_inject,
+            });
+        }
         self.last_inject = msg.inject;
         let path = self.cfg.shape.xy_route(msg.src, msg.dst);
         let hop = self.cfg.hop_latency();
@@ -152,7 +175,7 @@ impl<S: LogSink> OnlineWormhole<S> {
             hops,
             zero_load: self.cfg.zero_load_latency(msg.bytes, hops),
         });
-        SimTime::from_ticks(delivered)
+        Ok(SimTime::from_ticks(delivered))
     }
 
     /// Finishes the simulation: hands per-channel utilization over the

@@ -1,6 +1,6 @@
 //! Simulated machine configuration.
 
-use commchar_mesh::MeshConfig;
+use commchar_mesh::{EngineKind, MeshConfig};
 
 pub use crate::protocol::Protocol;
 
@@ -36,6 +36,10 @@ pub struct MachineConfig {
     pub ctrl_bytes: u32,
     /// The interconnection network.
     pub mesh: MeshConfig,
+    /// Which network engine closes the co-simulation loop (recurrence
+    /// model by default; the cycle-accurate flit router as the
+    /// high-fidelity alternative).
+    pub engine: EngineKind,
 }
 
 impl MachineConfig {
@@ -60,6 +64,7 @@ impl MachineConfig {
             sync_latency: 2,
             ctrl_bytes: 8,
             mesh: MeshConfig::for_nodes(nprocs),
+            engine: EngineKind::Recurrence,
         }
     }
 
@@ -128,6 +133,13 @@ impl MachineConfig {
     pub fn with_mesh(mut self, mesh: MeshConfig) -> Self {
         assert!(mesh.shape.nodes() >= self.nprocs, "mesh too small for processor count");
         self.mesh = mesh;
+        self
+    }
+
+    /// Selects the network engine that closes the co-simulation loop.
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 

@@ -13,7 +13,9 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use commchar_des::{Calendar, SimTime};
-use commchar_mesh::{NetLog, NetMessage, NodeId, OnlineWormhole};
+use commchar_mesh::{
+    EngineKind, IncrementalFlit, NetEngine, NetLog, NetMessage, NodeId, OnlineWormhole,
+};
 use commchar_trace::{CommEvent, CommTrace, EventKind};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
@@ -73,21 +75,76 @@ impl SpasmRun {
     }
 }
 
+/// An engine-level failure surfaced as a value instead of a bare panic,
+/// carrying the same style of per-participant account as the flit
+/// router's wedge report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpasmError {
+    /// The engine tried to hand a reply to a processor whose thread has
+    /// already exited (its reply channel is closed) — the co-simulation
+    /// cannot make progress without it.
+    ProcessorHungUp {
+        /// The processor that could not be resumed.
+        proc: usize,
+        /// One status line per processor at the moment of the failure.
+        report: String,
+    },
+}
+
+impl std::fmt::Display for SpasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpasmError::ProcessorHungUp { proc, report } => {
+                write!(
+                    f,
+                    "cannot resume p{proc}: processor thread hung up \
+                     (reply channel closed)\n{report}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpasmError {}
+
 /// Runs `body` on every simulated processor of a machine configured by
 /// `cfg`, after `setup` has allocated and initialized shared memory.
+///
+/// The network engine closing the co-simulation loop is chosen by
+/// `cfg.engine`; see [`run_with`] to supply one directly.
 ///
 /// The value returned by `setup` (typically a tuple of [`Region`]s plus
 /// problem parameters) is cloned into every processor's closure.
 ///
 /// # Panics
 ///
-/// Panics if a processor thread panics, or on protocol-level misuse
+/// Panics if a processor thread panics, hangs up mid-simulation
+/// ([`SpasmError::ProcessorHungUp`]), or on protocol-level misuse
 /// (e.g. unlocking a lock the caller does not hold).
 pub fn run<R, S, B>(cfg: MachineConfig, setup: S, body: B) -> SpasmRun
 where
     R: Clone + Send + 'static,
     S: FnOnce(&mut Setup) -> R,
     B: Fn(&mut Ctx, &R) + Send + Sync + 'static,
+{
+    match cfg.engine {
+        EngineKind::Recurrence => run_with(cfg, setup, body, OnlineWormhole::new(cfg.mesh)),
+        EngineKind::FlitLevel => run_with(cfg, setup, body, IncrementalFlit::new(cfg.mesh)),
+    }
+}
+
+/// [`run`] with a caller-supplied network engine (any [`NetEngine`]
+/// logging into a [`NetLog`]).
+///
+/// # Panics
+///
+/// As [`run`].
+pub fn run_with<R, S, B, N>(cfg: MachineConfig, setup: S, body: B, net: N) -> SpasmRun
+where
+    R: Clone + Send + 'static,
+    S: FnOnce(&mut Setup) -> R,
+    B: Fn(&mut Ctx, &R) + Send + Sync + 'static,
+    N: NetEngine<Sink = NetLog>,
 {
     let mut s = Setup { mem: Vec::new(), nprocs: cfg.nprocs };
     let shared = setup(&mut s);
@@ -125,8 +182,11 @@ where
     }
     drop(req_tx);
 
-    let engine = Engine::new(cfg, s.mem, req_rx, reply_txs);
-    let result = engine.run_loop();
+    let engine = Engine::new(cfg, s.mem, req_rx, reply_txs, net);
+    // A hung-up processor means other threads may still be blocked on
+    // replies that will never come: panic before joining, as the old
+    // in-line expect did.
+    let result = engine.run_loop().unwrap_or_else(|e| panic!("{e}"));
     for h in handles {
         h.join().expect("processor thread panicked");
     }
@@ -198,7 +258,7 @@ struct LockSt {
     waiters: VecDeque<usize>,
 }
 
-struct Engine {
+struct Engine<N: NetEngine<Sink = NetLog>> {
     cfg: MachineConfig,
     mem: Vec<u64>,
     caches: Vec<Cache>,
@@ -206,7 +266,7 @@ struct Engine {
     active: HashMap<u64, usize>,
     deferred: HashMap<u64, VecDeque<usize>>,
     txns: Vec<Txn>,
-    net: OnlineWormhole,
+    net: N,
     cal: Calendar<Event>,
     trace: CommTrace,
     resume_time: Vec<u64>,
@@ -227,12 +287,13 @@ struct Engine {
     lock_grants: u64,
 }
 
-impl Engine {
+impl<N: NetEngine<Sink = NetLog>> Engine<N> {
     fn new(
         cfg: MachineConfig,
         mem: Vec<u64>,
         rx: Receiver<ProcMsg>,
         reply_tx: Vec<Sender<Reply>>,
+        net: N,
     ) -> Self {
         let n = cfg.nprocs;
         Engine {
@@ -242,7 +303,7 @@ impl Engine {
             active: HashMap::new(),
             deferred: HashMap::new(),
             txns: Vec::new(),
-            net: OnlineWormhole::new(cfg.mesh),
+            net,
             cal: Calendar::new(),
             trace: CommTrace::new(n),
             resume_time: vec![0; n],
@@ -281,13 +342,19 @@ impl Engine {
         }
         let id = self.msg_seq;
         self.msg_seq += 1;
-        let delivered = self.net.send(NetMessage {
-            id,
-            src: NodeId(src as u16),
-            dst: NodeId(dst as u16),
-            bytes,
-            inject: SimTime::from_ticks(t),
-        });
+        // The event loop only advances to the globally earliest action, so
+        // injections are nondecreasing by construction; an ordering error
+        // here is an engine bug, not bad input.
+        let delivered = self
+            .net
+            .send(NetMessage {
+                id,
+                src: NodeId(src as u16),
+                dst: NodeId(dst as u16),
+                bytes,
+                inject: SimTime::from_ticks(t),
+            })
+            .unwrap_or_else(|e| panic!("{e}"));
         self.trace.push(CommEvent::new(id, t, src as u16, dst as u16, bytes, kind));
         delivered.ticks()
     }
@@ -296,12 +363,26 @@ impl Engine {
         self.cal.schedule(SimTime::from_ticks(t), ev);
     }
 
-    fn resume(&mut self, proc: usize, time: u64, value: u64) {
-        self.reply_tx[proc].send(Reply { time, value }).expect("processor thread hung up");
+    fn resume(&mut self, proc: usize, time: u64, value: u64) -> Result<(), SpasmError> {
+        if self.reply_tx[proc].send(Reply { time, value }).is_err() {
+            return Err(SpasmError::ProcessorHungUp { proc, report: self.status_report() });
+        }
         self.resume_time[proc] = time;
         self.max_time = self.max_time.max(time);
         self.status[proc] = Status::Running;
         self.running += 1;
+        Ok(())
+    }
+
+    /// One status line per processor — the same style of account the flit
+    /// router's wedge panic gives per undelivered worm.
+    fn status_report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("processor status at failure:");
+        for (p, s) in self.status.iter().enumerate() {
+            let _ = write!(out, "\n  p{p}: {s:?} (last resumed at t={})", self.resume_time[p]);
+        }
+        out
     }
 
     /// Blocks until every Running processor has delivered its next request.
@@ -326,7 +407,7 @@ impl Engine {
         }
     }
 
-    fn run_loop(mut self) -> SpasmRun {
+    fn run_loop(mut self) -> Result<SpasmRun, SpasmError> {
         loop {
             self.gather();
             let ev_t = self.cal.peek_time().map(SimTime::ticks);
@@ -338,9 +419,9 @@ impl Engine {
                 .min();
             match (ev_t, req) {
                 (None, None) => break,
-                (Some(et), Some((rt, _))) if et <= rt => self.process_event(),
-                (_, Some((rt, p))) => self.process_request(p, rt),
-                (Some(_), None) => self.process_event(),
+                (Some(et), Some((rt, _))) if et <= rt => self.process_event()?,
+                (_, Some((rt, p))) => self.process_request(p, rt)?,
+                (Some(_), None) => self.process_event()?,
             }
         }
         assert!(
@@ -349,9 +430,9 @@ impl Engine {
             self.status
         );
         let nprocs = self.cfg.nprocs;
-        SpasmRun {
+        Ok(SpasmRun {
             trace: self.trace,
-            netlog: self.net.into_log(),
+            netlog: self.net.finish(),
             exec_cycles: self.max_time,
             nprocs,
             reads: self.reads,
@@ -360,10 +441,10 @@ impl Engine {
             misses: self.misses,
             barriers: self.barrier_episodes,
             locks: self.lock_grants,
-        }
+        })
     }
 
-    fn process_request(&mut self, p: usize, t: u64) {
+    fn process_request(&mut self, p: usize, t: u64) -> Result<(), SpasmError> {
         let (_, req) = self.pending[p].take().expect("request vanished");
         self.status[p] = Status::Blocked;
         match req {
@@ -373,7 +454,7 @@ impl Engine {
                 if self.caches[p].lookup(block).is_some() {
                     self.hits += 1;
                     let v = self.mem[addr];
-                    self.resume(p, t + self.cfg.hit_latency, v);
+                    self.resume(p, t + self.cfg.hit_latency, v)?;
                 } else {
                     self.misses += 1;
                     self.start_txn(p, block, addr, false, false, 0, t);
@@ -386,14 +467,14 @@ impl Engine {
                     Some(LineState::Modified) => {
                         self.hits += 1;
                         self.mem[addr] = value;
-                        self.resume(p, t + self.cfg.hit_latency, 0);
+                        self.resume(p, t + self.cfg.hit_latency, 0)?;
                     }
                     Some(LineState::Exclusive) => {
                         // MESI: silent Exclusive -> Modified promotion.
                         self.hits += 1;
                         self.caches[p].set_state(block, LineState::Modified);
                         self.mem[addr] = value;
-                        self.resume(p, t + self.cfg.hit_latency, 0);
+                        self.resume(p, t + self.cfg.hit_latency, 0)?;
                     }
                     Some(LineState::Shared) => {
                         self.misses += 1;
@@ -425,7 +506,7 @@ impl Engine {
             }
             ProcRequest::Unlock { id } => {
                 // Release is fire-and-forget from the processor's view.
-                self.resume(p, t + 1, 0);
+                self.resume(p, t + 1, 0)?;
                 let home = (id as usize) % self.cfg.nprocs;
                 let at = if p == home {
                     t + self.cfg.sync_latency
@@ -438,6 +519,7 @@ impl Engine {
                 unreachable!("finish/fault handled in gather")
             }
         }
+        Ok(())
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -472,7 +554,7 @@ impl Engine {
         self.schedule(at, Event::HomeReq(txn));
     }
 
-    fn process_event(&mut self) {
+    fn process_event(&mut self) -> Result<(), SpasmError> {
         let (time, ev) = self.cal.pop().expect("event queue empty");
         let t = time.ticks();
         self.max_time = self.max_time.max(t);
@@ -493,7 +575,7 @@ impl Engine {
                     self.finish_home(txn, t);
                 }
             }
-            Event::ReplyArrive(txn) => self.reply_arrive(txn, t),
+            Event::ReplyArrive(txn) => self.reply_arrive(txn, t)?,
             Event::VictimWb { block, proc } => {
                 if self.dir.get(&block) == Some(&DirState::Modified(proc as u16)) {
                     self.dir.insert(block, DirState::Uncached);
@@ -518,7 +600,7 @@ impl Engine {
             }
             Event::BarRelease { proc } => {
                 let at = t + self.cfg.sync_latency;
-                self.resume(proc, at, 0);
+                self.resume(proc, at, 0)?;
             }
             Event::LockReq { id, proc } => {
                 let home = (id as usize) % self.cfg.nprocs;
@@ -537,7 +619,7 @@ impl Engine {
                 }
             }
             Event::LockGrant { proc } => {
-                self.resume(proc, t + self.cfg.sync_latency, 0);
+                self.resume(proc, t + self.cfg.sync_latency, 0)?;
             }
             Event::LockRel { id, proc } => {
                 let home = (id as usize) % self.cfg.nprocs;
@@ -556,6 +638,7 @@ impl Engine {
                 }
             }
         }
+        Ok(())
     }
 
     /// A coherence request (re)arrives at the home directory.
@@ -678,7 +761,7 @@ impl Engine {
     }
 
     /// The reply reaches the requester: install the line and resume.
-    fn reply_arrive(&mut self, txn_id: usize, t: u64) {
+    fn reply_arrive(&mut self, txn_id: usize, t: u64) -> Result<(), SpasmError> {
         let txn = self.txns[txn_id];
         let p = txn.proc;
         let state = if txn.write {
@@ -705,7 +788,7 @@ impl Engine {
             self.mem[txn.addr] = txn.value;
         }
         let value = self.mem[txn.addr];
-        self.resume(p, t + self.cfg.fill_latency, value);
+        self.resume(p, t + self.cfg.fill_latency, value)?;
 
         // Unblock the next deferred request for this block, if any.
         self.active.remove(&txn.block);
@@ -716,6 +799,7 @@ impl Engine {
         if let Some(next) = next {
             self.schedule(t, Event::HomeReq(next));
         }
+        Ok(())
     }
 }
 
@@ -959,6 +1043,55 @@ mod tests {
         // Direct-mapped 2-line cache, 256 distinct blocks: everything
         // misses both passes.
         assert_eq!(out.misses, 512);
+    }
+
+    #[test]
+    fn flit_engine_closes_the_loop() {
+        // The cycle-accurate engine must drive the same co-simulation to
+        // completion, deterministically, with a consistent trace/log pair.
+        let go = || {
+            run(
+                cfg(4).with_engine(commchar_mesh::EngineKind::FlitLevel),
+                |m| m.alloc(64),
+                |ctx, &r| {
+                    let p = ctx.proc_id();
+                    ctx.write(r, p, p as u64);
+                    ctx.barrier(0);
+                    for q in 0..ctx.nprocs() {
+                        assert_eq!(ctx.read(r, q), q as u64);
+                    }
+                },
+            )
+        };
+        let a = go();
+        assert_eq!(a.trace.len(), a.netlog.records().len());
+        assert!(a.exec_cycles > 0);
+        a.trace.check().unwrap();
+        let b = go();
+        assert_eq!(a.exec_cycles, b.exec_cycles);
+        assert_eq!(a.trace.len(), b.trace.len());
+    }
+
+    #[test]
+    fn engines_agree_on_the_message_population() {
+        // Same program under both engines: the protocol traffic (what the
+        // characterization measures) is identical; only latencies differ.
+        let body = |ctx: &mut crate::Ctx, r: &crate::Region| {
+            let p = ctx.proc_id();
+            ctx.write(*r, p * 4, (p * 10) as u64);
+            ctx.barrier(0);
+            let _ = ctx.read(*r, ((p + 1) % 4) * 4);
+        };
+        let rec = run(cfg(4), |m| m.alloc(64), move |c, r| body(c, r));
+        let flit = run(
+            cfg(4).with_engine(commchar_mesh::EngineKind::FlitLevel),
+            |m| m.alloc(64),
+            move |c, r| body(c, r),
+        );
+        assert_eq!(rec.reads, flit.reads);
+        assert_eq!(rec.writes, flit.writes);
+        assert_eq!(rec.barriers, flit.barriers);
+        assert!(!flit.trace.is_empty());
     }
 
     #[test]

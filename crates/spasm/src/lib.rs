@@ -18,7 +18,11 @@
 //!   recall, write-back) traveling through the 2-D wormhole mesh of
 //!   [`commchar_mesh`], whose latency feeds back into simulated time — the
 //!   closed loop between event generator and network simulator that
-//!   distinguishes execution-driven from trace-driven simulation.
+//!   distinguishes execution-driven from trace-driven simulation. The
+//!   engine behind that loop is pluggable
+//!   ([`commchar_mesh::NetEngine`]): the recurrence wormhole model by
+//!   default, or the cycle-accurate flit router via
+//!   [`MachineConfig::with_engine`].
 //!
 //! The run produces a [`SpasmRun`]: the [`commchar_trace::CommTrace`] of
 //! injected messages, the network's [`commchar_mesh::NetLog`], and summary
@@ -51,4 +55,4 @@ mod protocol;
 
 pub use api::{Ctx, Region, Setup};
 pub use config::{MachineConfig, Protocol};
-pub use engine::{run, SpasmRun};
+pub use engine::{run, run_with, SpasmError, SpasmRun};

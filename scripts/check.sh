@@ -4,19 +4,21 @@
 # installed (e.g. a minimal offline toolchain): the missing step is
 # skipped with a notice instead of failing the gate.
 #
-# Always runs two CLI smokes: a trace round-trip (generate a trace, pack
-# it to the columnar binary format, cat it back to JSON-lines and diff
-# against the original), and a characterize determinism check (the same
+# Always runs three CLI smokes: a trace round-trip (generate a trace,
+# pack it to the columnar binary format, cat it back to JSON-lines and
+# diff against the original), a characterize determinism check (the same
 # workload characterized with --jobs 1 and --jobs 4 must print identical
-# reports).
+# reports), and an engine diff (replaying the checked-in fixture trace
+# with --engine recurrence must stay byte-identical to the output
+# captured before the NetEngine refactor).
 #
 # Flags:
-#   --bench-smoke   additionally run the flit throughput, trace store and
-#                   characterization benches in quick mode; they
-#                   cross-check their fast paths against references for
-#                   identity and rewrite BENCH_flit.json /
-#                   BENCH_trace.json / BENCH_fit.json so future PRs have
-#                   perf baselines to compare against.
+#   --bench-smoke   additionally run the flit throughput, trace store,
+#                   characterization and closed-loop engine benches in
+#                   quick mode; they cross-check their fast paths against
+#                   references for identity and rewrite BENCH_flit.json /
+#                   BENCH_trace.json / BENCH_fit.json / BENCH_engine.json
+#                   so future PRs have perf baselines to compare against.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -59,6 +61,11 @@ cargo run --release -q -- characterize cholesky --procs 8 --scale tiny --jobs 1 
 cargo run --release -q -- characterize cholesky --procs 8 --scale tiny --jobs 4 >"$tmpdir/sig.j4.txt"
 diff "$tmpdir/sig.j1.txt" "$tmpdir/sig.j4.txt"
 
+echo "==> engine diff smoke (--engine recurrence vs pre-refactor fixture)"
+cargo run --release -q -- replay --trace tests/fixtures/engine_diff.trace.jsonl --engine recurrence >"$tmpdir/replay.rec.txt"
+diff tests/fixtures/engine_diff.replay.txt "$tmpdir/replay.rec.txt"
+cargo run --release -q -- replay --trace tests/fixtures/engine_diff.trace.jsonl --engine flit | sed 's/^/    /'
+
 if [ "$bench_smoke" -eq 1 ]; then
     echo "==> flit throughput bench (quick smoke)"
     cargo run --release -p commchar-bench --bin bench_flit -- --quick
@@ -66,6 +73,8 @@ if [ "$bench_smoke" -eq 1 ]; then
     cargo run --release -p commchar-bench --bin bench_trace -- --quick
     echo "==> characterization fit bench (quick smoke)"
     cargo run --release -p commchar-bench --bin bench_fit -- --quick
+    echo "==> closed-loop engine bench (quick smoke)"
+    cargo run --release -p commchar-bench --bin bench_engine -- --quick
 fi
 
 echo "check.sh: all gates passed"

@@ -9,8 +9,10 @@ use std::fmt::Write as _;
 use commchar_apps::{AppId, Scale};
 use commchar_core::report::{suite_table, suite_timing};
 use commchar_core::suite::{cell_matrix, SuiteRunner};
-use commchar_core::{characterize, run_workload, synthesize, try_characterize_jobs, Workload};
-use commchar_mesh::MeshConfig;
+use commchar_core::{
+    characterize, run_workload_engine, synthesize, try_characterize_jobs, Workload,
+};
+use commchar_mesh::{EngineKind, MeshConfig};
 use commchar_trace::replay::CausalReplayer;
 use commchar_trace::CommTrace;
 use commchar_tracestore::{is_packed, load_trace, pack_trace, TraceReader, TraceStoreError};
@@ -60,6 +62,24 @@ pub fn parse_scale(s: &str) -> Result<Scale, CliError> {
     }
 }
 
+/// Parses an engine name (`recurrence|flit`).
+///
+/// # Errors
+///
+/// Returns an error naming the valid engines otherwise.
+pub fn parse_engine(s: &str) -> Result<EngineKind, CliError> {
+    EngineKind::parse(s).ok_or_else(|| CliError(format!("unknown engine {s:?} (recurrence|flit)")))
+}
+
+/// Header fragment naming a non-default engine ("" for the default, so
+/// recurrence output stays byte-identical to earlier releases).
+fn engine_tag(engine: EngineKind) -> &'static str {
+    match engine {
+        EngineKind::Recurrence => "",
+        EngineKind::FlitLevel => "flit engine; ",
+    }
+}
+
 /// Parsed common options.
 #[derive(Clone, Copy, Debug)]
 pub struct Common {
@@ -69,11 +89,13 @@ pub struct Common {
     pub scale: Scale,
     /// Seed for synthetic generation (default 42).
     pub seed: u64,
+    /// Closed-loop network engine (default recurrence).
+    pub engine: EngineKind,
 }
 
 impl Default for Common {
     fn default() -> Self {
-        Common { procs: 8, scale: Scale::Small, seed: 42 }
+        Common { procs: 8, scale: Scale::Small, seed: 42, engine: EngineKind::Recurrence }
     }
 }
 
@@ -93,7 +115,7 @@ pub fn report_signature(w: &Workload, jobs: usize) -> Result<String, CliError> {
 /// `commchar run <app>`: run an application and return (report, trace).
 pub fn cmd_run(app: &str, common: Common) -> Result<(String, CommTrace), CliError> {
     let app = parse_app(app)?;
-    let w = run_workload(app, common.procs, common.scale);
+    let w = run_workload_engine(app, common.procs, common.scale, common.engine);
     let report = format!(
         "ran {} on {} processors: {} messages, {} ticks\n",
         w.name,
@@ -109,7 +131,7 @@ pub fn cmd_run(app: &str, common: Common) -> Result<(String, CommTrace), CliErro
 /// does not depend on it.
 pub fn cmd_characterize_app(app: &str, common: Common, jobs: usize) -> Result<String, CliError> {
     let app = parse_app(app)?;
-    let w = run_workload(app, common.procs, common.scale);
+    let w = run_workload_engine(app, common.procs, common.scale, common.engine);
     report_signature(&w, jobs)
 }
 
@@ -118,10 +140,16 @@ pub fn cmd_characterize_app(app: &str, common: Common, jobs: usize) -> Result<St
 /// mesh). Accepts either trace format, sniffed by magic bytes. `jobs`
 /// parallelizes the per-source fits; the report text does not depend on
 /// it.
-pub fn cmd_characterize_trace(input: &[u8], jobs: usize) -> Result<String, CliError> {
+pub fn cmd_characterize_trace(
+    input: &[u8],
+    jobs: usize,
+    engine: EngineKind,
+) -> Result<String, CliError> {
     let trace = load_trace(input)?;
     let mesh = MeshConfig::for_nodes(trace.nodes());
-    let netlog = CausalReplayer::new(mesh).replay(&trace);
+    let netlog = CausalReplayer::new(mesh)
+        .try_replay(&trace, engine)
+        .map_err(|e| CliError(e.to_string()))?;
     let exec = netlog.summary().span;
     let w = Workload {
         name: "trace".to_string(),
@@ -139,7 +167,7 @@ pub fn cmd_characterize_trace(input: &[u8], jobs: usize) -> Result<String, CliEr
 /// trace of the same span.
 pub fn cmd_generate_trace(app: &str, common: Common) -> Result<CommTrace, CliError> {
     let app = parse_app(app)?;
-    let w = run_workload(app, common.procs, common.scale);
+    let w = run_workload_engine(app, common.procs, common.scale, common.engine);
     let sig = characterize(&w);
     let model = synthesize(&sig, w.mesh);
     let span = w.netlog.summary().span.max(1);
@@ -156,17 +184,20 @@ pub fn cmd_generate(app: &str, common: Common) -> Result<String, CliError> {
 /// trace, at the price of per-message records (quantiles become
 /// histogram-approximate). Accepts either trace format, sniffed by magic
 /// bytes.
-pub fn cmd_replay_streaming(input: &[u8]) -> Result<String, CliError> {
+pub fn cmd_replay_streaming(input: &[u8], engine: EngineKind) -> Result<String, CliError> {
     let trace = load_trace(input)?;
     let mesh = MeshConfig::for_nodes(trace.nodes());
-    let stream = CausalReplayer::new(mesh).replay_streaming(&trace);
+    let stream = CausalReplayer::new(mesh)
+        .try_replay_streaming(&trace, engine)
+        .map_err(|e| CliError(e.to_string()))?;
     let s = stream.summary();
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "replayed {} messages on a {} -node mesh (streaming, {} histogram bins)",
+        "replayed {} messages on a {} -node mesh ({}streaming, {} histogram bins)",
         s.messages,
         trace.nodes(),
+        engine_tag(engine),
         stream.latency_histogram().bins()
     );
     let _ = writeln!(
@@ -184,18 +215,25 @@ pub fn cmd_replay_streaming(input: &[u8]) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `commchar replay <trace file contents>`: causal replay through the mesh,
-/// returning the network summary (plus the naive comparison). Accepts
-/// either trace format, sniffed by magic bytes.
-pub fn cmd_replay(input: &[u8]) -> Result<String, CliError> {
+/// `commchar replay <trace file contents>`: causal replay through the
+/// chosen engine, returning the network summary (plus the naive
+/// comparison, which always uses the recurrence model as the fixed
+/// open-loop baseline). Accepts either trace format, sniffed by magic
+/// bytes.
+pub fn cmd_replay(input: &[u8], engine: EngineKind) -> Result<String, CliError> {
     let trace = load_trace(input)?;
     let mesh = MeshConfig::for_nodes(trace.nodes());
     let rep = CausalReplayer::new(mesh);
-    let causal = rep.replay(&trace).summary();
+    let causal = rep.try_replay(&trace, engine).map_err(|e| CliError(e.to_string()))?.summary();
     let naive = rep.replay_naive(&trace).summary();
     let mut out = String::new();
-    let _ =
-        writeln!(out, "replayed {} messages on a {} -node mesh", causal.messages, trace.nodes());
+    let _ = writeln!(
+        out,
+        "replayed {} messages on a {} -node mesh{}",
+        causal.messages,
+        trace.nodes(),
+        if engine == EngineKind::FlitLevel { " (flit engine)" } else { "" }
+    );
     let _ = writeln!(
         out,
         "causal: mean latency {:.1} (p95 {:.0}), blocked {:.1}",
@@ -268,7 +306,7 @@ pub fn cmd_trace_stat(input: &[u8]) -> Result<String, CliError> {
 /// (see [`SuiteRunner::run`]).
 pub fn cmd_suite(common: Common, jobs: usize) -> (String, String) {
     let cells = cell_matrix(AppId::all(), &[common.procs], &[common.scale], common.seed);
-    let report = SuiteRunner::new(jobs).run(cells);
+    let report = SuiteRunner::new(jobs).with_engine(common.engine).run(cells);
     (suite_table(&report), suite_timing(&report))
 }
 
@@ -287,6 +325,7 @@ COMMANDS:
     generate <app> [--out FILE]   emit a synthetic trace from the fitted model
     replay --trace FILE           replay a saved trace (causal vs naive)
     suite                         characterize all seven applications in parallel
+                                  (run/characterize/replay/suite accept --engine)
     trace pack FILE --out FILE    convert a trace to the packed binary format
     trace cat FILE                print a trace (either format) as JSON-lines
     trace stat FILE               summarize a trace file (format, sizes, ratio)
@@ -298,6 +337,10 @@ OPTIONS:
     --jobs N        worker threads for suite cells and per-source distribution
                     fits; 0 = one per hardware thread (default 0). Output is
                     byte-identical for any value; only wall-clock changes.
+    --engine E      closed-loop network engine: recurrence (channel-recurrence
+                    wormhole model, default) or flit (cycle-accurate flit-level
+                    router run incrementally). The recurrence default keeps
+                    output byte-identical to earlier releases.
     --streaming     replay with online statistics only (constant memory)
     --packed        write run/generate trace output in the packed binary format
     --out FILE      write trace output to FILE instead of stdout
@@ -321,7 +364,8 @@ mod tests {
 
     #[test]
     fn run_and_characterize_app() {
-        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1 };
+        let common =
+            Common { procs: 4, scale: Scale::Tiny, seed: 1, engine: EngineKind::Recurrence };
         let (report, trace) = cmd_run("is", common).unwrap();
         assert!(report.contains("ran is on 4 processors"));
         assert!(!trace.is_empty());
@@ -333,7 +377,8 @@ mod tests {
 
     #[test]
     fn characterize_jobs_does_not_change_the_report() {
-        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1 };
+        let common =
+            Common { procs: 4, scale: Scale::Tiny, seed: 1, engine: EngineKind::Recurrence };
         let serial = cmd_characterize_app("is", common, 1).unwrap();
         let parallel = cmd_characterize_app("is", common, 4).unwrap();
         assert_eq!(serial, parallel, "characterize report must not depend on --jobs");
@@ -345,7 +390,8 @@ mod tests {
         let mut tr = CommTrace::new(4);
         tr.push(commchar_trace::CommEvent::new(0, 0, 0, 1, 8, commchar_trace::EventKind::Data));
         tr.push(commchar_trace::CommEvent::new(1, 9, 0, 1, 8, commchar_trace::EventKind::Data));
-        let err = cmd_characterize_trace(tr.to_jsonl().as_bytes(), 1).unwrap_err();
+        let err = cmd_characterize_trace(tr.to_jsonl().as_bytes(), 1, EngineKind::Recurrence)
+            .unwrap_err();
         assert!(err.0.contains("degenerate"), "unexpected error: {err}");
     }
 
@@ -358,19 +404,21 @@ mod tests {
 
     #[test]
     fn trace_roundtrip_through_cli() {
-        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1 };
+        let common =
+            Common { procs: 4, scale: Scale::Tiny, seed: 1, engine: EngineKind::Recurrence };
         let (_, trace) = cmd_run("3d-fft", common).unwrap();
         let jsonl = trace.to_jsonl();
-        let report = cmd_characterize_trace(jsonl.as_bytes(), 2).unwrap();
+        let report = cmd_characterize_trace(jsonl.as_bytes(), 2, EngineKind::Recurrence).unwrap();
         assert!(report.contains("processors  : 4"));
-        let replay = cmd_replay(jsonl.as_bytes()).unwrap();
+        let replay = cmd_replay(jsonl.as_bytes(), EngineKind::Recurrence).unwrap();
         assert!(replay.contains("causal:"));
         assert!(replay.contains("naive :"));
     }
 
     #[test]
     fn trace_commands_roundtrip_both_formats() {
-        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1 };
+        let common =
+            Common { procs: 4, scale: Scale::Tiny, seed: 1, engine: EngineKind::Recurrence };
         let (_, trace) = cmd_run("3d-fft", common).unwrap();
         let jsonl = trace.to_jsonl();
         let packed = cmd_trace_pack(jsonl.as_bytes()).unwrap();
@@ -379,19 +427,21 @@ mod tests {
         assert_eq!(cmd_trace_cat(&packed).unwrap(), jsonl);
         assert_eq!(cmd_trace_pack(&packed).unwrap(), packed);
         // every trace-consuming command accepts the packed form too.
-        let from_jsonl = cmd_characterize_trace(jsonl.as_bytes(), 1).unwrap();
-        let from_packed = cmd_characterize_trace(&packed, 1).unwrap();
+        let rec = EngineKind::Recurrence;
+        let from_jsonl = cmd_characterize_trace(jsonl.as_bytes(), 1, rec).unwrap();
+        let from_packed = cmd_characterize_trace(&packed, 1, rec).unwrap();
         assert_eq!(from_jsonl, from_packed);
-        assert_eq!(cmd_replay(jsonl.as_bytes()).unwrap(), cmd_replay(&packed).unwrap());
+        assert_eq!(cmd_replay(jsonl.as_bytes(), rec).unwrap(), cmd_replay(&packed, rec).unwrap());
         assert_eq!(
-            cmd_replay_streaming(jsonl.as_bytes()).unwrap(),
-            cmd_replay_streaming(&packed).unwrap()
+            cmd_replay_streaming(jsonl.as_bytes(), rec).unwrap(),
+            cmd_replay_streaming(&packed, rec).unwrap()
         );
     }
 
     #[test]
     fn trace_stat_reports_both_formats() {
-        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1 };
+        let common =
+            Common { procs: 4, scale: Scale::Tiny, seed: 1, engine: EngineKind::Recurrence };
         let (_, trace) = cmd_run("nbody", common).unwrap();
         let jsonl = trace.to_jsonl();
         let packed = cmd_trace_pack(jsonl.as_bytes()).unwrap();
@@ -408,13 +458,14 @@ mod tests {
     fn trace_commands_reject_garbage_with_typed_errors() {
         let err = cmd_trace_cat(b"CCTRACE1\xffgarbage").unwrap_err();
         assert!(err.0.contains("stream kind"), "unexpected error: {err}");
-        let err = cmd_replay(b"not json at all").unwrap_err();
+        let err = cmd_replay(b"not json at all", EngineKind::Recurrence).unwrap_err();
         assert!(err.0.contains("line 1"), "unexpected error: {err}");
     }
 
     #[test]
     fn generate_produces_parseable_trace() {
-        let common = Common { procs: 4, scale: Scale::Tiny, seed: 9 };
+        let common =
+            Common { procs: 4, scale: Scale::Tiny, seed: 9, engine: EngineKind::Recurrence };
         let jsonl = cmd_generate("nbody", common).unwrap();
         let parsed = CommTrace::from_jsonl(&jsonl).unwrap();
         assert!(!parsed.is_empty());
@@ -423,7 +474,8 @@ mod tests {
 
     #[test]
     fn suite_runs_all_apps_and_is_deterministic_across_jobs() {
-        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1 };
+        let common =
+            Common { procs: 4, scale: Scale::Tiny, seed: 1, engine: EngineKind::Recurrence };
         let (table, timing) = cmd_suite(common, 4);
         for a in AppId::all() {
             assert!(table.contains(a.name()), "suite table missing {a:?}");
@@ -436,12 +488,42 @@ mod tests {
 
     #[test]
     fn streaming_replay_reports_summary() {
-        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1 };
+        let common =
+            Common { procs: 4, scale: Scale::Tiny, seed: 1, engine: EngineKind::Recurrence };
         let (_, trace) = cmd_run("3d-fft", common).unwrap();
-        let out = cmd_replay_streaming(trace.to_jsonl().as_bytes()).unwrap();
+        let out =
+            cmd_replay_streaming(trace.to_jsonl().as_bytes(), EngineKind::Recurrence).unwrap();
         assert!(out.contains("streaming"));
         assert!(out.contains("mean latency"));
         assert!(out.contains("inter-arrival"));
+    }
+
+    #[test]
+    fn flit_engine_runs_every_command_surface() {
+        let common =
+            Common { procs: 4, scale: Scale::Tiny, seed: 1, engine: EngineKind::FlitLevel };
+        // run: closed-loop acquisition through the cycle-accurate router.
+        let (report, trace) = cmd_run("is", common).unwrap();
+        assert!(report.contains("ran is on 4 processors"));
+        assert!(!trace.is_empty());
+        // characterize: full signature on a flit-acquired workload.
+        let sig = cmd_characterize_app("is", common, 1).unwrap();
+        assert!(sig.contains("temporal attribute"));
+        // replay: the header names the engine; the recurrence header does not.
+        let jsonl = trace.to_jsonl();
+        let flit = cmd_replay(jsonl.as_bytes(), EngineKind::FlitLevel).unwrap();
+        assert!(flit.contains("(flit engine)"));
+        let rec = cmd_replay(jsonl.as_bytes(), EngineKind::Recurrence).unwrap();
+        assert!(!rec.contains("flit"));
+        let streaming = cmd_replay_streaming(jsonl.as_bytes(), EngineKind::FlitLevel).unwrap();
+        assert!(streaming.contains("flit engine; streaming"));
+    }
+
+    #[test]
+    fn engine_names_parse_and_reject() {
+        assert_eq!(parse_engine("recurrence").unwrap(), EngineKind::Recurrence);
+        assert_eq!(parse_engine("flit").unwrap(), EngineKind::FlitLevel);
+        assert!(parse_engine("csim").is_err());
     }
 
     #[test]

@@ -47,6 +47,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.common.scale =
                     cli::parse_scale(it.next().ok_or("--scale needs a value")?).map_err(|e| e.0)?;
             }
+            "--engine" => {
+                args.common.engine = cli::parse_engine(it.next().ok_or("--engine needs a value")?)
+                    .map_err(|e| e.0)?;
+            }
             "--seed" => {
                 args.common.seed = it
                     .next()
@@ -108,7 +112,8 @@ fn run(argv: &[String]) -> Result<(), String> {
         }
         Some("characterize") => {
             let text = if args.trace.is_some() {
-                cli::cmd_characterize_trace(&read_trace(&args)?, args.jobs).map_err(|e| e.0)?
+                cli::cmd_characterize_trace(&read_trace(&args)?, args.jobs, args.common.engine)
+                    .map_err(|e| e.0)?
             } else {
                 let app =
                     args.positional.get(1).ok_or("characterize needs an app or --trace FILE")?;
@@ -124,9 +129,9 @@ fn run(argv: &[String]) -> Result<(), String> {
         Some("replay") => {
             let input = read_trace(&args)?;
             let text = if args.streaming {
-                cli::cmd_replay_streaming(&input).map_err(|e| e.0)?
+                cli::cmd_replay_streaming(&input, args.common.engine).map_err(|e| e.0)?
             } else {
-                cli::cmd_replay(&input).map_err(|e| e.0)?
+                cli::cmd_replay(&input, args.common.engine).map_err(|e| e.0)?
             };
             emit(&text, &None)
         }
