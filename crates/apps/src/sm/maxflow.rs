@@ -1,5 +1,5 @@
 //! Goldberg push–relabel maximum flow on the CC-NUMA simulator
-//! (Anderson–Setubal-style parallelization, the paper's reference [26]).
+//! (Anderson–Setubal-style parallelization, the paper's reference \[26\]).
 //!
 //! Active vertices live in a shared FIFO work queue under a queue lock;
 //! pushes take the two endpoint vertex locks in ascending order;

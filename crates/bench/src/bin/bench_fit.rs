@@ -13,16 +13,29 @@
 //! root. `--quick` runs one iteration on smaller workloads (the
 //! `scripts/check.sh --bench-smoke` mode); the default runs three and
 //! keeps the best.
+//!
+//! The bench also exercises the out-of-core path: after an in-process
+//! byte-identity check (streamed analysis report == batch report), it
+//! re-executes itself as a `--stream-child` subprocess that writes a
+//! packed synthetic trace to disk with [`TraceWriter`] (never holding the
+//! events), stream-characterizes it with [`FileReader`] +
+//! [`try_analyze_blocks`], and reports its own peak RSS from
+//! `/proc/self/status` (`VmHWM`). The parent asserts the RSS ceiling and
+//! an events/sec floor and records both in `BENCH_fit.json`. The default
+//! (full) mode streams a multi-GB trace; `--quick` a few-hundred-MB one.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use commchar_bench::fit_reference::characterize_reference;
-use commchar_core::report::signature_report;
+use commchar_core::analyze::{try_analyze_blocks, try_analyze_trace};
+use commchar_core::report::{analysis_report, signature_report};
 use commchar_core::{characterize_jobs, run_workload, CommSignature, Workload};
 use commchar_mesh::MeshConfig;
 use commchar_trace::replay::CausalReplayer;
 use commchar_trace::{CommEvent, CommTrace, EventKind};
+use commchar_tracestore::writer::{pack_trace_with_block_len, TraceWriter};
+use commchar_tracestore::{FileReader, TraceReader};
 
 /// Deterministic 64-bit LCG so workloads are fixed across runs/machines.
 struct Lcg(u64);
@@ -53,18 +66,7 @@ fn synthetic(seed: u64, nodes: usize, count: usize) -> Workload {
     let mut trace = CommTrace::new(nodes);
     let mut t = 0u64;
     for i in 0..count as u64 {
-        let src = rng.below(nodes as u64) as u16;
-        let mut dst = rng.below(nodes as u64) as u16;
-        if dst == src {
-            dst = (dst + 1) % nodes as u16;
-        }
-        t += rng.below(8);
-        let kind = match rng.below(10) {
-            0..=4 => EventKind::Data,
-            5..=7 => EventKind::Control,
-            _ => EventKind::Sync,
-        };
-        trace.push(CommEvent::new(i, t, src, dst, 8 + rng.below(4096) as u32, kind));
+        trace.push(synth_event(&mut rng, i, &mut t, nodes));
     }
     let mesh = MeshConfig::for_nodes(nodes);
     let netlog = CausalReplayer::new(mesh).replay(&trace);
@@ -168,7 +170,90 @@ fn cross_check(name: &str, reference: &CommSignature, new: &CommSignature) {
     assert_eq!(tail(&ref_rep), tail(&new_rep), "{name}: spatial/volume sections diverged");
 }
 
+/// One synthetic event in the streaming workload — the same shape
+/// [`synthetic`] builds, factored out so the on-disk generator and any
+/// in-memory checks draw from one definition.
+fn synth_event(rng: &mut Lcg, i: u64, t: &mut u64, nodes: usize) -> CommEvent {
+    let src = rng.below(nodes as u64) as u16;
+    let mut dst = rng.below(nodes as u64) as u16;
+    if dst == src {
+        dst = (dst + 1) % nodes as u16;
+    }
+    *t += rng.below(8);
+    let kind = match rng.below(10) {
+        0..=4 => EventKind::Data,
+        5..=7 => EventKind::Control,
+        _ => EventKind::Sync,
+    };
+    CommEvent::new(i, *t, src, dst, 8 + rng.below(4096) as u32, kind)
+}
+
+/// Writes `count` synthetic events straight to a packed file through
+/// [`TraceWriter`] — constant memory on the producer side too, so the
+/// subprocess peak RSS measures the pipeline, not the generator.
+fn write_synthetic_stream(path: &std::path::Path, seed: u64, nodes: usize, count: u64) {
+    let file = std::fs::File::create(path).expect("create stream trace file");
+    let mut w = TraceWriter::new(std::io::BufWriter::new(file), nodes).expect("trace writer");
+    let mut rng = Lcg::new(seed);
+    let mut t = 0u64;
+    for i in 0..count {
+        w.push(synth_event(&mut rng, i, &mut t, nodes)).expect("push event");
+    }
+    use std::io::Write as _;
+    w.finish().expect("finish packed stream").flush().expect("flush stream trace file");
+}
+
+/// Peak resident set size of this process in bytes, from `VmHWM` in
+/// `/proc/self/status`; `0` where the file or field is unavailable (the
+/// caller skips the ceiling assertion then).
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// Subprocess body for `--stream-child COUNT PATH`: generate a packed
+/// trace on disk, stream-characterize it, and print a single
+/// machine-readable line (`events=.. wall=.. rss=.. family=..`). Runs in
+/// its own process so `VmHWM` reflects only this pipeline.
+fn stream_child(count: u64, path: &std::path::Path) {
+    const NODES: usize = 64;
+    write_synthetic_stream(path, 99, NODES, count);
+    let reader = FileReader::open(path).expect("open packed stream");
+    assert_eq!(reader.len(), count);
+    let shape = MeshConfig::for_nodes(NODES).shape;
+    let start = Instant::now();
+    let analysis = try_analyze_blocks(&reader, shape, 0, 0).expect("stream characterize");
+    let wall = start.elapsed().as_secs_f64();
+    println!(
+        "events={count} wall={wall:.6} rss={} family={}",
+        peak_rss_bytes(),
+        analysis.temporal.aggregate.dist.family_name()
+    );
+}
+
+/// Asserted ceiling on the stream child's peak RSS. The full-mode trace
+/// decodes to ~10 GB of in-memory events, so staying under this bound is
+/// only possible if the pipeline really is out-of-core.
+const STREAM_RSS_CEILING: u64 = 256 << 20;
+
+/// Floor on streamed characterization throughput, asserted and recorded
+/// in `BENCH_fit.json` (see the `streaming` object there for the measured
+/// figure this floor was derived from).
+const STREAM_EVENTS_PER_SEC_FLOOR: f64 = 1_000_000.0;
+
 fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    if let Some(i) = argv.iter().position(|a| a == "--stream-child") {
+        let count: u64 = argv[i + 1].parse().expect("--stream-child COUNT PATH");
+        stream_child(count, std::path::Path::new(&argv[i + 2]));
+        return;
+    }
     let quick = std::env::args().any(|a| a == "--quick");
     let iters = if quick { 1 } else { 3 };
     let mut rows = Vec::new();
@@ -218,6 +303,66 @@ fn main() {
         rows.push((name, w.trace.len(), w.nprocs, t_ref, t_seq, t_par, speedup));
     }
 
+    // ---- out-of-core streaming section --------------------------------
+    // In-process byte-identity first: streaming a packed copy of a trace
+    // must render exactly the batch analysis of the same events.
+    let ident = synthetic(3, 16, 40_000);
+    let shape = ident.mesh.shape;
+    let batch = try_analyze_trace(&ident.trace, shape, 1).expect("batch analysis");
+    let packed = pack_trace_with_block_len(&ident.trace, 101);
+    let reader = TraceReader::open(&packed).expect("open packed trace");
+    let streamed = try_analyze_blocks(&reader, shape, 4, 3).expect("streamed analysis");
+    assert_eq!(
+        analysis_report(&batch, "bench"),
+        analysis_report(&streamed, "bench"),
+        "streamed analysis diverged from batch"
+    );
+    println!("stream identity : streamed == batch report ({} events)", ident.trace.len());
+
+    // Then the out-of-core run proper, in a subprocess so VmHWM measures
+    // only the write-then-stream pipeline.
+    let stream_events: u64 = if quick { 8_000_000 } else { 320_000_000 };
+    let tmp =
+        std::env::temp_dir().join(format!("commchar-bench-stream-{}.cct", std::process::id()));
+    let exe = std::env::current_exe().expect("current exe");
+    let out = std::process::Command::new(&exe)
+        .arg("--stream-child")
+        .arg(stream_events.to_string())
+        .arg(&tmp)
+        .output()
+        .expect("spawn stream child");
+    let file_bytes = std::fs::metadata(&tmp).map(|m| m.len()).unwrap_or(0);
+    let _ = std::fs::remove_file(&tmp);
+    assert!(out.status.success(), "stream child failed: {}", String::from_utf8_lossy(&out.stderr));
+    let line = String::from_utf8_lossy(&out.stdout);
+    let field = |k: &str| -> f64 {
+        line.split_whitespace()
+            .find_map(|w| w.strip_prefix(&format!("{k}=")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("stream child output missing {k}=: {line}"))
+    };
+    let wall = field("wall");
+    let rss = field("rss") as u64;
+    let events_per_sec = stream_events as f64 / wall;
+    println!(
+        "stream child    : {stream_events} events ({:.1} MB packed) in {wall:.2} s — \
+         {:.2}M events/s, peak RSS {:.1} MB",
+        file_bytes as f64 / 1e6,
+        events_per_sec / 1e6,
+        rss as f64 / 1e6
+    );
+    if rss > 0 {
+        assert!(
+            rss <= STREAM_RSS_CEILING,
+            "stream child peak RSS {rss} exceeds the {STREAM_RSS_CEILING}-byte ceiling"
+        );
+    }
+    assert!(
+        events_per_sec >= STREAM_EVENTS_PER_SEC_FLOOR,
+        "streamed characterize at {events_per_sec:.0} events/s is below the \
+         {STREAM_EVENTS_PER_SEC_FLOOR:.0} floor"
+    );
+
     // Hand-rolled JSON (serde is stripped from the offline build).
     let mut json = String::from("{\n  \"bench\": \"characterize_fit\",\n  \"mode\": ");
     let _ = writeln!(json, "\"{}\",\n  \"workloads\": [", if quick { "quick" } else { "full" });
@@ -230,7 +375,15 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         );
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"streaming\": {{\"events\": {stream_events}, \"packed_bytes\": {file_bytes}, \
+         \"wall_sec\": {wall:.6}, \"events_per_sec\": {events_per_sec:.0}, \
+         \"events_per_sec_floor\": {STREAM_EVENTS_PER_SEC_FLOOR:.0}, \
+         \"peak_rss_bytes\": {rss}, \"rss_ceiling_bytes\": {STREAM_RSS_CEILING}}}"
+    );
+    json.push_str("}\n");
     let path = "BENCH_fit.json";
     std::fs::write(path, &json).expect("write BENCH_fit.json");
     println!("wrote {path}");

@@ -24,7 +24,7 @@ fn main() {
             vec![
                 sig.name.clone(),
                 sig.class.name().to_string(),
-                spatial_consensus(sig),
+                spatial_consensus(&sig.spatial),
                 format!("{:.5}", mean_sse),
                 format!("{:.3}", mean_peak),
             ]

@@ -80,7 +80,7 @@ impl ExpOptions {
         opts
     }
 
-    /// Parses from the process arguments (skipping argv[0]).
+    /// Parses from the process arguments (skipping `argv[0]`).
     pub fn from_env() -> Self {
         Self::parse(std::env::args().skip(1))
     }

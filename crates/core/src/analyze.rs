@@ -1,0 +1,197 @@
+//! Trace-only analysis drivers: one shared fit path behind both the
+//! in-memory (batch) and block-streaming (out-of-core) forms of
+//! `characterize`.
+//!
+//! Both drivers funnel into the same [`StreamExtract`]-consuming core, so
+//! a streamed analysis is **byte-identical** to the batch analysis of the
+//! same events:
+//!
+//! - [`try_analyze_trace`] — wraps an in-memory [`CommTrace`] as one
+//!   segment (sorting a copy of the events first if the trace is not in
+//!   time order).
+//! - [`try_analyze_blocks`] — walks any [`BlockSource`] (an in-memory
+//!   [`TraceReader`](commchar_tracestore::TraceReader) or an on-disk
+//!   [`FileReader`](commchar_tracestore::FileReader)), decoding and
+//!   condensing blocks into [`SegmentExtract`] partials on a worker pool
+//!   and folding them in file order. Memory stays bounded by
+//!   `block_jobs × block size`, never by trace length.
+//!
+//! The result carries the paper's three trace attributes (temporal,
+//! spatial, volume) but no network-behaviour section: computing network
+//! latencies requires a causal replay, which is inherently O(events) in
+//! memory, so the streaming path reports what one pass can know.
+
+use commchar_mesh::MeshShape;
+use commchar_stats::fit::{FitContext, FitResult};
+use commchar_stats::spatial::{classify_with_count, normalize};
+use commchar_trace::profile::{SegmentExtract, StreamAccum, StreamExtract};
+use commchar_trace::CommTrace;
+use commchar_tracestore::BlockSource;
+use commchar_traffic::LengthDist;
+
+use crate::{CharError, SpatialSig, TemporalSig, VolumeSig, MIN_SAMPLES};
+
+/// The trace-derived portion of a communication signature: the paper's
+/// temporal, spatial and volume attributes, without the network-behaviour
+/// summary (which needs a replay, not a trace pass).
+#[derive(Debug)]
+pub struct TraceAnalysis {
+    /// Processor count the trace was recorded over.
+    pub nodes: usize,
+    /// Temporal attribute (aggregate + per-source fits, burstiness).
+    pub temporal: TemporalSig,
+    /// Spatial attribute, per source (None when the source sent nothing).
+    pub spatial: Vec<Option<SpatialSig>>,
+    /// Volume attribute.
+    pub volume: VolumeSig,
+}
+
+/// Analyzes an in-memory trace. Events are viewed as a single segment
+/// (sorted by time first, copying, if the trace is out of order) and fed
+/// through exactly the code path [`try_analyze_blocks`] uses — which is
+/// what makes streamed-equals-batch hold to the byte.
+///
+/// # Errors
+///
+/// [`CharError`] on an empty or temporally degenerate trace.
+pub fn try_analyze_trace(
+    trace: &CommTrace,
+    shape: MeshShape,
+    jobs: usize,
+) -> Result<TraceAnalysis, CharError> {
+    if trace.is_empty() {
+        return Err(CharError::EmptyTrace);
+    }
+    let events = trace.events();
+    let sorted_copy;
+    let events = if events.windows(2).all(|w| w[0].t <= w[1].t) {
+        events
+    } else {
+        sorted_copy = {
+            let mut v = events.to_vec();
+            v.sort_by_key(|e| e.t);
+            v
+        };
+        &sorted_copy
+    };
+    let seg = SegmentExtract::from_events(trace.nodes(), events).expect("events are sorted");
+    let mut accum = StreamAccum::new(trace.nodes());
+    accum.absorb(&seg).expect("a single segment is in order");
+    analyze_extract(accum.finish(), shape, jobs)
+}
+
+/// Blocks condensed to partials per worker-pool round; the sequential
+/// fold then consumes them in order. Bounds live partials (and therefore
+/// memory) to a small multiple of the worker count — one `run_indexed`
+/// over *all* blocks would hold every partial at once, O(trace) again.
+const CHUNK_PER_JOB: usize = 4;
+
+/// Analyzes a packed event stream block by block in constant memory.
+///
+/// Per round, up to `CHUNK_PER_JOB ×`
+/// [`resolve_jobs`](commchar_pool::resolve_jobs)`(block_jobs)`
+/// blocks are decoded and condensed to [`SegmentExtract`]s in parallel
+/// (`block_jobs` workers; `0` = one per hardware thread), then folded in
+/// file order. After the single pass, the distribution fits fan out
+/// across `jobs` workers exactly as in [`try_analyze_trace`].
+///
+/// # Errors
+///
+/// - [`CharError::EmptyTrace`] / [`CharError::DegenerateTemporal`] as in
+///   the batch path.
+/// - [`CharError::Unsorted`] if the stream is not in time order (the
+///   boundary-gap stitching requires it; packed traces written by this
+///   workspace are sorted).
+/// - [`CharError::Store`] for any decode/IO failure inside a block.
+pub fn try_analyze_blocks<R: BlockSource>(
+    source: &R,
+    shape: MeshShape,
+    jobs: usize,
+    block_jobs: usize,
+) -> Result<TraceAnalysis, CharError> {
+    if source.is_empty() {
+        return Err(CharError::EmptyTrace);
+    }
+    let nodes = source.nodes();
+    let chunk = commchar_pool::resolve_jobs(block_jobs).saturating_mul(CHUNK_PER_JOB).max(1);
+    let mut accum = StreamAccum::new(nodes);
+    let mut base = 0;
+    while base < source.block_count() {
+        let n = chunk.min(source.block_count() - base);
+        let partials = commchar_pool::run_indexed(block_jobs, n, |i| {
+            let events =
+                source.decode_events(base + i).map_err(|e| CharError::Store(e.to_string()))?;
+            SegmentExtract::from_events(nodes, &events)
+                .map_err(|e| CharError::Unsorted { prev: e.prev, at: e.at })
+        });
+        for seg in partials {
+            accum.absorb(&seg?).map_err(|e| CharError::Unsorted { prev: e.prev, at: e.at })?;
+        }
+        base += n;
+    }
+    analyze_extract(accum.finish(), shape, jobs)
+}
+
+/// The shared back half: grouped gap runs → parallel fits → spatial
+/// classification → volume attribute.
+fn analyze_extract(
+    x: StreamExtract,
+    shape: MeshShape,
+    jobs: usize,
+) -> Result<TraceAnalysis, CharError> {
+    let gaps = x.aggregate.total();
+    if gaps < 2 {
+        return Err(CharError::DegenerateTemporal { gaps: gaps as usize });
+    }
+
+    // Temporal: independent fits — task 0 is the aggregate, the rest one
+    // per source with enough samples — claimed by whichever worker is
+    // free, scattered back in deterministic source order.
+    let fit_sources: Vec<usize> = (0..x.per_source.len())
+        .filter(|&s| x.per_source[s].total() >= MIN_SAMPLES as u64)
+        .collect();
+    let mut fits = commchar_pool::run_indexed(jobs, fit_sources.len() + 1, |i| match i {
+        0 => FitContext::from_grouped(&x.aggregate).fit_best(),
+        _ => FitContext::from_grouped(&x.per_source[fit_sources[i - 1]]).fit_best(),
+    });
+    let aggregate = fits[0].take().expect("≥ 2 samples always admit a fit");
+    let mut per_source: Vec<Option<FitResult>> = vec![None; x.per_source.len()];
+    for (slot, fit) in fit_sources.iter().zip(fits.drain(1..)) {
+        per_source[*slot] = fit;
+    }
+
+    // Spatial: per-source destination histograms (the profile's
+    // destination-count rows), classified by regression against
+    // uniform / bimodal-uniform / locality-decay.
+    let dist_fn = move |a: usize, b: usize| {
+        shape.hop_distance(commchar_mesh::NodeId(a as u16), commchar_mesh::NodeId(b as u16)) as f64
+    };
+    let profile = &x.profile;
+    let nodes = profile.sources.len();
+    let spatial: Vec<Option<SpatialSig>> = (0..nodes)
+        .map(|s| {
+            let counts = &profile.sources.get(s)?.dest_counts;
+            let observed = normalize(counts, s)?;
+            let sent: u64 = counts.iter().sum();
+            let fit = classify_with_count(&observed, s, &dist_fn, Some(sent));
+            Some(SpatialSig { observed, fit })
+        })
+        .collect();
+
+    // Volume.
+    let volume = VolumeSig {
+        messages: profile.messages,
+        bytes: profile.bytes,
+        mean_bytes: profile.mean_bytes,
+        lengths: LengthDist::from_counts(&x.length_counts),
+        per_source_msgs: profile.sources.iter().map(|s| s.messages).collect(),
+        per_source_bytes: profile.sources.iter().map(|s| s.bytes).collect(),
+    };
+
+    Ok(TraceAnalysis {
+        nodes,
+        temporal: TemporalSig { aggregate, per_source, burstiness: x.burstiness },
+        spatial,
+        volume,
+    })
+}

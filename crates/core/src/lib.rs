@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod phases;
 pub mod report;
 pub mod suite;
@@ -53,7 +54,7 @@ pub mod suite;
 use commchar_apps::{AppClass, AppId, Scale};
 use commchar_mesh::{EngineKind, MeshConfig, NetLog, NetSummary};
 use commchar_stats::fit::{fit_best, FitResult};
-use commchar_stats::spatial::{classify_with_count, normalize, SpatialFit};
+use commchar_stats::spatial::SpatialFit;
 use commchar_stats::Dist;
 use commchar_trace::replay::CausalReplayer;
 use commchar_trace::CommTrace;
@@ -185,7 +186,7 @@ pub struct CommSignature {
 }
 
 /// Minimum messages from a source before its temporal fit is attempted.
-const MIN_SAMPLES: usize = 8;
+pub(crate) const MIN_SAMPLES: usize = 8;
 
 /// Why a workload cannot be characterized.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -199,6 +200,18 @@ pub enum CharError {
         /// Aggregate inter-arrival gaps available (0 or 1).
         gaps: usize,
     },
+    /// A streamed source delivered events out of time order, which the
+    /// constant-memory boundary-gap stitching cannot absorb (see
+    /// [`analyze::try_analyze_blocks`]).
+    Unsorted {
+        /// The later timestamp seen first.
+        prev: u64,
+        /// The earlier timestamp that arrived after it.
+        at: u64,
+    },
+    /// A block of a packed trace failed to decode (I/O error, checksum
+    /// mismatch, corrupt payload) during streamed analysis.
+    Store(String),
 }
 
 impl std::fmt::Display for CharError {
@@ -210,6 +223,12 @@ impl std::fmt::Display for CharError {
                 "degenerate trace: {gaps} inter-arrival gap(s), need at least 2 to fit a \
                  distribution"
             ),
+            CharError::Unsorted { prev, at } => write!(
+                f,
+                "streamed trace is out of time order (t={at} after t={prev}); streaming \
+                 characterization needs a time-sorted trace"
+            ),
+            CharError::Store(msg) => write!(f, "packed trace unreadable: {msg}"),
         }
     }
 }
@@ -252,81 +271,27 @@ pub fn try_characterize(w: &Workload) -> Result<CommSignature, CharError> {
 
 /// Analyzes a workload into its communication signature.
 ///
-/// One streaming pass over the trace extracts every raw view the three
-/// attributes need — per-source and aggregate inter-arrival gaps, spatial
-/// destination-count rows, message lengths, volume totals — then the
-/// independent distribution fits (the aggregate fit plus one per active
-/// source) fan out across at most `jobs` worker threads (`0` = one per
-/// hardware thread). Results are scattered back by source index, so the
-/// signature — and any report rendered from it — is byte-identical for
-/// every `jobs` value.
+/// The trace attributes come from [`analyze::try_analyze_trace`] — the
+/// same grouped-run fit path the out-of-core driver
+/// [`analyze::try_analyze_blocks`] uses, so streamed and batch analyses
+/// of the same events agree to the byte. The independent distribution
+/// fits (the aggregate fit plus one per active source) fan out across at
+/// most `jobs` worker threads (`0` = one per hardware thread); results
+/// are scattered back by source index, so the signature — and any report
+/// rendered from it — is byte-identical for every `jobs` value.
 ///
 /// # Errors
 ///
 /// [`CharError`] on an empty or temporally degenerate trace.
 pub fn try_characterize_jobs(w: &Workload, jobs: usize) -> Result<CommSignature, CharError> {
-    if w.trace.is_empty() {
-        return Err(CharError::EmptyTrace);
-    }
-    let n = w.nprocs;
-
-    // The single streaming pass: profile + temporal samples + lengths.
-    let x = commchar_trace::profile::extract(&w.trace);
-    if x.aggregate.len() < 2 {
-        return Err(CharError::DegenerateTemporal { gaps: x.aggregate.len() });
-    }
-
-    // Temporal: independent fits — task 0 is the aggregate, the rest one
-    // per source with enough samples — claimed by whichever worker is
-    // free, scattered back in deterministic source order.
-    let fit_sources: Vec<usize> =
-        (0..x.per_source.len()).filter(|&s| x.per_source[s].len() >= MIN_SAMPLES).collect();
-    let mut fits = commchar_pool::run_indexed(jobs, fit_sources.len() + 1, |i| match i {
-        0 => fit_best(&x.aggregate),
-        _ => fit_best(&x.per_source[fit_sources[i - 1]]),
-    });
-    let aggregate = fits[0].take().expect("≥ 2 samples always admit a fit");
-    let mut per_source: Vec<Option<FitResult>> = vec![None; x.per_source.len()];
-    for (slot, fit) in fit_sources.iter().zip(fits.drain(1..)) {
-        per_source[*slot] = fit;
-    }
-    let burstiness = commchar_stats::burstiness::burstiness(&x.aggregate);
-
-    // Spatial: per-source destination histograms (the profile's
-    // destination-count rows), classified by regression against
-    // uniform / bimodal-uniform / locality-decay.
-    let shape = w.mesh.shape;
-    let dist_fn = move |a: usize, b: usize| {
-        shape.hop_distance(commchar_mesh::NodeId(a as u16), commchar_mesh::NodeId(b as u16)) as f64
-    };
-    let profile = &x.profile;
-    let spatial: Vec<Option<SpatialSig>> = (0..n)
-        .map(|s| {
-            let counts = &profile.sources.get(s)?.dest_counts;
-            let observed = normalize(counts, s)?;
-            let sent: u64 = counts.iter().sum();
-            let fit = classify_with_count(&observed, s, &dist_fn, Some(sent));
-            Some(SpatialSig { observed, fit })
-        })
-        .collect();
-
-    // Volume.
-    let volume = VolumeSig {
-        messages: profile.messages,
-        bytes: profile.bytes,
-        mean_bytes: profile.mean_bytes,
-        lengths: LengthDist::from_observed(&x.lengths),
-        per_source_msgs: profile.sources.iter().map(|s| s.messages).collect(),
-        per_source_bytes: profile.sources.iter().map(|s| s.bytes).collect(),
-    };
-
+    let a = analyze::try_analyze_trace(&w.trace, w.mesh.shape, jobs)?;
     Ok(CommSignature {
         name: w.name.clone(),
         class: w.class,
-        nprocs: n,
-        temporal: TemporalSig { aggregate, per_source, burstiness },
-        spatial,
-        volume,
+        nprocs: w.nprocs,
+        temporal: a.temporal,
+        spatial: a.spatial,
+        volume: a.volume,
         network: w.netlog.summary(),
         exec_ticks: w.exec_ticks,
     })

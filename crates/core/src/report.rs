@@ -1,7 +1,8 @@
 //! Plain-text table rendering for the experiment regenerators.
 
+use crate::analyze::TraceAnalysis;
 use crate::suite::SuiteReport;
-use crate::CommSignature;
+use crate::{CommSignature, SpatialSig, TemporalSig, VolumeSig};
 
 /// Renders a fixed-width table: header row plus data rows.
 ///
@@ -60,11 +61,11 @@ pub fn temporal_row(sig: &CommSignature) -> Vec<String> {
 }
 
 /// Majority spatial classification across sources, e.g. `bimodal-uniform
-/// (6/8 sources)`.
-pub fn spatial_consensus(sig: &CommSignature) -> String {
+/// (6/8 sources)` — pass a signature's or analysis's `spatial` field.
+pub fn spatial_consensus(spatial: &[Option<SpatialSig>]) -> String {
     let mut counts: std::collections::BTreeMap<&'static str, usize> = Default::default();
     let mut total = 0;
-    for sp in sig.spatial.iter().flatten() {
+    for sp in spatial.iter().flatten() {
         *counts.entry(sp.fit.model.name()).or_insert(0) += 1;
         total += 1;
     }
@@ -94,7 +95,7 @@ pub fn suite_table(report: &SuiteReport) -> String {
                 r.cell.scale.name().to_string(),
                 r.messages.to_string(),
                 format!("{}", sig.temporal.aggregate.dist),
-                spatial_consensus(sig),
+                spatial_consensus(&sig.spatial),
                 format!("{:.2}", r.synth_ratio),
             ]
         })
@@ -142,32 +143,32 @@ pub fn suite_timing(report: &SuiteReport) -> String {
     out
 }
 
-/// Renders the full multi-section signature report (temporal, spatial,
-/// volume, network) — the standard human-readable view used by the CLI.
-pub fn signature_report(sig: &CommSignature) -> String {
+/// Writes the temporal-attribute section shared by [`signature_report`]
+/// and [`analysis_report`].
+fn temporal_section(out: &mut String, temporal: &TemporalSig) {
     use std::fmt::Write as _;
-    let mut out = String::new();
-    let _ = writeln!(out, "application : {} ({})", sig.name, sig.class.name());
-    let _ = writeln!(out, "processors  : {}", sig.nprocs);
-    let _ = writeln!(out, "exec ticks  : {}", sig.exec_ticks);
-    let _ = writeln!(out);
     let _ = writeln!(out, "temporal attribute");
     let _ = writeln!(
         out,
         "  inter-arrival ~ {}   (R² = {:.4}, KS = {:.4})",
-        sig.temporal.aggregate.dist, sig.temporal.aggregate.r2, sig.temporal.aggregate.ks
+        temporal.aggregate.dist, temporal.aggregate.r2, temporal.aggregate.ks
     );
-    let b = sig.temporal.burstiness;
+    let b = temporal.burstiness;
     let _ = writeln!(
         out,
         "  burstiness: CV² = {:.2}, IDI(8) = {:.2}, ρ₁ = {:.2}",
         b.cv2, b.idi8, b.rho1
     );
-    let _ = writeln!(out);
+}
+
+/// Writes the spatial-attribute section shared by [`signature_report`]
+/// and [`analysis_report`].
+fn spatial_section(out: &mut String, spatial: &[Option<SpatialSig>]) {
+    use std::fmt::Write as _;
     let _ = writeln!(out, "spatial attribute");
-    let _ = writeln!(out, "  consensus: {}", spatial_consensus(sig));
+    let _ = writeln!(out, "  consensus: {}", spatial_consensus(spatial));
     let mut rows = Vec::new();
-    for (s, sp) in sig.spatial.iter().enumerate() {
+    for (s, sp) in spatial.iter().enumerate() {
         if let Some(sp) = sp {
             rows.push(vec![
                 format!("p{s}"),
@@ -177,12 +178,33 @@ pub fn signature_report(sig: &CommSignature) -> String {
         }
     }
     let _ = writeln!(out, "{}", table(&["source", "model", "SSE"], &rows));
+}
+
+/// Writes the volume-attribute section shared by [`signature_report`]
+/// and [`analysis_report`].
+fn volume_section(out: &mut String, volume: &VolumeSig) {
+    use std::fmt::Write as _;
     let _ = writeln!(out, "volume attribute");
     let _ = writeln!(
         out,
         "  {} messages, {} bytes total, mean {:.1} bytes",
-        sig.volume.messages, sig.volume.bytes, sig.volume.mean_bytes
+        volume.messages, volume.bytes, volume.mean_bytes
     );
+}
+
+/// Renders the full multi-section signature report (temporal, spatial,
+/// volume, network) — the standard human-readable view used by the CLI.
+pub fn signature_report(sig: &CommSignature) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "application : {} ({})", sig.name, sig.class.name());
+    let _ = writeln!(out, "processors  : {}", sig.nprocs);
+    let _ = writeln!(out, "exec ticks  : {}", sig.exec_ticks);
+    let _ = writeln!(out);
+    temporal_section(&mut out, &sig.temporal);
+    let _ = writeln!(out);
+    spatial_section(&mut out, &sig.spatial);
+    volume_section(&mut out, &sig.volume);
     let _ = writeln!(out);
     let _ = writeln!(out, "network behaviour");
     let n = &sig.network;
@@ -191,6 +213,24 @@ pub fn signature_report(sig: &CommSignature) -> String {
         "  mean latency {:.1} (median {:.0}, p95 {:.0}), blocked {:.1}, {:.2} hops, {:.4} bytes/tick",
         n.mean_latency, n.median_latency, n.p95_latency, n.mean_blocked, n.mean_hops, n.throughput
     );
+    out
+}
+
+/// Renders the trace-only analysis report: the same temporal / spatial /
+/// volume sections as [`signature_report`], with no network-behaviour
+/// section (a trace pass cannot know latencies — that takes a replay).
+/// Both characterize drivers emit this identical text for the same
+/// events, which is what the streaming smoke test diffs.
+pub fn analysis_report(a: &TraceAnalysis, name: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "trace       : {name}");
+    let _ = writeln!(out, "processors  : {}", a.nodes);
+    let _ = writeln!(out);
+    temporal_section(&mut out, &a.temporal);
+    let _ = writeln!(out);
+    spatial_section(&mut out, &a.spatial);
+    volume_section(&mut out, &a.volume);
     out
 }
 

@@ -2,12 +2,15 @@
 //! synthetic traffic with known ground truth.
 
 use commchar_apps::AppClass;
-use commchar_core::report::signature_report;
+use commchar_core::analyze::{try_analyze_blocks, try_analyze_trace};
+use commchar_core::report::{analysis_report, signature_report};
 use commchar_core::{characterize, synthesize, try_characterize_jobs, Workload};
 use commchar_mesh::MeshConfig;
 use commchar_stats::spatial::SpatialModel;
 use commchar_trace::replay::CausalReplayer;
 use commchar_trace::{CommEvent, CommTrace, EventKind};
+use commchar_tracestore::writer::pack_trace_with_block_len;
+use commchar_tracestore::TraceReader;
 use commchar_traffic::patterns::{hotspot, uniform_poisson};
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -126,6 +129,42 @@ proptest! {
         let par = try_characterize_jobs(&w, jobs).unwrap();
         prop_assert_eq!(signature_report(&seq), signature_report(&par));
         prop_assert_eq!(format!("{seq:?}"), format!("{par:?}"));
+    }
+
+    /// The out-of-core promise: analyzing a packed trace block by block —
+    /// for *any* block length and any worker count on either pool — must
+    /// render the exact same report, byte for byte, as analyzing the
+    /// in-memory events in one piece, and the structured results must be
+    /// bitwise identical (Debug prints floats shortest-roundtrip).
+    #[test]
+    fn streamed_analysis_is_byte_identical_to_batch(
+        n in 3usize..8,
+        jobs in 1usize..7,
+        block_jobs in 0usize..5,
+        block_len in 1usize..48,
+        evs in vec((0u64..20_000, 0usize..64, 0usize..64, 1u32..512, 0u8..3), 8..150),
+    ) {
+        let mut trace = CommTrace::new(n);
+        for (i, &(t, s, d, bytes, kind)) in evs.iter().enumerate() {
+            let src = s % n;
+            let dst = (src + 1 + d % (n - 1)) % n;
+            let kind = match kind {
+                0 => EventKind::Control,
+                1 => EventKind::Data,
+                _ => EventKind::Sync,
+            };
+            trace.push(CommEvent::new(i as u64, t, src as u16, dst as u16, bytes, kind));
+        }
+        trace.sort();
+        let shape = MeshConfig::for_nodes(n).shape;
+
+        let batch = try_analyze_trace(&trace, shape, 1).unwrap();
+        let packed = pack_trace_with_block_len(&trace, block_len);
+        let reader = TraceReader::open(&packed).unwrap();
+        let streamed = try_analyze_blocks(&reader, shape, jobs, block_jobs).unwrap();
+
+        prop_assert_eq!(analysis_report(&batch, "t"), analysis_report(&streamed, "t"));
+        prop_assert_eq!(format!("{batch:?}"), format!("{streamed:?}"));
     }
 
     /// Synthesis round-trip: fitting the synthetic traffic of a fitted

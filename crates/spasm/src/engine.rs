@@ -113,7 +113,8 @@ impl std::error::Error for SpasmError {}
 /// The network engine closing the co-simulation loop is chosen by
 /// `cfg.engine`; see [`run_with`] to supply one directly.
 ///
-/// The value returned by `setup` (typically a tuple of [`Region`]s plus
+/// The value returned by `setup` (typically a tuple of
+/// [`Region`](crate::Region)s plus
 /// problem parameters) is cloned into every processor's closure.
 ///
 /// # Panics

@@ -85,13 +85,139 @@ pub struct Burstiness {
     pub rho1: f64,
 }
 
-/// Computes the standard burstiness summary.
-pub fn burstiness(gaps: &[f64]) -> Burstiness {
-    Burstiness {
-        cv2: cv2(gaps),
-        idi8: idi(gaps, 8).unwrap_or(f64::NAN),
-        rho1: autocorrelation(gaps, 1).unwrap_or(f64::NAN),
+/// Single-pass accumulator for the [`Burstiness`] summary: push the gap
+/// sequence in order, read the summary off O(1) state at the end.
+///
+/// This is the *only* burstiness implementation — [`burstiness`] feeds it
+/// too — so the batch and streaming characterization paths produce
+/// bit-identical figures whenever they push the same sequence. Within
+/// rounding, the figures agree with the two-pass reference functions
+/// [`cv2`], [`idi`] and [`autocorrelation`]; the accumulator trades their
+/// second pass for Welford/raw-moment updates, which reassociate the
+/// floating-point sums.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BurstAccum {
+    n: u64,
+    /// Welford state for the gap mean/variance (CV²).
+    mean: f64,
+    m2: f64,
+    /// Raw sums for the lag-1 autocovariance: Σg, Σg², Σ gᵢgᵢ₊₁, plus the
+    /// first/last/previous gaps to correct the edge terms.
+    sum: f64,
+    sum_sq: f64,
+    sum_lag: f64,
+    first: f64,
+    prev: f64,
+    /// IDI(8) state: the in-progress block sum and Welford over completed
+    /// block sums, plus the gap total of the completed prefix.
+    block: f64,
+    in_block: u32,
+    blocks: u64,
+    block_mean: f64,
+    block_m2: f64,
+    used_sum: f64,
+}
+
+/// Gaps per IDI block — the lag the summary reports IDI at.
+const IDI_LAG: u32 = 8;
+
+impl BurstAccum {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
     }
+
+    /// Number of gaps pushed so far.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether no gap has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Pushes the next gap of the sequence.
+    pub fn push(&mut self, gap: f64) {
+        if self.n == 0 {
+            self.first = gap;
+        } else {
+            self.sum_lag += self.prev * gap;
+        }
+        self.n += 1;
+        // Welford for the marginal mean/variance.
+        let delta = gap - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (gap - self.mean);
+        self.sum += gap;
+        self.sum_sq += gap * gap;
+        self.prev = gap;
+        // IDI(8): complete a block every IDI_LAG gaps.
+        self.block += gap;
+        self.in_block += 1;
+        if self.in_block == IDI_LAG {
+            self.blocks += 1;
+            let d = self.block - self.block_mean;
+            self.block_mean += d / self.blocks as f64;
+            self.block_m2 += d * (self.block - self.block_mean);
+            self.used_sum += self.block;
+            self.block = 0.0;
+            self.in_block = 0;
+        }
+    }
+
+    /// The burstiness summary of everything pushed so far. Follows the
+    /// same degenerate-input conventions as the reference functions:
+    /// CV² is 0 for < 2 gaps or a zero mean, IDI(8) and ρ₁ are NaN when
+    /// the sample is too short (or the variance is zero, for ρ₁).
+    pub fn finish(&self) -> Burstiness {
+        let n = self.n as f64;
+        let cv2 = if self.n < 2 || self.mean == 0.0 {
+            0.0
+        } else {
+            (self.m2 / (n - 1.0)) / (self.mean * self.mean)
+        };
+        let idi8 = if self.blocks < 2 {
+            f64::NAN
+        } else {
+            let used = (self.blocks * IDI_LAG as u64) as f64;
+            let total_mean = self.used_sum / used;
+            if total_mean == 0.0 {
+                0.0
+            } else {
+                let var = self.block_m2 / (self.blocks - 1) as f64;
+                var / (IDI_LAG as f64 * total_mean * total_mean)
+            }
+        };
+        let rho1 = if self.n < 3 {
+            f64::NAN
+        } else {
+            let mean = self.sum / n;
+            let var = (self.sum_sq - n * mean * mean) / n;
+            if var <= 0.0 {
+                f64::NAN
+            } else {
+                // Σ(gᵢ−m)(gᵢ₊₁−m) expanded over raw sums: the mean terms
+                // drop the first gap on one side and the last on the other.
+                let cov = (self.sum_lag - mean * (2.0 * self.sum - self.first - self.prev)
+                    + (n - 1.0) * mean * mean)
+                    / (n - 1.0);
+                cov / var
+            }
+        };
+        Burstiness { cv2, idi8, rho1 }
+    }
+}
+
+/// Computes the standard burstiness summary — a [`BurstAccum`] fed the
+/// slice in order, so a streaming consumer pushing the same sequence gets
+/// bit-identical figures.
+pub fn burstiness(gaps: &[f64]) -> Burstiness {
+    let mut acc = BurstAccum::new();
+    for &g in gaps {
+        acc.push(g);
+    }
+    acc.finish()
 }
 
 #[cfg(test)]

@@ -6,16 +6,24 @@
 //! then rank the fitted models by goodness-of-fit.
 //!
 //! All per-sample preprocessing is hoisted into a [`FitContext`] built
-//! **once** per sample set: one sort (the ECDF), one value-deduplication
-//! pass, one moments sweep, one anchor extraction. Every candidate family
-//! then borrows those views, so fitting ten families costs one sort instead
-//! of ten and the KS / R² / EM sweeps run over the distinct values (with
+//! **once** per sample set: one sort, one value-deduplication pass, one
+//! moments sweep, one anchor extraction. Every candidate family then
+//! borrows those views, so fitting ten families costs one sort instead of
+//! ten and the KS / R² / EM sweeps run over the distinct values (with
 //! multiplicities) instead of the raw samples — a large constant-factor win
 //! on tick-quantized inter-arrival gaps where duplication is heavy.
+//!
+//! The preprocessed form is a [`GroupedSample`], which **merges exactly**
+//! across data blocks: the streaming pipeline builds one grouped sample
+//! per trace block, merges them in any grouping, and
+//! [`FitContext::from_grouped`] yields the identical context (same
+//! anchors, same moments, same fits, bit for bit) that [`FitContext::new`]
+//! computes over the whole sample in memory.
 
 use crate::gof::{ks_statistic_grouped, r_squared_cdf_grouped};
+use crate::merge::GroupedSample;
 use crate::secant::{minimize, SecantOptions};
-use crate::{Dist, Ecdf, Family, Histogram};
+use crate::{Dist, Family};
 
 /// One fitted model with its goodness-of-fit scores.
 #[derive(Clone, Debug)]
@@ -210,16 +218,25 @@ fn hyperexp_em_grouped(xs: &[f64], counts: &[u64], total: u64, init: Dist, iters
 
 /// Shared, immutable preprocessing for fitting one sample set.
 ///
-/// Construction does all the per-sample work exactly once — sort (via
-/// [`Ecdf`]), deduplication into `(value, count)` runs, moment sweep,
-/// CDF anchor extraction — and every candidate family then borrows these
-/// views. Build one context and call [`FitContext::fit_best`] /
+/// Construction does all the per-sample work exactly once — sort,
+/// deduplication into `(value, count)` runs, moment sweep, CDF anchor
+/// extraction — and every candidate family then borrows these views.
+/// Build one context and call [`FitContext::fit_best`] /
 /// [`FitContext::fit_all`] instead of the free functions whenever the
 /// sample set is used more than once.
+///
+/// The context is **mergeable at the sample layer**: build one
+/// [`GroupedSample`] per data block, [`merge`](GroupedSample::merge) them
+/// (exact, order-insensitive), and construct the context with
+/// [`FitContext::from_grouped`]. The result is byte-identical to a
+/// context built from the concatenated raw samples — the streaming
+/// characterization pipeline rests on this.
 pub struct FitContext {
-    ecdf: Ecdf,
     unique: Vec<f64>,
     counts: Vec<u64>,
+    /// Inclusive cumulative counts per run — the grouped ECDF, enough to
+    /// reproduce nearest-rank quantiles and `F(x)` evaluations exactly.
+    cum: Vec<u64>,
     total: u64,
     moments: Moments,
     /// (x, F_emp(x)) anchor points for the least-squares refinement.
@@ -231,63 +248,80 @@ impl FitContext {
     ///
     /// # Panics
     ///
-    /// Panics if `samples` is empty.
+    /// Panics if `samples` is empty or contains NaN.
     pub fn new(samples: &[f64]) -> Self {
         assert!(!samples.is_empty(), "cannot fit an empty sample");
-        let ecdf = Ecdf::new(samples.to_vec());
-        let sorted = ecdf.sorted();
-        let mut unique: Vec<f64> = Vec::new();
-        let mut counts: Vec<u64> = Vec::new();
-        for &x in sorted {
-            // NaN never equals the previous value, so NaNs degrade to
-            // singleton runs instead of corrupting counts.
-            match unique.last() {
-                Some(&last) if last == x => *counts.last_mut().expect("paired") += 1,
-                _ => {
-                    unique.push(x);
-                    counts.push(1);
-                }
-            }
+        Self::from_grouped(&GroupedSample::from_samples(samples))
+    }
+
+    /// Builds the context from an already-grouped sample — the entry
+    /// point of the streaming pipeline, where per-block grouped samples
+    /// were merged instead of ever materializing the raw stream.
+    ///
+    /// For any grouping of the same multiset this produces exactly the
+    /// context [`FitContext::new`] builds from the raw samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample` is empty.
+    pub fn from_grouped(sample: &GroupedSample) -> Self {
+        assert!(!sample.is_empty(), "cannot fit an empty sample");
+        let unique = sample.values().to_vec();
+        let counts = sample.counts().to_vec();
+        let total = sample.total();
+        let mut cum = Vec::with_capacity(counts.len());
+        let mut running = 0u64;
+        for &c in &counts {
+            running += c;
+            cum.push(running);
         }
-        let total = sorted.len() as u64;
         let moments = moments_grouped(&unique, &counts, total);
-        let n = ecdf.len();
-        let m = ANCHORS.min(n);
-        let anchors = (0..m)
+        let mut ctx = FitContext { unique, counts, cum, total, moments, anchors: Vec::new() };
+        let m = ANCHORS.min(total as usize);
+        ctx.anchors = (0..m)
             .map(|i| {
                 let q = (i as f64 + 0.5) / m as f64;
-                let x = ecdf.quantile(q);
-                (x, ecdf.eval(x))
+                let x = ctx.quantile(q);
+                (x, ctx.eval(x))
             })
             .collect();
-        FitContext { ecdf, unique, counts, total, moments, anchors }
+        ctx
+    }
+
+    /// Nearest-rank sample quantile over the grouped runs — value-for-
+    /// value what [`Ecdf::quantile`](crate::Ecdf::quantile) returns on the
+    /// raw sorted sample.
+    fn quantile(&self, q: f64) -> f64 {
+        let n = self.total;
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let j = self.cum.partition_point(|&c| c < rank);
+        self.unique[j]
+    }
+
+    /// Fraction of samples ≤ `x` — bit-identical to
+    /// [`Ecdf::eval`](crate::Ecdf::eval) on the raw sorted sample (the
+    /// same integer count divided by the same integer total).
+    fn eval(&self, x: f64) -> f64 {
+        let j = self.unique.partition_point(|&v| v <= x);
+        let le = if j == 0 { 0 } else { self.cum[j - 1] };
+        le as f64 / self.total as f64
     }
 
     /// Number of samples behind this context.
     pub fn len(&self) -> usize {
-        self.ecdf.len()
+        self.total as usize
     }
 
     /// True when the context holds no samples (never: construction panics
     /// on empty input; provided to satisfy the `len`/`is_empty` pair).
     pub fn is_empty(&self) -> bool {
-        self.ecdf.len() == 0
+        self.total == 0
     }
 
     /// Number of distinct sample values — the effective sweep length for
     /// the grouped KS / R² / EM passes.
     pub fn unique_len(&self) -> usize {
         self.unique.len()
-    }
-
-    /// The sample ECDF (sorted values), borrowed.
-    pub fn ecdf(&self) -> &Ecdf {
-        &self.ecdf
-    }
-
-    /// A histogram over the samples, built on demand from the sorted view.
-    pub fn histogram(&self, bins: usize) -> Histogram {
-        Histogram::from_samples(self.ecdf.sorted(), bins)
     }
 
     /// KS statistic of an atom at `v` against the sample: the generic
@@ -591,6 +625,36 @@ mod tests {
             assert_eq!(best.ks, front.ks, "ks mismatch for {}", best.dist);
             assert_eq!(best.r2, front.r2, "r2 mismatch for {}", best.dist);
             assert_eq!(best.sse, front.sse, "sse mismatch for {}", best.dist);
+        }
+    }
+
+    #[test]
+    fn from_grouped_merge_matches_batch_construction_exactly() {
+        // Split a sample into uneven blocks, group each, merge in a
+        // skewed order — the resulting fits must be bit-identical to the
+        // whole-sample context. This is the contract the out-of-core
+        // characterize pipeline rests on.
+        let s: Vec<f64> =
+            samples_of(Dist::exponential(0.2), 3000, 31).iter().map(|x| x.round()).collect();
+        let whole = FitContext::new(&s);
+        for &blocks in &[2usize, 7, 64] {
+            let chunk = s.len().div_ceil(blocks);
+            let groups: Vec<GroupedSample> =
+                s.chunks(chunk).map(GroupedSample::from_samples).collect();
+            // Fold right-to-left to exercise order-insensitivity.
+            let mut merged = GroupedSample::new();
+            for g in groups.iter().rev() {
+                merged.merge(g);
+            }
+            let ctx = FitContext::from_grouped(&merged);
+            assert_eq!(ctx.unique, whole.unique);
+            assert_eq!(ctx.counts, whole.counts);
+            assert_eq!(ctx.anchors, whole.anchors, "{blocks} blocks: anchors diverged");
+            let (a, b) = (ctx.fit_best().unwrap(), whole.fit_best().unwrap());
+            assert_eq!(a.dist, b.dist);
+            assert_eq!(a.ks, b.ks);
+            assert_eq!(a.r2, b.r2);
+            assert_eq!(a.sse, b.sse);
         }
     }
 

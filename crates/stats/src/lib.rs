@@ -19,6 +19,11 @@
 //!   iterative curve-fitting procedure the paper ran in SAS — and ranked
 //!   model selection ([`fit::fit_best`]). Repeated fits over one sample
 //!   share a [`fit::FitContext`] (one sort, one dedup, one moments pass).
+//! - [`merge`] — mergeable grouped samples ([`merge::GroupedSample`]):
+//!   sorted `(value, count)` runs whose multiset union is exact, so
+//!   per-block partial samples built in parallel fold into the same
+//!   `FitContext` the batch path builds — the substrate of out-of-core
+//!   characterization.
 //! - Goodness-of-fit ([`gof`]): Kolmogorov–Smirnov statistic, chi-square,
 //!   and R² against the empirical CDF (the paper reports regression R²).
 //! - [`spatial`] — spatial traffic models (uniform, bimodal-uniform /
@@ -54,6 +59,7 @@ pub mod burstiness;
 pub mod fit;
 pub mod gof;
 pub mod linreg;
+pub mod merge;
 pub mod secant;
 pub mod spatial;
 

@@ -1,0 +1,318 @@
+//! Mergeable grouped samples — the sample representation that makes
+//! out-of-core fitting possible.
+//!
+//! A [`GroupedSample`] stores a sample multiset as sorted `(value, count)`
+//! runs. Two grouped samples over disjoint sub-streams merge into exactly
+//! the grouped sample of the union: the runs are merged like sorted lists
+//! and equal values add their counts. Counts are integers, values are
+//! compared exactly, and no float arithmetic touches the data — so the
+//! merge is **exact**, commutative and associative, and a
+//! [`FitContext`](crate::fit::FitContext) built from the merged runs is
+//! byte-identical to one built from the concatenated raw samples.
+//!
+//! ## The exactness boundary
+//!
+//! Exactness costs memory proportional to the number of *distinct* values.
+//! Communication traces are tick-quantized, so the distinct-gap count
+//! saturates at a few thousand runs regardless of trace length and the
+//! exact representation *is* the constant-memory representation. For
+//! adversarial streams where every value is distinct, an optional run
+//! budget ([`GroupedSample::with_budget`]) bounds memory by folding
+//! adjacent runs into count-weighted means. That is the single sketched
+//! estimator in the pipeline: once a fold has happened,
+//! [`is_exact`](GroupedSample::is_exact) turns false and any rank/quantile
+//! read off the runs can be off by at most
+//! [`rank_error_bound`](GroupedSample::rank_error_bound) — the largest
+//! folded run's share of the sample. Everything else (counts, byte
+//! totals, means of integer ticks) stays exact under merge.
+
+/// A sample multiset stored as sorted, deduplicated `(value, count)` runs.
+///
+/// The streaming characterization pipeline builds one `GroupedSample` per
+/// trace block (in parallel) and folds them together with
+/// [`merge`](GroupedSample::merge); the result feeds
+/// [`FitContext::from_grouped`](crate::fit::FitContext::from_grouped).
+///
+/// Values must not be NaN (construction asserts, as [`Ecdf`](crate::Ecdf)
+/// does).
+#[derive(Clone, Debug)]
+pub struct GroupedSample {
+    values: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+    /// Maximum number of runs kept; `None` = unbounded (exact).
+    budget: Option<usize>,
+    /// Largest run ever produced by a compaction fold (0 = still exact).
+    max_folded: u64,
+}
+
+impl Default for GroupedSample {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PartialEq for GroupedSample {
+    /// Equality of the represented multiset (runs and total); the memory
+    /// budget is a policy, not part of the value.
+    fn eq(&self, other: &Self) -> bool {
+        self.total == other.total && self.values == other.values && self.counts == other.counts
+    }
+}
+
+impl GroupedSample {
+    /// An empty, exact (unbudgeted) sample.
+    pub fn new() -> Self {
+        GroupedSample {
+            values: Vec::new(),
+            counts: Vec::new(),
+            total: 0,
+            budget: None,
+            max_folded: 0,
+        }
+    }
+
+    /// An empty sample that keeps at most `budget` runs, folding adjacent
+    /// runs into count-weighted means when it would exceed that — the
+    /// bounded-memory sketch for streams whose distinct-value count grows
+    /// without limit. See the module docs for the error bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget < 2`.
+    pub fn with_budget(budget: usize) -> Self {
+        assert!(budget >= 2, "a run budget below 2 cannot hold a fold");
+        GroupedSample { budget: Some(budget), ..Self::new() }
+    }
+
+    /// Groups a raw sample: one sort, one deduplication pass — exactly the
+    /// preprocessing [`FitContext::new`](crate::fit::FitContext::new) used
+    /// to do inline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is NaN.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(samples.iter().all(|x| !x.is_nan()), "grouped sample contains NaN");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut out = Self::new();
+        for &x in &sorted {
+            match out.values.last() {
+                Some(&last) if last == x => *out.counts.last_mut().expect("paired") += 1,
+                _ => {
+                    out.values.push(x);
+                    out.counts.push(1);
+                }
+            }
+        }
+        out.total = sorted.len() as u64;
+        out
+    }
+
+    /// Adds `count` observations of `value` (a boundary gap between two
+    /// merged blocks, typically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn insert(&mut self, value: f64, count: u64) {
+        assert!(!value.is_nan(), "grouped sample contains NaN");
+        if count == 0 {
+            return;
+        }
+        let i = self.values.partition_point(|&v| v < value);
+        if self.values.get(i) == Some(&value) {
+            self.counts[i] += count;
+        } else {
+            self.values.insert(i, value);
+            self.counts.insert(i, count);
+        }
+        self.total += count;
+        self.compact();
+    }
+
+    /// Merges another grouped sample into this one: a sorted-run union
+    /// with counts added on equal values. Exact (and therefore commutative
+    /// and associative, insensitive to block order and grouping) as long
+    /// as no run budget forces a fold.
+    pub fn merge(&mut self, other: &GroupedSample) {
+        if other.total == 0 {
+            return;
+        }
+        if self.total == 0 {
+            self.values = other.values.clone();
+            self.counts = other.counts.clone();
+            self.total = other.total;
+            self.max_folded = self.max_folded.max(other.max_folded);
+            self.compact();
+            return;
+        }
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        let mut counts = Vec::with_capacity(values.capacity());
+        let (mut i, mut j) = (0, 0);
+        while i < self.values.len() && j < other.values.len() {
+            let (a, b) = (self.values[i], other.values[j]);
+            if a < b {
+                values.push(a);
+                counts.push(self.counts[i]);
+                i += 1;
+            } else if b < a {
+                values.push(b);
+                counts.push(other.counts[j]);
+                j += 1;
+            } else {
+                values.push(a);
+                counts.push(self.counts[i] + other.counts[j]);
+                i += 1;
+                j += 1;
+            }
+        }
+        values.extend_from_slice(&self.values[i..]);
+        counts.extend_from_slice(&self.counts[i..]);
+        values.extend_from_slice(&other.values[j..]);
+        counts.extend_from_slice(&other.counts[j..]);
+        self.values = values;
+        self.counts = counts;
+        self.total += other.total;
+        self.max_folded = self.max_folded.max(other.max_folded);
+        self.compact();
+    }
+
+    /// Folds adjacent runs into count-weighted means until the run count
+    /// fits the budget. Weighted means preserve the sort order, so the
+    /// result is still a valid grouped sample — just no longer exact.
+    fn compact(&mut self) {
+        let Some(budget) = self.budget else { return };
+        while self.values.len() > budget {
+            let mut values = Vec::with_capacity(self.values.len().div_ceil(2));
+            let mut counts = Vec::with_capacity(values.capacity());
+            let mut k = 0;
+            while k + 1 < self.values.len() {
+                let (c1, c2) = (self.counts[k], self.counts[k + 1]);
+                let c = c1 + c2;
+                let v = (self.values[k] * c1 as f64 + self.values[k + 1] * c2 as f64) / c as f64;
+                values.push(v);
+                counts.push(c);
+                self.max_folded = self.max_folded.max(c);
+                k += 2;
+            }
+            if k < self.values.len() {
+                values.push(self.values[k]);
+                counts.push(self.counts[k]);
+            }
+            self.values = values;
+            self.counts = counts;
+        }
+    }
+
+    /// The distinct values, sorted ascending.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The per-value multiplicities, parallel to
+    /// [`values`](GroupedSample::values).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations represented.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of runs (distinct values after any folding).
+    pub fn distinct_len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the sample holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// True while no compaction fold has happened — every represented
+    /// value is an actual observation and merges are exact.
+    pub fn is_exact(&self) -> bool {
+        self.max_folded == 0
+    }
+
+    /// Worst-case rank error of a quantile read off the runs, as a
+    /// fraction of the sample: 0 when exact, otherwise the largest folded
+    /// run's share (a query landing inside a folded run sees the run's
+    /// weighted mean instead of the true order statistic).
+    pub fn rank_error_bound(&self) -> f64 {
+        if self.max_folded == 0 || self.total == 0 {
+            0.0
+        } else {
+            self.max_folded as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_samples_groups_and_sorts() {
+        let g = GroupedSample::from_samples(&[3.0, 1.0, 3.0, 2.0, 3.0]);
+        assert_eq!(g.values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(g.counts(), &[1, 1, 3]);
+        assert_eq!(g.total(), 5);
+        assert!(g.is_exact());
+        assert_eq!(g.rank_error_bound(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_a_multiset_union() {
+        let mut a = GroupedSample::from_samples(&[1.0, 2.0, 2.0]);
+        let b = GroupedSample::from_samples(&[2.0, 3.0]);
+        a.merge(&b);
+        assert_eq!(a, GroupedSample::from_samples(&[1.0, 2.0, 2.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let x = GroupedSample::from_samples(&[4.0, 5.0]);
+        let mut left = GroupedSample::new();
+        left.merge(&x);
+        assert_eq!(left, x);
+        let mut right = x.clone();
+        right.merge(&GroupedSample::new());
+        assert_eq!(right, x);
+    }
+
+    #[test]
+    fn insert_is_a_single_value_merge() {
+        let mut g = GroupedSample::from_samples(&[1.0, 3.0]);
+        g.insert(2.0, 2);
+        g.insert(3.0, 1);
+        g.insert(9.0, 0); // no-op
+        assert_eq!(g, GroupedSample::from_samples(&[1.0, 2.0, 2.0, 3.0, 3.0]));
+    }
+
+    #[test]
+    fn budget_folds_and_reports_the_error_bound() {
+        let mut g = GroupedSample::with_budget(4);
+        for i in 0..64 {
+            g.insert(i as f64, 1);
+        }
+        assert!(g.distinct_len() <= 4);
+        assert_eq!(g.total(), 64);
+        assert!(!g.is_exact());
+        let bound = g.rank_error_bound();
+        assert!(bound > 0.0 && bound <= 1.0, "bound {bound}");
+        // Counts survive folding exactly.
+        assert_eq!(g.counts().iter().sum::<u64>(), 64);
+        // Folded values stay sorted.
+        assert!(g.values().windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        let _ = GroupedSample::from_samples(&[1.0, f64::NAN]);
+    }
+}

@@ -1,8 +1,9 @@
 //! Property-based tests for the statistics toolkit.
 
-use commchar_stats::fit::{fit_best, fit_family};
+use commchar_stats::fit::{fit_best, fit_family, FitContext};
 use commchar_stats::gof::{ks_statistic, r_squared_cdf};
 use commchar_stats::linreg::fit_line;
+use commchar_stats::merge::GroupedSample;
 use commchar_stats::spatial::{classify, normalize, sample_destination, SpatialModel};
 use commchar_stats::{Dist, Ecdf, Family, Histogram};
 use proptest::prelude::*;
@@ -172,5 +173,89 @@ proptest! {
         prop_assert!((fit.slope - a).abs() < 1e-7);
         prop_assert!((fit.intercept - b).abs() < 1e-6);
         prop_assert!(fit.r2 > 1.0 - 1e-9 || a == 0.0);
+    }
+
+    /// Grouped-sample merge is an exact multiset union: any chunking of a
+    /// sample and any merge order (left fold, right fold, pairwise tree)
+    /// reproduce the grouped whole exactly. Tick-quantized values force
+    /// cross-chunk duplicate runs, the case where counts must add.
+    #[test]
+    fn grouped_merge_is_order_and_grouping_insensitive(
+        ticks in prop::collection::vec(0u32..40, 1..200),
+        cut in prop::collection::vec(1usize..20, 1..8),
+    ) {
+        let samples: Vec<f64> = ticks.iter().map(|&t| t as f64).collect();
+        let whole = GroupedSample::from_samples(&samples);
+        // Split into chunks with proptest-chosen irregular sizes.
+        let mut chunks: Vec<GroupedSample> = Vec::new();
+        let mut rest: &[f64] = &samples;
+        for &c in &cut {
+            if rest.is_empty() { break; }
+            let c = c.min(rest.len());
+            chunks.push(GroupedSample::from_samples(&rest[..c]));
+            rest = &rest[c..];
+        }
+        if !rest.is_empty() {
+            chunks.push(GroupedSample::from_samples(rest));
+        }
+        // Left fold.
+        let mut left = GroupedSample::new();
+        for c in &chunks {
+            left.merge(c);
+        }
+        prop_assert_eq!(&left, &whole);
+        // Right fold (reverse order — commutativity up to grouping).
+        let mut right = GroupedSample::new();
+        for c in chunks.iter().rev() {
+            right.merge(c);
+        }
+        prop_assert_eq!(&right, &whole);
+        // Pairwise tree (associativity).
+        let mut level = chunks;
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            for pair in level.chunks(2) {
+                let mut m = pair[0].clone();
+                if let Some(b) = pair.get(1) {
+                    m.merge(b);
+                }
+                next.push(m);
+            }
+            level = next;
+        }
+        prop_assert_eq!(&level[0], &whole);
+    }
+
+    /// Streamed-equals-batch at the fit layer: a `FitContext` built from
+    /// merged per-block grouped samples produces *exactly* the same ranked
+    /// fits as one built from the whole sample, for any block size and any
+    /// of the nine families.
+    #[test]
+    fn streamed_fit_context_equals_batch(
+        d in arb_dist(),
+        seed in 0u64..200,
+        block in 1usize..97,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Tick-quantize like a trace: nonnegative integer gaps.
+        let samples: Vec<f64> =
+            (0..600).map(|_| d.sample(&mut rng).abs().round().min(1e6)).collect();
+        let batch = FitContext::new(&samples);
+        let mut merged = GroupedSample::new();
+        for chunk in samples.chunks(block) {
+            merged.merge(&GroupedSample::from_samples(chunk));
+        }
+        prop_assert!(merged.is_exact());
+        let streamed = FitContext::from_grouped(&merged);
+        prop_assert_eq!(streamed.len(), batch.len());
+        prop_assert_eq!(streamed.unique_len(), batch.unique_len());
+        let (sf, bf) = (streamed.fit_all(), batch.fit_all());
+        prop_assert_eq!(sf.len(), bf.len());
+        for (s, b) in sf.iter().zip(&bf) {
+            prop_assert_eq!(&s.dist, &b.dist);
+            prop_assert!(s.ks == b.ks || (s.ks.is_nan() && b.ks.is_nan()));
+            prop_assert!(s.r2 == b.r2 || (s.r2.is_nan() && b.r2.is_nan()));
+            prop_assert!(s.sse == b.sse || (s.sse.is_nan() && b.sse.is_nan()));
+        }
     }
 }

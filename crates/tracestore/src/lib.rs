@@ -56,7 +56,10 @@ pub mod writer;
 
 use commchar_trace::CommTrace;
 
-pub use reader::{profile_packed, unpack_netlog, unpack_trace, unpack_trace_parallel, TraceReader};
+pub use reader::{
+    profile_packed, unpack_netlog, unpack_trace, unpack_trace_parallel, BlockSource, FileReader,
+    TraceReader,
+};
 pub use writer::{pack_netlog, pack_trace, NetLogWriter, TraceWriter, DEFAULT_BLOCK_LEN};
 
 /// Leading file magic (the trailing byte doubles as the format version).

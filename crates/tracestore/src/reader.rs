@@ -1,5 +1,7 @@
-//! Seekable block reader: footer index, checksum verification, and
-//! sequential / streaming / parallel decode.
+//! Seekable block readers: footer index, checksum verification, and
+//! sequential / streaming / parallel decode — over in-memory bytes
+//! ([`TraceReader`]) or directly against a file ([`FileReader`]), unified
+//! by the [`BlockSource`] trait for out-of-core consumers.
 
 use commchar_mesh::{MsgRecord, NetLog};
 use commchar_trace::profile::{ProfileAccum, TraceProfile};
@@ -17,6 +19,158 @@ struct BlockMeta {
     payload_len: usize,
     /// Records in the block.
     count: usize,
+}
+
+/// Parses the leading magic + header from the file's first bytes (the
+/// whole file, or any prefix of at least [`HEADER_PREFIX`] bytes).
+/// Returns `(kind, nodes, header_end)`.
+fn parse_header(head: &[u8]) -> Result<(StreamKind, usize, usize), TraceStoreError> {
+    if head.len() < MAGIC.len() {
+        return Err(TraceStoreError::BadMagic { found: head.to_vec() });
+    }
+    if head[..MAGIC.len()] != MAGIC {
+        return Err(TraceStoreError::BadMagic { found: head[..MAGIC.len()].to_vec() });
+    }
+    let mut header = Cursor::new(&head[MAGIC.len()..]);
+    let kind = StreamKind::from_code(header.byte("stream kind")?)?;
+    let nodes = header.varint("node count")? as usize;
+    let header_end = MAGIC.len() + header.pos();
+    if kind == StreamKind::Events && nodes == 0 {
+        return Err(TraceStoreError::Corrupt("header declares zero nodes".into()));
+    }
+    Ok((kind, nodes, header_end))
+}
+
+/// Longest possible header: magic + kind byte + 10-byte varint.
+const HEADER_PREFIX: usize = MAGIC.len() + 1 + 10;
+
+/// Validates the footer trailer (`trailer` = the last
+/// `min(file_len, 12)` bytes: `[u32le len][footer magic]`) and returns
+/// the footer payload's byte range `footer_start..len_at`.
+fn locate_footer(
+    file_len: usize,
+    header_end: usize,
+    trailer: &[u8],
+) -> Result<(usize, usize), TraceStoreError> {
+    let tail = FOOTER_MAGIC.len() + 4;
+    if file_len < header_end + tail {
+        return Err(TraceStoreError::Truncated {
+            context: "footer trailer",
+            needed: header_end + tail,
+            have: file_len,
+        });
+    }
+    let magic = &trailer[trailer.len() - FOOTER_MAGIC.len()..];
+    if magic != FOOTER_MAGIC {
+        return Err(TraceStoreError::BadMagic { found: magic.to_vec() });
+    }
+    let len_bytes = &trailer[trailer.len() - tail..trailer.len() - FOOTER_MAGIC.len()];
+    let footer_len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+    let len_at = file_len - tail;
+    let footer_start = len_at.checked_sub(footer_len).ok_or(TraceStoreError::Truncated {
+        context: "footer payload",
+        needed: footer_len + tail,
+        have: file_len,
+    })?;
+    if footer_start < header_end {
+        return Err(TraceStoreError::Corrupt(format!(
+            "footer length {footer_len} overlaps the header"
+        )));
+    }
+    Ok((footer_start, len_at))
+}
+
+/// What the footer decodes to: the block index, total record count, and
+/// any netlog utilization trailer (`(channel, fraction)` pairs).
+type ParsedFooter = (Vec<BlockMeta>, u64, Vec<(u32, f64)>);
+
+/// Parses the footer payload (`bytes[footer_start..len_at]`) into the
+/// block index, total record count, and any netlog utilization trailer.
+fn parse_footer(
+    kind: StreamKind,
+    footer_bytes: &[u8],
+    header_end: usize,
+    footer_start: usize,
+) -> Result<ParsedFooter, TraceStoreError> {
+    let mut footer = Cursor::new(footer_bytes);
+    let block_count = footer.varint("footer block count")? as usize;
+    if block_count > footer_start {
+        // Each block needs ≥8 bytes of file, so this count is a lie.
+        return Err(TraceStoreError::Corrupt(format!(
+            "footer claims {block_count} blocks in a {footer_start}-byte file"
+        )));
+    }
+    let mut blocks = Vec::with_capacity(block_count);
+    let mut offset = header_end;
+    let mut records = 0u64;
+    for i in 0..block_count {
+        let payload_len = footer.varint("footer block length")? as usize;
+        let count = footer.varint("footer block record count")? as usize;
+        let end = offset.checked_add(8 + payload_len).filter(|&e| e <= footer_start).ok_or_else(
+            || TraceStoreError::Corrupt(format!("block {i} extends past the footer")),
+        )?;
+        blocks.push(BlockMeta { offset, payload_len, count });
+        records += count as u64;
+        offset = end;
+    }
+    if offset != footer_start {
+        return Err(TraceStoreError::Corrupt(format!(
+            "{} unindexed bytes between the last block and the footer",
+            footer_start - offset
+        )));
+    }
+
+    // NetLog streams carry a utilization trailer after the index.
+    let utilization = if kind == StreamKind::NetLog {
+        let n = footer.varint("utilization count")? as usize;
+        if n > footer.remaining() {
+            return Err(TraceStoreError::Corrupt(format!(
+                "utilization trailer claims {n} entries in {} bytes",
+                footer.remaining()
+            )));
+        }
+        let mut util = Vec::with_capacity(n);
+        for _ in 0..n {
+            let chan = footer.varint("utilization channel")?;
+            if chan > u32::MAX as u64 {
+                return Err(TraceStoreError::Corrupt(format!("channel id {chan} exceeds u32")));
+            }
+            let bits = footer.bytes(8, "utilization fraction")?;
+            util.push((
+                chan as u32,
+                f64::from_bits(u64::from_le_bytes(bits.try_into().expect("8 bytes"))),
+            ));
+        }
+        util
+    } else {
+        Vec::new()
+    };
+    if footer.remaining() != 0 {
+        return Err(TraceStoreError::Corrupt(format!(
+            "{} trailing bytes in the footer",
+            footer.remaining()
+        )));
+    }
+    Ok((blocks, records, utilization))
+}
+
+/// Verifies one block frame (`[u32le len][u32le fnv][payload]`) against
+/// the footer index and its checksum, returning the payload slice.
+fn verify_block(frame: &[u8], block: usize, payload_len: usize) -> Result<&[u8], TraceStoreError> {
+    let stored_len = u32::from_le_bytes(frame[..4].try_into().expect("4 bytes")) as usize;
+    if stored_len != payload_len {
+        return Err(TraceStoreError::Corrupt(format!(
+            "block {block} header length {stored_len} disagrees with the footer index \
+             ({payload_len} bytes)"
+        )));
+    }
+    let stored = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
+    let payload = &frame[8..8 + payload_len];
+    let computed = fnv1a(payload);
+    if stored != computed {
+        return Err(TraceStoreError::ChecksumMismatch { block, stored, computed });
+    }
+    Ok(payload)
 }
 
 /// A packed trace file opened for reading.
@@ -44,108 +198,11 @@ impl<'a> TraceReader<'a> {
     /// footer that does not tile the block region — yields a typed
     /// [`TraceStoreError`].
     pub fn open(bytes: &'a [u8]) -> Result<Self, TraceStoreError> {
-        if bytes.len() < MAGIC.len() {
-            return Err(TraceStoreError::BadMagic { found: bytes.to_vec() });
-        }
-        if bytes[..MAGIC.len()] != MAGIC {
-            return Err(TraceStoreError::BadMagic { found: bytes[..MAGIC.len()].to_vec() });
-        }
-        let mut header = Cursor::new(&bytes[MAGIC.len()..]);
-        let kind = StreamKind::from_code(header.byte("stream kind")?)?;
-        let nodes = header.varint("node count")? as usize;
-        let header_end = MAGIC.len() + header.pos();
-        if kind == StreamKind::Events && nodes == 0 {
-            return Err(TraceStoreError::Corrupt("header declares zero nodes".into()));
-        }
-
-        // Trailer: ... [footer payload][u32le footer len][footer magic].
-        let tail = FOOTER_MAGIC.len() + 4;
-        if bytes.len() < header_end + tail {
-            return Err(TraceStoreError::Truncated {
-                context: "footer trailer",
-                needed: header_end + tail,
-                have: bytes.len(),
-            });
-        }
-        let magic_at = bytes.len() - FOOTER_MAGIC.len();
-        if bytes[magic_at..] != FOOTER_MAGIC {
-            return Err(TraceStoreError::BadMagic { found: bytes[magic_at..].to_vec() });
-        }
-        let len_at = magic_at - 4;
-        let footer_len =
-            u32::from_le_bytes(bytes[len_at..magic_at].try_into().expect("4 bytes")) as usize;
-        let footer_start = len_at.checked_sub(footer_len).ok_or(TraceStoreError::Truncated {
-            context: "footer payload",
-            needed: footer_len + tail,
-            have: bytes.len(),
-        })?;
-        if footer_start < header_end {
-            return Err(TraceStoreError::Corrupt(format!(
-                "footer length {footer_len} overlaps the header"
-            )));
-        }
-
-        let mut footer = Cursor::new(&bytes[footer_start..len_at]);
-        let block_count = footer.varint("footer block count")? as usize;
-        if block_count > footer_start {
-            // Each block needs ≥8 bytes of file, so this count is a lie.
-            return Err(TraceStoreError::Corrupt(format!(
-                "footer claims {block_count} blocks in a {footer_start}-byte file"
-            )));
-        }
-        let mut blocks = Vec::with_capacity(block_count);
-        let mut offset = header_end;
-        let mut records = 0u64;
-        for i in 0..block_count {
-            let payload_len = footer.varint("footer block length")? as usize;
-            let count = footer.varint("footer block record count")? as usize;
-            let end =
-                offset.checked_add(8 + payload_len).filter(|&e| e <= footer_start).ok_or_else(
-                    || TraceStoreError::Corrupt(format!("block {i} extends past the footer")),
-                )?;
-            blocks.push(BlockMeta { offset, payload_len, count });
-            records += count as u64;
-            offset = end;
-        }
-        if offset != footer_start {
-            return Err(TraceStoreError::Corrupt(format!(
-                "{} unindexed bytes between the last block and the footer",
-                footer_start - offset
-            )));
-        }
-
-        // NetLog streams carry a utilization trailer after the index.
-        let utilization = if kind == StreamKind::NetLog {
-            let n = footer.varint("utilization count")? as usize;
-            if n > footer.remaining() {
-                return Err(TraceStoreError::Corrupt(format!(
-                    "utilization trailer claims {n} entries in {} bytes",
-                    footer.remaining()
-                )));
-            }
-            let mut util = Vec::with_capacity(n);
-            for _ in 0..n {
-                let chan = footer.varint("utilization channel")?;
-                if chan > u32::MAX as u64 {
-                    return Err(TraceStoreError::Corrupt(format!("channel id {chan} exceeds u32")));
-                }
-                let bits = footer.bytes(8, "utilization fraction")?;
-                util.push((
-                    chan as u32,
-                    f64::from_bits(u64::from_le_bytes(bits.try_into().expect("8 bytes"))),
-                ));
-            }
-            util
-        } else {
-            Vec::new()
-        };
-        if footer.remaining() != 0 {
-            return Err(TraceStoreError::Corrupt(format!(
-                "{} trailing bytes in the footer",
-                footer.remaining()
-            )));
-        }
-
+        let (kind, nodes, header_end) = parse_header(bytes)?;
+        let trailer_at = bytes.len().saturating_sub(FOOTER_MAGIC.len() + 4);
+        let (footer_start, len_at) = locate_footer(bytes.len(), header_end, &bytes[trailer_at..])?;
+        let (blocks, records, utilization) =
+            parse_footer(kind, &bytes[footer_start..len_at], header_end, footer_start)?;
         Ok(TraceReader { bytes, kind, nodes, blocks, records, utilization })
     }
 
@@ -179,25 +236,32 @@ impl<'a> TraceReader<'a> {
         &self.utilization
     }
 
+    /// Records in one block, from the index alone (no decode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= self.block_count()`.
+    pub fn block_records(&self, block: usize) -> usize {
+        self.blocks[block].count
+    }
+
+    /// One block's encoded payload size in bytes, from the index alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= self.block_count()`.
+    pub fn block_payload_len(&self, block: usize) -> usize {
+        self.blocks[block].payload_len
+    }
+
     /// Verifies one block's checksum and returns its payload.
     fn payload(&self, block: usize) -> Result<&'a [u8], TraceStoreError> {
         let meta = self.blocks[block];
-        let head = &self.bytes[meta.offset..meta.offset + 8];
-        let stored_len = u32::from_le_bytes(head[..4].try_into().expect("4 bytes")) as usize;
-        if stored_len != meta.payload_len {
-            return Err(TraceStoreError::Corrupt(format!(
-                "block {block} header length {stored_len} disagrees with the footer index \
-                 ({} bytes)",
-                meta.payload_len
-            )));
-        }
-        let stored = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
-        let payload = &self.bytes[meta.offset + 8..meta.offset + 8 + meta.payload_len];
-        let computed = fnv1a(payload);
-        if stored != computed {
-            return Err(TraceStoreError::ChecksumMismatch { block, stored, computed });
-        }
-        Ok(payload)
+        verify_block(
+            &self.bytes[meta.offset..meta.offset + 8 + meta.payload_len],
+            block,
+            meta.payload_len,
+        )
     }
 
     fn expect_kind(&self, kind: StreamKind) -> Result<(), TraceStoreError> {
@@ -329,6 +393,229 @@ impl<'a> TraceReader<'a> {
         }
         log.set_utilization(self.utilization.clone());
         Ok(log)
+    }
+}
+
+/// A packed trace file opened for **out-of-core** reading: only the
+/// header and footer index are held in memory, and each block is read
+/// from disk (and decoded) on demand.
+///
+/// This is what lets `characterize --stream` process a multi-GB packed
+/// trace in constant memory — a [`TraceReader`] needs the whole file as
+/// one in-memory slice. Reads are positioned (`pread`-style on Unix), so
+/// concurrent block decodes from a worker pool need no shared cursor.
+#[derive(Debug)]
+pub struct FileReader {
+    #[cfg(unix)]
+    file: std::fs::File,
+    #[cfg(not(unix))]
+    file: std::sync::Mutex<std::fs::File>,
+    kind: StreamKind,
+    nodes: usize,
+    blocks: Vec<BlockMeta>,
+    records: u64,
+}
+
+impl FileReader {
+    /// Opens a packed file and parses its structure (header + footer
+    /// index) without reading any block payload.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures surface as [`TraceStoreError::Io`]; any structural
+    /// problem yields the same typed errors as [`TraceReader::open`].
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self, TraceStoreError> {
+        let file = std::fs::File::open(path)?;
+        let file_len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| TraceStoreError::Corrupt("file exceeds the address space".into()))?;
+        let mut head = vec![0u8; HEADER_PREFIX.min(file_len)];
+        read_at(&file, 0, &mut head)?;
+        let (kind, nodes, header_end) = parse_header(&head)?;
+        let tail = FOOTER_MAGIC.len() + 4;
+        let mut trailer = vec![0u8; tail.min(file_len)];
+        read_at(&file, (file_len - trailer.len()) as u64, &mut trailer)?;
+        let (footer_start, len_at) = locate_footer(file_len, header_end, &trailer)?;
+        let mut footer = vec![0u8; len_at - footer_start];
+        read_at(&file, footer_start as u64, &mut footer)?;
+        let (blocks, records, _) = parse_footer(kind, &footer, header_end, footer_start)?;
+        Ok(FileReader {
+            #[cfg(unix)]
+            file,
+            #[cfg(not(unix))]
+            file: std::sync::Mutex::new(file),
+            kind,
+            nodes,
+            blocks,
+            records,
+        })
+    }
+
+    /// What the stream contains.
+    pub fn kind(&self) -> StreamKind {
+        self.kind
+    }
+
+    /// Processor count from the header.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total records across all blocks, from the index alone.
+    pub fn len(&self) -> u64 {
+        self.records
+    }
+
+    /// Whether the stream holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Records in one block, from the index alone (no decode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= self.block_count()`.
+    pub fn block_records(&self, block: usize) -> usize {
+        self.blocks[block].count
+    }
+
+    /// One block's encoded payload size in bytes, from the index alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= self.block_count()`.
+    pub fn block_payload_len(&self, block: usize) -> usize {
+        self.blocks[block].payload_len
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), TraceStoreError> {
+        #[cfg(unix)]
+        {
+            read_at(&self.file, offset, buf)
+        }
+        #[cfg(not(unix))]
+        {
+            read_at(&self.file.lock().expect("file lock poisoned"), offset, buf)
+        }
+    }
+
+    /// Reads one block from disk, verifies its checksum, and decodes its
+    /// events.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, a checksum mismatch, a non-event stream, or
+    /// any decode error inside the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= self.block_count()`.
+    pub fn decode_events(&self, block: usize) -> Result<Vec<CommEvent>, TraceStoreError> {
+        if self.kind != StreamKind::Events {
+            return Err(TraceStoreError::Corrupt(format!(
+                "stream holds {} records, expected events",
+                self.kind.name()
+            )));
+        }
+        let meta = self.blocks[block];
+        let mut frame = vec![0u8; 8 + meta.payload_len];
+        self.read_at(meta.offset as u64, &mut frame)?;
+        let payload = verify_block(&frame, block, meta.payload_len)?;
+        let events = columns::decode_events(payload, self.nodes)?;
+        if events.len() != meta.count {
+            return Err(TraceStoreError::Corrupt(format!(
+                "block {block} decoded {} events but the index promised {}",
+                events.len(),
+                meta.count
+            )));
+        }
+        Ok(events)
+    }
+}
+
+/// Positioned read that does not disturb any shared cursor (Unix `pread`).
+#[cfg(unix)]
+fn read_at(file: &std::fs::File, offset: u64, buf: &mut [u8]) -> Result<(), TraceStoreError> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset).map_err(TraceStoreError::Io)
+}
+
+/// Fallback positioned read via seek — callers serialize access.
+#[cfg(not(unix))]
+fn read_at(mut file: &std::fs::File, offset: u64, buf: &mut [u8]) -> Result<(), TraceStoreError> {
+    use std::io::{Read, Seek, SeekFrom};
+    file.seek(SeekFrom::Start(offset)).map_err(TraceStoreError::Io)?;
+    file.read_exact(buf).map_err(TraceStoreError::Io)
+}
+
+/// Block-granular access to a packed **event** stream, whether the bytes
+/// are all in memory ([`TraceReader`]) or read from disk on demand
+/// ([`FileReader`]).
+///
+/// This is the feed of the streaming characterization pipeline: a generic
+/// driver walks `0..block_count()`, decodes blocks (possibly in parallel —
+/// implementations are [`Sync`]), and folds per-block partials without
+/// ever holding the whole event list.
+pub trait BlockSource: Sync {
+    /// Processor count from the header.
+    fn nodes(&self) -> usize;
+    /// Number of blocks.
+    fn block_count(&self) -> usize;
+    /// Total records across all blocks, from the index alone.
+    fn len(&self) -> u64;
+    /// Whether the stream holds no records.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Records in one block, from the index alone (no decode).
+    fn block_records(&self, block: usize) -> usize;
+    /// Decodes one block of events (checksum-verified).
+    ///
+    /// # Errors
+    ///
+    /// Implementations fail on corrupt blocks, non-event streams, and —
+    /// for file-backed sources — I/O errors.
+    fn decode_events(&self, block: usize) -> Result<Vec<CommEvent>, TraceStoreError>;
+}
+
+impl BlockSource for TraceReader<'_> {
+    fn nodes(&self) -> usize {
+        TraceReader::nodes(self)
+    }
+    fn block_count(&self) -> usize {
+        TraceReader::block_count(self)
+    }
+    fn len(&self) -> u64 {
+        TraceReader::len(self)
+    }
+    fn block_records(&self, block: usize) -> usize {
+        TraceReader::block_records(self, block)
+    }
+    fn decode_events(&self, block: usize) -> Result<Vec<CommEvent>, TraceStoreError> {
+        TraceReader::decode_events(self, block)
+    }
+}
+
+impl BlockSource for FileReader {
+    fn nodes(&self) -> usize {
+        FileReader::nodes(self)
+    }
+    fn block_count(&self) -> usize {
+        FileReader::block_count(self)
+    }
+    fn len(&self) -> u64 {
+        FileReader::len(self)
+    }
+    fn block_records(&self, block: usize) -> usize {
+        FileReader::block_records(self, block)
+    }
+    fn decode_events(&self, block: usize) -> Result<Vec<CommEvent>, TraceStoreError> {
+        FileReader::decode_events(self, block)
     }
 }
 

@@ -8,7 +8,8 @@ use commchar_trace::replay::CausalReplayer;
 use commchar_trace::{CommEvent, CommTrace, EventKind};
 use commchar_tracestore::writer::pack_trace_with_block_len;
 use commchar_tracestore::{
-    load_trace, pack_trace, profile_packed, unpack_trace, unpack_trace_parallel, TraceReader,
+    load_trace, pack_trace, profile_packed, unpack_trace, unpack_trace_parallel, BlockSource,
+    FileReader, TraceReader,
 };
 use proptest::prelude::*;
 
@@ -103,6 +104,30 @@ proptest! {
         let log_jsonl = rep.replay(&from_jsonl);
         let log_packed = rep.replay(&from_packed);
         prop_assert_eq!(log_jsonl.records(), log_packed.records());
+    }
+
+    /// The file-backed reader agrees with the in-memory reader block by
+    /// block: same index, same per-block decode, through both inherent
+    /// methods and the `BlockSource` trait.
+    #[test]
+    fn file_reader_matches_slice_reader(trace in arb_trace(8, 120), block_len in 1usize..48, seed in 0u64..u64::MAX) {
+        let packed = pack_trace_with_block_len(&trace, block_len);
+        let path = std::env::temp_dir().join(format!("commchar-filereader-{seed:x}.cct"));
+        std::fs::write(&path, &packed).unwrap();
+        let mem = TraceReader::open(&packed).unwrap();
+        let file = FileReader::open(&path).unwrap();
+        prop_assert_eq!(file.nodes(), mem.nodes());
+        prop_assert_eq!(file.len(), mem.len());
+        prop_assert_eq!(file.block_count(), mem.block_count());
+        for b in 0..mem.block_count() {
+            prop_assert_eq!(file.block_records(b), mem.block_records(b));
+            prop_assert_eq!(file.block_payload_len(b), mem.block_payload_len(b));
+            prop_assert_eq!(file.decode_events(b).unwrap(), mem.decode_events(b).unwrap());
+            let f = BlockSource::decode_events(&file, b).unwrap();
+            let m = BlockSource::decode_events(&mem, b).unwrap();
+            prop_assert_eq!(f, m);
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     /// Streaming profile over packed bytes equals the in-memory profile.

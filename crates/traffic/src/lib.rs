@@ -71,10 +71,22 @@ impl LengthDist {
         for &l in lengths {
             *counts.entry(l).or_insert(0u64) += 1;
         }
-        let n = lengths.len() as f64;
+        Self::from_counts(&counts)
+    }
+
+    /// Builds the empirical distribution from pre-tallied length counts —
+    /// the streaming form of [`from_observed`](Self::from_observed),
+    /// producing bit-identical probabilities for the same multiset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty or sums to zero.
+    pub fn from_counts(counts: &std::collections::BTreeMap<u32, u64>) -> Self {
+        let n: u64 = counts.values().sum();
+        assert!(n > 0, "no lengths observed");
         LengthDist {
             values: counts.keys().copied().collect(),
-            probs: counts.values().map(|&c| c as f64 / n).collect(),
+            probs: counts.values().map(|&c| c as f64 / n as f64).collect(),
         }
     }
 

@@ -20,7 +20,7 @@ fn main() {
         "characterized {}: {} + {}\n",
         w.name,
         sig.temporal.aggregate.dist,
-        commchar::core::report::spatial_consensus(&sig)
+        commchar::core::report::spatial_consensus(&sig.spatial)
     );
 
     // Analytic sweep over channel widths — no simulation needed.

@@ -23,7 +23,7 @@ fn main() {
             format!("{}", sig.volume.messages),
             format!("{}", sig.temporal.aggregate.dist),
             format!("{:.3}", sig.temporal.aggregate.r2),
-            spatial_consensus(&sig),
+            spatial_consensus(&sig.spatial),
         ]);
     }
     println!(

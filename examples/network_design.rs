@@ -40,7 +40,7 @@ fn main() {
         "workload: {} fitted as {} + {}\n",
         w.name,
         sig.temporal.aggregate.dist,
-        commchar::core::report::spatial_consensus(&sig)
+        commchar::core::report::spatial_consensus(&sig.spatial)
     );
 
     // ...then sweep designs using only the model.

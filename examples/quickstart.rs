@@ -25,7 +25,7 @@ fn main() {
         "\ntemporal:  inter-arrival ~ {} (R² = {:.4})",
         sig.temporal.aggregate.dist, sig.temporal.aggregate.r2
     );
-    println!("spatial:   {}", commchar::core::report::spatial_consensus(&sig));
+    println!("spatial:   {}", commchar::core::report::spatial_consensus(&sig.spatial));
     println!(
         "volume:    {} messages, mean {:.1} bytes",
         sig.volume.messages, sig.volume.mean_bytes

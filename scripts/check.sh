@@ -4,13 +4,17 @@
 # installed (e.g. a minimal offline toolchain): the missing step is
 # skipped with a notice instead of failing the gate.
 #
-# Always runs three CLI smokes: a trace round-trip (generate a trace,
-# pack it to the columnar binary format, cat it back to JSON-lines and
-# diff against the original), a characterize determinism check (the same
-# workload characterized with --jobs 1 and --jobs 4 must print identical
-# reports), and an engine diff (replaying the checked-in fixture trace
-# with --engine recurrence must stay byte-identical to the output
-# captured before the NetEngine refactor).
+# Always runs rustdoc with warnings denied (missing docs on a public
+# item fail the gate) and four CLI smokes: a trace round-trip (generate
+# a trace, pack it to the columnar binary format, cat it back to
+# JSON-lines and diff against the original), a characterize determinism
+# check (the same workload characterized with --jobs 1 and --jobs 4 must
+# print identical reports), an engine diff (replaying the checked-in
+# fixture trace with --engine recurrence must stay byte-identical to the
+# output captured before the NetEngine refactor), and a streaming smoke
+# (a packed trace with a deliberately small block budget characterized
+# out-of-core with --stream must print byte-identically to the in-memory
+# --no-replay pass over the same events).
 #
 # Flags:
 #   --bench-smoke   additionally run the flit throughput, trace store,
@@ -44,6 +48,9 @@ else
     echo "==> skipping clippy (component not installed)"
 fi
 
+echo "==> cargo doc -D warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
@@ -60,6 +67,12 @@ echo "==> characterize determinism smoke (--jobs 4 vs --jobs 1 diff)"
 cargo run --release -q -- characterize cholesky --procs 8 --scale tiny --jobs 1 >"$tmpdir/sig.j1.txt"
 cargo run --release -q -- characterize cholesky --procs 8 --scale tiny --jobs 4 >"$tmpdir/sig.j4.txt"
 diff "$tmpdir/sig.j1.txt" "$tmpdir/sig.j4.txt"
+
+echo "==> streaming smoke (--stream vs --no-replay diff, small blocks)"
+cargo run --release -q -- trace pack "$tmpdir/t.jsonl" --block-len 7 --out "$tmpdir/t.small.cct"
+cargo run --release -q -- characterize --trace "$tmpdir/t.small.cct" --no-replay >"$tmpdir/sig.batch.txt"
+cargo run --release -q -- characterize --trace "$tmpdir/t.small.cct" --stream --block-jobs 3 >"$tmpdir/sig.stream.txt"
+diff "$tmpdir/sig.batch.txt" "$tmpdir/sig.stream.txt"
 
 echo "==> engine diff smoke (--engine recurrence vs pre-refactor fixture)"
 cargo run --release -q -- replay --trace tests/fixtures/engine_diff.trace.jsonl --engine recurrence >"$tmpdir/replay.rec.txt"

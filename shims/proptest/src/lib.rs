@@ -96,7 +96,7 @@ pub mod test_runner {
     }
 }
 
-/// The [`Strategy`] trait and adapters.
+/// The [`Strategy`](strategy::Strategy) trait and adapters.
 pub mod strategy {
     use crate::test_runner::TestRng;
 
@@ -168,7 +168,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice between boxed strategies (backs [`prop_oneof!`]).
+    /// Uniform choice between boxed strategies (backs the `prop_oneof!` macro).
     pub struct OneOf<T> {
         arms: Vec<BoxedStrategy<T>>,
     }
@@ -255,7 +255,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length specification for [`vec`]: an exact length or a half-open
+    /// Length specification for [`vec()`]: an exact length or a half-open
     /// range of lengths.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {

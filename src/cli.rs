@@ -7,7 +7,8 @@
 use std::fmt::Write as _;
 
 use commchar_apps::{AppId, Scale};
-use commchar_core::report::{suite_table, suite_timing};
+use commchar_core::analyze::{try_analyze_blocks, try_analyze_trace};
+use commchar_core::report::{analysis_report, suite_table, suite_timing};
 use commchar_core::suite::{cell_matrix, SuiteRunner};
 use commchar_core::{
     characterize, run_workload_engine, synthesize, try_characterize_jobs, Workload,
@@ -15,7 +16,10 @@ use commchar_core::{
 use commchar_mesh::{EngineKind, MeshConfig};
 use commchar_trace::replay::CausalReplayer;
 use commchar_trace::CommTrace;
-use commchar_tracestore::{is_packed, load_trace, pack_trace, TraceReader, TraceStoreError};
+use commchar_tracestore::writer::pack_trace_with_block_len;
+use commchar_tracestore::{
+    is_packed, load_trace, pack_trace, FileReader, TraceReader, TraceStoreError,
+};
 
 /// Error type for CLI operations.
 #[derive(Debug)]
@@ -163,6 +167,40 @@ pub fn cmd_characterize_trace(
     report_signature(&w, jobs)
 }
 
+/// `commchar characterize --trace FILE --no-replay [--jobs N]`: trace-only
+/// analysis report — the temporal / spatial / volume attributes without
+/// the network-behaviour section (no causal replay is run). Accepts
+/// either trace format, sniffed by magic bytes. This is the in-memory
+/// twin of [`cmd_characterize_stream`]; for the same events the two
+/// render byte-identical text, which is what the streaming smoke test in
+/// `scripts/check.sh` diffs.
+pub fn cmd_characterize_trace_only(input: &[u8], jobs: usize) -> Result<String, CliError> {
+    let trace = load_trace(input)?;
+    let shape = MeshConfig::for_nodes(trace.nodes()).shape;
+    let a = try_analyze_trace(&trace, shape, jobs).map_err(|e| CliError(e.to_string()))?;
+    Ok(analysis_report(&a, "trace"))
+}
+
+/// `commchar characterize --trace FILE --stream [--jobs N] [--block-jobs
+/// N]`: out-of-core analysis of a *packed* trace file. Blocks are read
+/// and condensed on `block_jobs` workers and folded in file order, so
+/// memory stays bounded by the block size × worker count — the trace is
+/// never materialized. The report is byte-identical to
+/// [`cmd_characterize_trace_only`] on the same events (and, like it,
+/// omits the network-behaviour section, which would need an O(events)
+/// replay).
+pub fn cmd_characterize_stream(
+    path: &str,
+    jobs: usize,
+    block_jobs: usize,
+) -> Result<String, CliError> {
+    let reader = FileReader::open(path)?;
+    let shape = MeshConfig::for_nodes(reader.nodes()).shape;
+    let a = try_analyze_blocks(&reader, shape, jobs, block_jobs)
+        .map_err(|e| CliError(e.to_string()))?;
+    Ok(analysis_report(&a, "trace"))
+}
+
 /// `commchar generate <app>`: fit an application and produce a synthetic
 /// trace of the same span.
 pub fn cmd_generate_trace(app: &str, common: Common) -> Result<CommTrace, CliError> {
@@ -247,12 +285,17 @@ pub fn cmd_replay(input: &[u8], engine: EngineKind) -> Result<String, CliError> 
     Ok(out)
 }
 
-/// `commchar trace pack <file>`: convert a trace (either format) to the
-/// packed columnar binary format. Returns the packed bytes, which the
+/// `commchar trace pack <file> [--block-len N]`: convert a trace (either
+/// format) to the packed columnar binary format, `block_len` events per
+/// block (`0` = the format default). Returns the packed bytes, which the
 /// binary writes to `--out` (packed output is not printable).
-pub fn cmd_trace_pack(input: &[u8]) -> Result<Vec<u8>, CliError> {
+pub fn cmd_trace_pack(input: &[u8], block_len: usize) -> Result<Vec<u8>, CliError> {
     let trace = load_trace(input)?;
-    Ok(pack_trace(&trace))
+    Ok(if block_len == 0 {
+        pack_trace(&trace)
+    } else {
+        pack_trace_with_block_len(&trace, block_len)
+    })
 }
 
 /// `commchar trace cat <file>`: print a trace (either format) as
@@ -261,9 +304,15 @@ pub fn cmd_trace_cat(input: &[u8]) -> Result<String, CliError> {
     Ok(load_trace(input)?.to_jsonl())
 }
 
+/// Blocks listed individually by `trace stat` before it switches to the
+/// min/max/mean summary line (a multi-GB trace has millions of blocks).
+const STAT_BLOCKS_LISTED: usize = 16;
+
 /// `commchar trace stat <file>`: summarize a trace file — format, nodes,
-/// event and kind counts, time span, and the packed-vs-JSONL size ratio
-/// (for packed input, the block index is shown too).
+/// event and kind counts, time span, and the packed-vs-JSONL size ratio.
+/// For packed input the block index is broken out too: per-block event
+/// counts and payload (decoded) byte sizes, individually for the first
+/// sixteen blocks and as a min/max/mean summary overall.
 pub fn cmd_trace_stat(input: &[u8]) -> Result<String, CliError> {
     let mut out = String::new();
     let packed = is_packed(input);
@@ -287,7 +336,33 @@ pub fn cmd_trace_stat(input: &[u8]) -> Result<String, CliError> {
     }
     if packed {
         let reader = TraceReader::open(input)?;
-        let _ = writeln!(out, "blocks      : {}", reader.block_count());
+        let nb = reader.block_count();
+        let _ = writeln!(out, "blocks      : {nb}");
+        for b in 0..nb.min(STAT_BLOCKS_LISTED) {
+            let _ = writeln!(
+                out,
+                "  block {b:>4}: {:>8} events, {:>10} payload bytes",
+                reader.block_records(b),
+                reader.block_payload_len(b)
+            );
+        }
+        if nb > STAT_BLOCKS_LISTED {
+            let _ = writeln!(out, "  … {} more blocks", nb - STAT_BLOCKS_LISTED);
+        }
+        if nb > 0 {
+            let (mut min_e, mut max_e, mut payload) = (usize::MAX, 0usize, 0u64);
+            for b in 0..nb {
+                let c = reader.block_records(b);
+                min_e = min_e.min(c);
+                max_e = max_e.max(c);
+                payload += reader.block_payload_len(b) as u64;
+            }
+            let _ = writeln!(
+                out,
+                "  per block : {min_e}..={max_e} events, mean {:.1} payload bytes",
+                payload as f64 / nb as f64
+            );
+        }
     }
     let _ = writeln!(out, "jsonl bytes : {jsonl_len}");
     let _ = writeln!(out, "packed bytes: {packed_len}");
@@ -322,13 +397,22 @@ COMMANDS:
     characterize <app>            run and print the full communication signature
     characterize --trace FILE     characterize a saved trace (causal mesh replay)
                                   (both forms accept --jobs for parallel fitting)
+    characterize --trace FILE --no-replay
+                                  trace-only report: temporal/spatial/volume, no
+                                  network section (skips the causal replay)
+    characterize --trace FILE --stream
+                                  same report, computed block-by-block from a
+                                  packed file in constant memory (out-of-core;
+                                  accepts --block-jobs for parallel decoding)
     generate <app> [--out FILE]   emit a synthetic trace from the fitted model
     replay --trace FILE           replay a saved trace (causal vs naive)
     suite                         characterize all seven applications in parallel
                                   (run/characterize/replay/suite accept --engine)
     trace pack FILE --out FILE    convert a trace to the packed binary format
+                                  (--block-len sets events per block)
     trace cat FILE                print a trace (either format) as JSON-lines
-    trace stat FILE               summarize a trace file (format, sizes, ratio)
+    trace stat FILE               summarize a trace file (format, sizes, ratio,
+                                  per-block event counts and payload bytes)
 
 OPTIONS:
     --procs N       processor count (default 8)
@@ -342,6 +426,12 @@ OPTIONS:
                     router run incrementally). The recurrence default keeps
                     output byte-identical to earlier releases.
     --streaming     replay with online statistics only (constant memory)
+    --stream        characterize a packed trace block-by-block (constant memory)
+    --no-replay     characterize without the network-behaviour section
+    --block-jobs N  worker threads decoding blocks under --stream; 0 = one per
+                    hardware thread (default 0). Byte-identical for any value.
+    --block-len N   events per block for trace pack / --packed output
+                    (default 4096)
     --packed        write run/generate trace output in the packed binary format
     --out FILE      write trace output to FILE instead of stdout
 
@@ -421,11 +511,11 @@ mod tests {
             Common { procs: 4, scale: Scale::Tiny, seed: 1, engine: EngineKind::Recurrence };
         let (_, trace) = cmd_run("3d-fft", common).unwrap();
         let jsonl = trace.to_jsonl();
-        let packed = cmd_trace_pack(jsonl.as_bytes()).unwrap();
+        let packed = cmd_trace_pack(jsonl.as_bytes(), 0).unwrap();
         assert!(packed.len() < jsonl.len());
         // cat inverts pack; packing the packed file is a no-op.
         assert_eq!(cmd_trace_cat(&packed).unwrap(), jsonl);
-        assert_eq!(cmd_trace_pack(&packed).unwrap(), packed);
+        assert_eq!(cmd_trace_pack(&packed, 0).unwrap(), packed);
         // every trace-consuming command accepts the packed form too.
         let rec = EngineKind::Recurrence;
         let from_jsonl = cmd_characterize_trace(jsonl.as_bytes(), 1, rec).unwrap();
@@ -444,7 +534,7 @@ mod tests {
             Common { procs: 4, scale: Scale::Tiny, seed: 1, engine: EngineKind::Recurrence };
         let (_, trace) = cmd_run("nbody", common).unwrap();
         let jsonl = trace.to_jsonl();
-        let packed = cmd_trace_pack(jsonl.as_bytes()).unwrap();
+        let packed = cmd_trace_pack(jsonl.as_bytes(), 0).unwrap();
         let s_jsonl = cmd_trace_stat(jsonl.as_bytes()).unwrap();
         assert!(s_jsonl.contains("format      : jsonl"));
         assert!(s_jsonl.contains("ratio"));
@@ -452,6 +542,41 @@ mod tests {
         assert!(s_packed.contains("format      : packed (CCTRACE1)"));
         assert!(s_packed.contains("blocks      :"));
         assert!(s_packed.contains(&format!("events      : {}", trace.len())));
+    }
+
+    #[test]
+    fn trace_stat_breaks_out_blocks() {
+        let common =
+            Common { procs: 4, scale: Scale::Tiny, seed: 1, engine: EngineKind::Recurrence };
+        let (_, trace) = cmd_run("nbody", common).unwrap();
+        let n = trace.len();
+        assert!(n > 40, "need a multi-block trace, got {n} events");
+        // Small blocks force more than STAT_BLOCKS_LISTED of them.
+        let packed = cmd_trace_pack(trace.to_jsonl().as_bytes(), 2).unwrap();
+        let s = cmd_trace_stat(&packed).unwrap();
+        assert!(s.contains(&format!("blocks      : {}", n.div_ceil(2))));
+        assert!(s.contains("block    0:        2 events,"), "missing per-block row:\n{s}");
+        assert!(s.contains("more blocks"), "missing overflow line:\n{s}");
+        assert!(s.contains("per block : 1..=2 events") || s.contains("per block : 2..=2 events"));
+    }
+
+    #[test]
+    fn stream_and_no_replay_reports_are_identical() {
+        let common =
+            Common { procs: 4, scale: Scale::Tiny, seed: 1, engine: EngineKind::Recurrence };
+        let (_, trace) = cmd_run("3d-fft", common).unwrap();
+        let packed = cmd_trace_pack(trace.to_jsonl().as_bytes(), 37).unwrap();
+        let batch = cmd_characterize_trace_only(&packed, 1).unwrap();
+        assert!(batch.contains("temporal attribute"));
+        assert!(batch.contains("spatial attribute"));
+        assert!(batch.contains("volume attribute"));
+        assert!(!batch.contains("network behaviour"));
+        let path =
+            std::env::temp_dir().join(format!("commchar-cli-stream-{}.cct", std::process::id()));
+        std::fs::write(&path, &packed).unwrap();
+        let streamed = cmd_characterize_stream(path.to_str().unwrap(), 3, 2);
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(batch, streamed.unwrap());
     }
 
     #[test]

@@ -10,7 +10,11 @@ struct Args {
     out: Option<String>,
     trace: Option<String>,
     jobs: usize,
+    block_jobs: usize,
+    block_len: usize,
     streaming: bool,
+    stream: bool,
+    no_replay: bool,
     packed: bool,
 }
 
@@ -21,7 +25,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         out: None,
         trace: None,
         jobs: 0,
+        block_jobs: 0,
+        block_len: 0,
         streaming: false,
+        stream: false,
+        no_replay: false,
         packed: false,
     };
     let mut it = argv.iter();
@@ -34,7 +42,23 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--jobs needs an integer")?;
             }
+            "--block-jobs" => {
+                args.block_jobs = it
+                    .next()
+                    .ok_or("--block-jobs needs a value")?
+                    .parse()
+                    .map_err(|_| "--block-jobs needs an integer")?;
+            }
+            "--block-len" => {
+                args.block_len = it
+                    .next()
+                    .ok_or("--block-len needs a value")?
+                    .parse()
+                    .map_err(|_| "--block-len needs an integer")?;
+            }
             "--streaming" => args.streaming = true,
+            "--stream" => args.stream = true,
+            "--no-replay" => args.no_replay = true,
             "--packed" => args.packed = true,
             "--procs" => {
                 args.common.procs = it
@@ -82,7 +106,11 @@ fn emit(text: &str, out: &Option<String>) -> Result<(), String> {
 fn emit_trace(trace: &commchar::trace::CommTrace, args: &Args) -> Result<(), String> {
     if args.packed {
         let path = args.out.as_ref().ok_or("--packed output is binary; it needs --out FILE")?;
-        let bytes = commchar::tracestore::pack_trace(trace);
+        let bytes = if args.block_len == 0 {
+            commchar::tracestore::pack_trace(trace)
+        } else {
+            commchar::tracestore::writer::pack_trace_with_block_len(trace, args.block_len)
+        };
         std::fs::write(path, bytes).map_err(|e| format!("writing {path}: {e}"))
     } else {
         emit(&trace.to_jsonl(), &args.out)
@@ -111,9 +139,17 @@ fn run(argv: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some("characterize") => {
-            let text = if args.trace.is_some() {
-                cli::cmd_characterize_trace(&read_trace(&args)?, args.jobs, args.common.engine)
-                    .map_err(|e| e.0)?
+            let text = if args.stream {
+                let path = args.trace.as_ref().ok_or("--stream needs --trace FILE (packed)")?;
+                cli::cmd_characterize_stream(path, args.jobs, args.block_jobs).map_err(|e| e.0)?
+            } else if args.trace.is_some() {
+                let input = read_trace(&args)?;
+                if args.no_replay {
+                    cli::cmd_characterize_trace_only(&input, args.jobs).map_err(|e| e.0)?
+                } else {
+                    cli::cmd_characterize_trace(&input, args.jobs, args.common.engine)
+                        .map_err(|e| e.0)?
+                }
             } else {
                 let app =
                     args.positional.get(1).ok_or("characterize needs an app or --trace FILE")?;
@@ -150,7 +186,7 @@ fn run(argv: &[String]) -> Result<(), String> {
                         .out
                         .as_ref()
                         .ok_or("trace pack output is binary; it needs --out FILE")?;
-                    let bytes = cli::cmd_trace_pack(&input).map_err(|e| e.0)?;
+                    let bytes = cli::cmd_trace_pack(&input, args.block_len).map_err(|e| e.0)?;
                     std::fs::write(path, bytes).map_err(|e| format!("writing {path}: {e}"))
                 }
                 Some("cat") => emit(&cli::cmd_trace_cat(&input).map_err(|e| e.0)?, &args.out),
