@@ -98,7 +98,7 @@ fn fidelity(scale: Scale) -> Vec<AppRow> {
     let mut rows = Vec::new();
     for app in [AppId::Is, AppId::Nbody, AppId::Fft3d] {
         let rec = run_workload_engine(app, 8, scale, EngineKind::Recurrence);
-        let flit = run_workload_engine(app, 8, scale, EngineKind::FlitLevel);
+        let flit = run_workload_engine(app, 8, scale, EngineKind::flit());
         let (rs, fs) = (rec.netlog.summary(), flit.netlog.summary());
         let rec_sig = characterize(&rec);
         let flit_sig = characterize(&flit);

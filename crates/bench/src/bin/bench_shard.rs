@@ -1,0 +1,189 @@
+//! Sharded flit-simulator bench: the wavefront engine (`--sim-jobs N`)
+//! vs the serial event loop, on a 32×32 mesh with all 1024 sources
+//! injecting contended bursts.
+//!
+//! The sharded log is cross-checked for byte identity against the serial
+//! one first (the speedup is never bought with divergence), then both are
+//! timed and the ratio written to `BENCH_shard.json` at the repo root
+//! together with the host core count and git revision — so a stale
+//! trajectory file is self-describing about the machine that produced it.
+//! The ≥2x speedup floor is asserted only on hosts with at least four
+//! cores; on smaller machines the bench still runs the identity check and
+//! records the measured ratio, but a speedup assertion would only be
+//! measuring the scheduler. `--quick` runs one iteration on a shorter
+//! workload (the `scripts/check.sh --bench-smoke` mode).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use commchar_des::SimTime;
+use commchar_mesh::{FlitLevel, MeshConfig, MeshModel, NetMessage, NodeId};
+
+const WIDTH: u16 = 32;
+const HEIGHT: u16 = 32;
+const NODES: u64 = (WIDTH as u64) * (HEIGHT as u64);
+
+/// Deterministic 64-bit LCG so workloads are fixed across runs/machines.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 =
+            self.0.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+        self.0 >> 16
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Contended 1024-source workload: every node injects in each burst wave,
+/// with a quarter of the traffic aimed at a small hotspot band in the
+/// middle rows so worms interfere across shard boundaries instead of
+/// draining row-locally.
+fn contended(seed: u64, waves: usize, gap: u64, min_b: u64, max_b: u64) -> Vec<NetMessage> {
+    let mut rng = Lcg::new(seed);
+    let mut msgs = Vec::with_capacity(waves * NODES as usize);
+    let mut t = 0u64;
+    let mut id = 0u64;
+    for _ in 0..waves {
+        for src in 0..NODES {
+            let mut dst = if rng.below(4) == 0 {
+                // Hotspot band: eight nodes around the mesh center.
+                NODES / 2 - 4 + rng.below(8)
+            } else {
+                rng.below(NODES)
+            };
+            if dst == src {
+                dst = (dst + 1) % NODES;
+            }
+            msgs.push(NetMessage {
+                id,
+                src: NodeId(src as u16),
+                dst: NodeId(dst as u16),
+                bytes: (min_b + rng.below(max_b - min_b)) as u32,
+                inject: SimTime::from_ticks(t + rng.below(gap / 2)),
+            });
+            id += 1;
+        }
+        t += gap;
+    }
+    msgs
+}
+
+/// Best-of-`iters` wall-clock seconds for one closure.
+fn time_best<F: FnMut()>(iters: u32, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iters = if quick { 1 } else { 3 };
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // Time with one shard per core (capped: past 8 the windows thin out
+    // on this workload), but never fewer than 2 so the sharded path is
+    // exercised even on single-core hosts.
+    let jobs = host_cores.clamp(2, 8);
+
+    let cfg = MeshConfig::new(WIDTH, HEIGHT).with_virtual_channels(2);
+    let waves = if quick { 2 } else { 6 };
+    let msgs = contended(42, waves, 400, 64, 256);
+
+    println!("sharded flit simulator: {WIDTH}x{HEIGHT} mesh, {} sources", NODES);
+    println!("host cores: {host_cores}, timing --sim-jobs {jobs} vs serial");
+
+    // Cross-check first: the sharded engine must be cycle-identical at
+    // every shard count before any timing is worth reporting.
+    let serial_log = FlitLevel::new(cfg).simulate(&msgs);
+    let check_jobs: &[usize] = if quick { &[4] } else { &[2, 4, 8] };
+    for &n in check_jobs {
+        let sharded_log = FlitLevel::new(cfg).with_sim_jobs(n).simulate(&msgs);
+        assert_eq!(
+            sharded_log.records(),
+            serial_log.records(),
+            "sim-jobs {n}: records diverged from serial"
+        );
+        assert_eq!(
+            sharded_log.utilization(),
+            serial_log.utilization(),
+            "sim-jobs {n}: utilization diverged from serial"
+        );
+        println!("identity: --sim-jobs {n} byte-identical to serial ({} records)", msgs.len());
+    }
+
+    let mut serial = FlitLevel::new(cfg);
+    let t_serial = time_best(iters, || {
+        let log = serial.simulate(&msgs);
+        assert_eq!(log.records().len(), msgs.len());
+    });
+    let mut sharded = FlitLevel::new(cfg).with_sim_jobs(jobs);
+    let t_sharded = time_best(iters, || {
+        let log = sharded.simulate(&msgs);
+        assert_eq!(log.records().len(), msgs.len());
+    });
+
+    let n = msgs.len() as f64;
+    let (serial_rate, sharded_rate) = (n / t_serial, n / t_sharded);
+    let speedup = t_serial / t_sharded;
+    println!(
+        "{:<10} {:>8} {:>14} {:>14} {:>8}",
+        "messages", "jobs", "serial msg/s", "sharded msg/s", "speedup"
+    );
+    println!(
+        "{:<10} {:>8} {:>14.0} {:>14.0} {:>7.2}x",
+        msgs.len(),
+        jobs,
+        serial_rate,
+        sharded_rate,
+        speedup
+    );
+
+    // Hand-rolled JSON (serde is stripped from the offline build).
+    let mut json = String::from("{\n  \"bench\": \"flit_shard_speedup\",\n  \"mode\": ");
+    let _ = writeln!(json, "\"{}\",", if quick { "quick" } else { "full" });
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"git_rev\": \"{}\",", git_rev());
+    let _ = writeln!(json, "  \"mesh\": \"{WIDTH}x{HEIGHT}\",");
+    let _ = writeln!(json, "  \"sources\": {NODES},");
+    let _ = writeln!(json, "  \"messages\": {},", msgs.len());
+    let _ = writeln!(json, "  \"sim_jobs\": {jobs},");
+    let _ = writeln!(json, "  \"serial_msgs_per_sec\": {serial_rate:.1},");
+    let _ = writeln!(json, "  \"sharded_msgs_per_sec\": {sharded_rate:.1},");
+    let _ = writeln!(json, "  \"speedup\": {speedup:.2}");
+    json.push_str("}\n");
+    let path = "BENCH_shard.json";
+    std::fs::write(path, &json).expect("write BENCH_shard.json");
+    println!("wrote {path}");
+
+    if host_cores >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "sharded speedup {speedup:.2}x below the 2x floor on a {host_cores}-core host"
+        );
+    } else {
+        println!(
+            "note: {host_cores}-core host — the 2x speedup floor is asserted only with >= 4 cores"
+        );
+    }
+}

@@ -20,7 +20,7 @@ fn main() {
     println!("engine fidelity: recurrence vs cycle-accurate flit, closed loop\n");
     let mut rows = Vec::new();
     for app in [AppId::Is, AppId::Cholesky, AppId::Nbody, AppId::Fft3d] {
-        for kind in [EngineKind::Recurrence, EngineKind::FlitLevel] {
+        for kind in [EngineKind::Recurrence, EngineKind::flit()] {
             let w = run_workload_engine(app, 8, Scale::Tiny, kind);
             let sig = characterize(&w);
             let s = w.netlog.summary();

@@ -34,7 +34,7 @@ use crate::sink::{LogSink, StreamingLog};
 use crate::{MeshConfig, NetLog, NetMessage, OnlineWormhole};
 
 /// An error surfaced by a closed-loop engine instead of a panic.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EngineError {
     /// A message was injected earlier than a previously injected one.
     /// Closed-loop engines resolve contention in injection order, so a
@@ -48,6 +48,16 @@ pub enum EngineError {
         /// The latest injection time seen before it.
         last: SimTime,
     },
+    /// The router wedged: no event can ever fire again yet undelivered
+    /// worms remain (a routing/allocation deadlock, or a guard-limit
+    /// blowout on a pathological schedule). The report lists every
+    /// undelivered worm with its progress so the workload is debuggable;
+    /// in a sharded run the shards agree to stop and surface this error
+    /// instead of aborting a worker thread.
+    Wedged {
+        /// Human-readable wedge report (undelivered worms and progress).
+        report: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -58,6 +68,7 @@ impl std::fmt::Display for EngineError {
                 "messages must be injected in nondecreasing time order \
                  (message {id} at {inject:?} after {last:?})"
             ),
+            EngineError::Wedged { report } => write!(f, "{report}"),
         }
     }
 }
@@ -75,15 +86,49 @@ pub enum EngineKind {
     /// The cycle-accurate flit router in incremental mode
     /// ([`IncrementalFlit`]) — slower, but the final log is
     /// cycle-identical to a batch [`FlitLevel`](crate::FlitLevel) run.
-    FlitLevel,
+    FlitLevel {
+        /// Worker threads for the sharded drain (`--sim-jobs`): `1` is
+        /// the exact serial engine, `0` means one per hardware thread,
+        /// `N > 1` runs the conservative-window sharded engine. The
+        /// output is byte-identical for every value.
+        sim_jobs: usize,
+    },
 }
 
 impl EngineKind {
+    /// The single-threaded flit engine — what `--engine flit` parses to.
+    pub fn flit() -> EngineKind {
+        EngineKind::FlitLevel { sim_jobs: 1 }
+    }
+
+    /// Whether this is the flit engine (at any `sim_jobs`).
+    pub fn is_flit(self) -> bool {
+        matches!(self, EngineKind::FlitLevel { .. })
+    }
+
+    /// The `--sim-jobs` value carried by the flit engine (`1` for the
+    /// recurrence engine, which has no simulation threads to tune).
+    pub fn sim_jobs(self) -> usize {
+        match self {
+            EngineKind::Recurrence => 1,
+            EngineKind::FlitLevel { sim_jobs } => sim_jobs,
+        }
+    }
+
+    /// Returns this kind with `--sim-jobs` applied (a no-op for the
+    /// recurrence engine, which is already a closed form).
+    pub fn with_sim_jobs(self, sim_jobs: usize) -> EngineKind {
+        match self {
+            EngineKind::Recurrence => EngineKind::Recurrence,
+            EngineKind::FlitLevel { .. } => EngineKind::FlitLevel { sim_jobs },
+        }
+    }
+
     /// The flag spelling of this kind (`"recurrence"` / `"flit"`).
     pub fn name(self) -> &'static str {
         match self {
             EngineKind::Recurrence => "recurrence",
-            EngineKind::FlitLevel => "flit",
+            EngineKind::FlitLevel { .. } => "flit",
         }
     }
 
@@ -91,7 +136,7 @@ impl EngineKind {
     pub fn parse(s: &str) -> Option<EngineKind> {
         match s {
             "recurrence" => Some(EngineKind::Recurrence),
-            "flit" => Some(EngineKind::FlitLevel),
+            "flit" => Some(EngineKind::flit()),
             _ => None,
         }
     }
@@ -170,6 +215,7 @@ pub struct IncrementalFlit<S: LogSink = NetLog> {
     core: ClosedLoop,
     sink: S,
     last_inject: SimTime,
+    sim_jobs: usize,
 }
 
 impl IncrementalFlit {
@@ -203,7 +249,25 @@ impl<S: LogSink> IncrementalFlit<S> {
     ///
     /// Panics on a torus shape (the flit router is mesh-only).
     pub fn with_sink(cfg: MeshConfig, sink: S) -> Self {
-        IncrementalFlit { cfg, core: ClosedLoop::new(cfg), sink, last_inject: SimTime::ZERO }
+        IncrementalFlit {
+            cfg,
+            core: ClosedLoop::new(cfg),
+            sink,
+            last_inject: SimTime::ZERO,
+            sim_jobs: 1,
+        }
+    }
+
+    /// Sets the `--sim-jobs` worker count used for the final drain.
+    ///
+    /// Per-send feedback is inherently sequential (each answer depends on
+    /// all traffic so far), so sends are unaffected; what parallelizes is
+    /// the closing [`into_sink`](IncrementalFlit::into_sink) drain of
+    /// every still-in-flight worm, which dominates wall-clock on large
+    /// meshes. The final log stays byte-identical for every value.
+    pub fn with_sim_jobs(mut self, sim_jobs: usize) -> Self {
+        self.sim_jobs = sim_jobs;
+        self
     }
 
     /// The network configuration.
@@ -229,7 +293,7 @@ impl<S: LogSink> IncrementalFlit<S> {
             });
         }
         self.last_inject = msg.inject;
-        Ok(SimTime::from_ticks(self.core.send(msg)))
+        self.core.send(msg).map(SimTime::from_ticks)
     }
 
     /// Finishes the simulation: drains every in-flight worm, emits one
@@ -237,7 +301,7 @@ impl<S: LogSink> IncrementalFlit<S> {
     /// per-channel utilization folded in — byte-identical to what a batch
     /// [`FlitLevel`](crate::FlitLevel) produces for the same schedule.
     pub fn into_sink(mut self) -> S {
-        self.core.finish_into(&mut self.sink);
+        self.core.finish_into_jobs(&mut self.sink, self.sim_jobs);
         self.sink
     }
 }
@@ -279,11 +343,15 @@ mod tests {
 
     #[test]
     fn engine_kind_round_trips_through_names() {
-        for kind in [EngineKind::Recurrence, EngineKind::FlitLevel] {
+        for kind in [EngineKind::Recurrence, EngineKind::flit()] {
             assert_eq!(EngineKind::parse(kind.name()), Some(kind));
         }
         assert_eq!(EngineKind::parse("csim"), None);
         assert_eq!(EngineKind::default(), EngineKind::Recurrence);
+        assert!(EngineKind::flit().is_flit());
+        assert!(!EngineKind::Recurrence.is_flit());
+        assert_eq!(EngineKind::flit().with_sim_jobs(4).sim_jobs(), 4);
+        assert_eq!(EngineKind::Recurrence.with_sim_jobs(4).sim_jobs(), 1);
     }
 
     #[test]

@@ -64,8 +64,11 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use crate::engine::EngineError;
 use crate::sink::LogSink;
 use crate::{MeshConfig, MeshModel, MsgRecord, NetLog, NetMessage, NodeId, StreamingLog};
+
+mod shard;
 
 const PORT_E: usize = 0;
 const PORT_W: usize = 1;
@@ -316,6 +319,11 @@ pub struct FlitLevel<S: LogSink = NetLog> {
     first_inject: Option<u64>,
     last_delivery: u64,
     ws: Workspace,
+    /// `--sim-jobs`: worker threads for the sharded event loop. `1` runs
+    /// the serial engine; the output is byte-identical for every value.
+    sim_jobs: usize,
+    /// Lazily spawned long-lived worker team, reused across runs.
+    team: Option<commchar_pool::Team>,
 }
 
 impl FlitLevel {
@@ -365,7 +373,19 @@ impl<S: LogSink> FlitLevel<S> {
             first_inject: None,
             last_delivery: 0,
             ws: Workspace::default(),
+            sim_jobs: 1,
+            team: None,
         }
+    }
+
+    /// Sets the `--sim-jobs` worker count: `1` (the default) is the
+    /// serial engine, `0` means one worker per hardware thread, `N > 1`
+    /// partitions the mesh into row bands run by a conservative-window
+    /// wavefront (see the `shard` module docs). Cycle-identical — the
+    /// log and utilization are byte-identical for every value.
+    pub fn with_sim_jobs(mut self, sim_jobs: usize) -> Self {
+        self.sim_jobs = sim_jobs;
+        self
     }
 
     /// The network configuration.
@@ -385,8 +405,17 @@ impl<S: LogSink> FlitLevel<S> {
     /// # Panics
     ///
     /// Panics if the simulation wedges (a deadlocked configuration), with a
-    /// per-worm account of what is still in flight.
+    /// per-worm account of what is still in flight — use
+    /// [`try_run`](FlitLevel::try_run) for the typed error.
     pub fn run(&mut self, msgs: &[NetMessage]) {
+        if let Err(e) = self.try_run(msgs) {
+            panic!("{e}");
+        }
+    }
+
+    /// [`run`](FlitLevel::run), surfacing a wedge as
+    /// [`EngineError::Wedged`] instead of a panic.
+    pub fn try_run(&mut self, msgs: &[NetMessage]) -> Result<(), EngineError> {
         let cfg = self.cfg;
         let vcs = cfg.virtual_channels;
         let nodes = cfg.shape.nodes();
@@ -396,7 +425,7 @@ impl<S: LogSink> FlitLevel<S> {
         let cap = cfg.buffer_flits.next_power_of_two();
         self.ws.reset(nodes, vcs, wheel as usize, cap);
         if msgs.is_empty() {
-            return;
+            return Ok(());
         }
 
         // Sort indices, not messages: the caller's slice is never cloned.
@@ -470,9 +499,22 @@ impl<S: LogSink> FlitLevel<S> {
 
         let first = msgs[ws.order[0] as usize].inject.ticks();
         let remaining = ws.worms.len();
-        let mut engine =
-            Engine { cfg, vcs, stride: NPORTS * vcs, wheel, cap, ws: &mut self.ws, remaining };
-        engine.advance(None, Goal::Drain);
+        let shards = shard::plan(self.sim_jobs, cfg.shape.height() as usize);
+        if shards > 1 {
+            shard::drain_sharded(&cfg, &mut self.ws, None, remaining, shards, &mut self.team)?;
+        } else {
+            let mut engine = Engine {
+                cfg,
+                vcs,
+                stride: NPORTS * vcs,
+                wheel,
+                cap,
+                ws: &mut self.ws,
+                remaining,
+                shard: None,
+            };
+            engine.advance(None, Goal::Drain)?;
+        }
 
         // Emit records in injection order (what the reference produces and
         // what per-source inter-arrival statistics expect) and fold this
@@ -496,6 +538,7 @@ impl<S: LogSink> FlitLevel<S> {
         for (acc, &ticks) in self.busy.iter_mut().zip(&self.ws.busy_ticks) {
             *acc += ticks;
         }
+        Ok(())
     }
 
     /// Finishes the simulation: hands per-channel utilization over the
@@ -522,9 +565,12 @@ impl<S: LogSink> FlitLevel<S> {
 impl MeshModel for FlitLevel {
     fn simulate(&mut self, msgs: &[NetMessage]) -> NetLog {
         self.run(msgs);
+        let sim_jobs = self.sim_jobs;
         let mut finished = std::mem::replace(self, FlitLevel::new(self.cfg));
-        // Keep the warmed-up workspace for the next batch.
+        // Keep the warmed-up workspace (and worker team) for the next batch.
+        self.sim_jobs = sim_jobs;
         std::mem::swap(&mut self.ws, &mut finished.ws);
+        std::mem::swap(&mut self.team, &mut finished.team);
         finished.into_sink()
     }
 }
@@ -570,6 +616,59 @@ enum Goal {
     Before(u64),
 }
 
+/// A boundary event crossing between adjacent shards, labeled with the
+/// cycle at which the receiver must apply it (before scanning that cycle).
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// A flit completing its channel traversal into a receiver-side input
+    /// buffer — the cross-shard form of a [`Workspace::due`] entry.
+    Landing(Landing),
+    /// A receiver-side pop of input buffer `buf` (global index) that fed
+    /// from the receiver's output `out`: the receiver decrements its
+    /// `occ` capacity mirror for `buf` and marks `out` dirty — the
+    /// cross-shard form of the feeder wakeup in
+    /// [`Engine::move_flit`].
+    Pop {
+        /// Feeder output (global `node*NPORTS + port`) owned by the receiver.
+        out: u32,
+        /// The popped downstream buffer (global slab index).
+        buf: u32,
+    },
+}
+
+/// Per-shard engine extension: the node range this engine owns plus the
+/// capacity mirrors and outboxes that stand in for directly touching a
+/// neighbor shard's state. `None` on the serial path — every sharded
+/// branch in the engine is one predictable `is_some` test.
+#[derive(Debug, Default)]
+struct ShardCtx {
+    /// First owned node (row-contiguous band, row-major node ids).
+    lo: usize,
+    /// One past the last owned node.
+    hi: usize,
+    /// Mirror of `blen + reserved` for the *remote* downstream buffers of
+    /// this shard's boundary outputs, indexed like `reserved` (global
+    /// buffer index). `+1` at each boundary forward, `-1` on a received
+    /// [`Ev::Pop`] — so the capacity check sees exactly what the serial
+    /// engine would.
+    occ: Vec<u32>,
+    /// Owned input buffers fed by a remote shard: their `reserved` is
+    /// authoritative on the *upstream* side (`occ`), so landings here
+    /// skip the local `reserved` decrement.
+    remote_fed: Vec<bool>,
+    /// Events for the lower-index neighbor shard, flushed at end of cycle.
+    out_lo: Vec<(u64, Ev)>,
+    /// Events for the higher-index neighbor shard.
+    out_hi: Vec<(u64, Ev)>,
+}
+
+impl ShardCtx {
+    #[inline]
+    fn is_remote(&self, node: usize) -> bool {
+        node < self.lo || node >= self.hi
+    }
+}
+
 /// One run of the event loop over a prepared workspace.
 struct Engine<'a> {
     cfg: MeshConfig,
@@ -584,6 +683,8 @@ struct Engine<'a> {
     cap: usize,
     ws: &'a mut Workspace,
     remaining: usize,
+    /// Sharded-mode extension (`None` on the serial path).
+    shard: Option<&'a mut ShardCtx>,
 }
 
 impl Engine<'_> {
@@ -616,18 +717,19 @@ impl Engine<'_> {
     /// the closed-loop engine ([`ClosedLoop`]) interleave out-of-band
     /// injections with simulation.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with a wedge report if the goal is `Drain` or `Deliver` and
-    /// the event queues run dry (or the step guard trips) first.
-    fn advance(&mut self, mut clock: Option<u64>, goal: Goal) -> Option<u64> {
+    /// [`EngineError::Wedged`] (with the human-readable report) if the
+    /// goal is `Drain` or `Deliver` and the event queues run dry (or the
+    /// step guard trips) first.
+    fn advance(&mut self, mut clock: Option<u64>, goal: Goal) -> Result<Option<u64>, EngineError> {
         let mut guard: u64 = 0;
         let guard_limit = 200_000_000;
         loop {
             match goal {
-                Goal::Drain if self.remaining == 0 => return clock,
+                Goal::Drain if self.remaining == 0 => return Ok(clock),
                 Goal::Deliver(w) if self.ws.worms[w as usize].delivered.is_some() => {
-                    return clock;
+                    return Ok(clock);
                 }
                 _ => {}
             }
@@ -637,30 +739,43 @@ impl Engine<'_> {
             };
             let t = match t {
                 Some(t) => t,
-                None if matches!(goal, Goal::Before(_)) => return clock,
-                None => panic!("{}", self.wedge_report(clock.unwrap_or(0))),
+                None if matches!(goal, Goal::Before(_)) => return Ok(clock),
+                None => {
+                    return Err(EngineError::Wedged {
+                        report: self.wedge_report(clock.unwrap_or(0)),
+                    });
+                }
             };
             if let Goal::Before(cut) = goal {
                 if t >= cut {
-                    return clock;
+                    return Ok(clock);
                 }
             }
             guard += 1;
-            assert!(
-                guard < guard_limit,
-                "flit simulation exceeded {guard_limit} steps\n{}",
-                self.wedge_report(t)
-            );
+            if guard >= guard_limit {
+                return Err(EngineError::Wedged {
+                    report: format!(
+                        "flit simulation exceeded {guard_limit} steps\n{}",
+                        self.wedge_report(t)
+                    ),
+                });
+            }
             self.drain_ni(t);
             self.land_arrivals(t);
-            // Promote this cycle's scheduled wakeups to dirty bits.
-            let slot = (t & (self.wheel - 1)) as usize;
-            let Workspace { ring, dirty, .. } = &mut *self.ws;
-            for o in ring[slot].drain(..) {
-                dirty[o as usize / 64] |= 1 << (o % 64);
-            }
+            self.promote_ring(t);
             self.scan(t);
             clock = Some(t);
+        }
+    }
+
+    /// Promotes cycle `t`'s scheduled ring wakeups to dirty bits — the
+    /// step between landing arrivals and the allocation sweep.
+    #[inline]
+    fn promote_ring(&mut self, t: u64) {
+        let slot = (t & (self.wheel - 1)) as usize;
+        let Workspace { ring, dirty, .. } = &mut *self.ws;
+        for o in ring[slot].drain(..) {
+            dirty[o as usize / 64] |= 1 << (o % 64);
         }
     }
 
@@ -778,7 +893,12 @@ impl Engine<'_> {
             for Landing { node, buf, mut flit } in bucket.drain(..) {
                 let (node, buf) = (node as usize, buf as usize);
                 flit.ready = if flit.kind == Kind::Head { t + self.cfg.router_delay } else { t };
-                self.ws.reserved[node * self.stride + buf] -= 1;
+                let b = node * self.stride + buf;
+                // Remote-fed buffers are accounted on the upstream side
+                // (its `occ` mirror); the local `reserved` stays zero.
+                if !self.shard.as_ref().is_some_and(|c| c.remote_fed[b]) {
+                    self.ws.reserved[b] -= 1;
+                }
                 self.push_buffer(node, buf, flit, t);
             }
             self.ws.spare.push(bucket);
@@ -879,11 +999,18 @@ impl Engine<'_> {
                     None => continue, // owner not established yet
                 },
             };
-            // Capacity check downstream (ejection always sinks).
+            // Capacity check downstream (ejection always sinks). A remote
+            // downstream buffer is checked against this shard's `occ`
+            // mirror, which tracks the same `blen + reserved` sum via
+            // boundary forwards and received pop credits.
             if out != PORT_LOCAL {
                 let (dn, dp) = self.downstream(node, out);
                 let dbuf = dn * self.stride + dp * self.vcs + ovc;
-                if (self.ws.blen[dbuf] + self.ws.reserved[dbuf]) as usize >= self.cfg.buffer_flits {
+                let occupancy = match &self.shard {
+                    Some(ctx) if ctx.is_remote(dn) => ctx.occ[dbuf],
+                    _ => self.ws.blen[dbuf] + self.ws.reserved[dbuf],
+                };
+                if occupancy as usize >= self.cfg.buffer_flits {
                     continue;
                 }
             }
@@ -927,9 +1054,27 @@ impl Engine<'_> {
         if in_port != PORT_LOCAL {
             let (fnode, fport) = self.downstream(node, in_port);
             let f = (fnode * NPORTS + fport) as u32;
-            self.ws.dirty[f as usize / 64] |= 1 << (f % 64);
-            if f as usize <= o {
-                self.mark_at(t + 1, f);
+            let remote = self.shard.as_ref().is_some_and(|c| c.is_remote(fnode));
+            if remote {
+                // The feeder output lives in a neighbor shard: ship the
+                // pop as a credit event instead of touching its state.
+                // Row-major ids make a lower-shard feeder index `f < o`
+                // (serial semantics: next-cycle wakeup → label `t + 1`)
+                // and a higher-shard feeder `f > o` (same-cycle sweep
+                // visibility → label `t`, applied before the receiver
+                // scans `t`).
+                let popped = (node * self.stride + buf) as u32;
+                let ctx = self.shard.as_mut().expect("checked above");
+                if fnode < ctx.lo {
+                    ctx.out_lo.push((t + 1, Ev::Pop { out: f, buf: popped }));
+                } else {
+                    ctx.out_hi.push((t, Ev::Pop { out: f, buf: popped }));
+                }
+            } else {
+                self.ws.dirty[f as usize / 64] |= 1 << (f % 64);
+                if f as usize <= o {
+                    self.mark_at(t + 1, f);
+                }
             }
         } else {
             // Injection pop: pull the next NI flit into the freed slot if
@@ -979,7 +1124,6 @@ impl Engine<'_> {
         } else {
             let (dn, dp) = self.downstream(node, out);
             let dbuf = dp * self.vcs + ovc;
-            self.ws.reserved[dn * self.stride + dbuf] += 1;
             let mut forwarded = flit;
             forwarded.hop += 1;
             if forwarded.kind == Kind::Head {
@@ -987,14 +1131,31 @@ impl Engine<'_> {
             }
             let landing = Landing { node: dn as u32, buf: dbuf as u32, flit: forwarded };
             let at = t + link;
-            match self.ws.due.back_mut() {
-                Some(back) if back.0 == at => back.1.push(landing),
-                _ => {
-                    debug_assert!(self.ws.due.back().is_none_or(|b| b.0 < at));
-                    let mut bucket = self.ws.spare.pop().unwrap_or_default();
-                    bucket.clear();
-                    bucket.push(landing);
-                    self.ws.due.push_back((at, bucket));
+            let remote = self.shard.as_ref().is_some_and(|c| c.is_remote(dn));
+            if remote {
+                // Boundary forward: reserve in the capacity mirror and
+                // ship the landing to the owning shard (`link_delay >= 1`
+                // keeps the label strictly ahead of the receiver's safe
+                // horizon in both directions).
+                let slot = dn * self.stride + dbuf;
+                let ctx = self.shard.as_mut().expect("checked above");
+                ctx.occ[slot] += 1;
+                if dn < ctx.lo {
+                    ctx.out_lo.push((at, Ev::Landing(landing)));
+                } else {
+                    ctx.out_hi.push((at, Ev::Landing(landing)));
+                }
+            } else {
+                self.ws.reserved[dn * self.stride + dbuf] += 1;
+                match self.ws.due.back_mut() {
+                    Some(back) if back.0 == at => back.1.push(landing),
+                    _ => {
+                        debug_assert!(self.ws.due.back().is_none_or(|b| b.0 < at));
+                        let mut bucket = self.ws.spare.pop().unwrap_or_default();
+                        bucket.clear();
+                        bucket.push(landing);
+                        self.ws.due.push_back((at, bucket));
+                    }
                 }
             }
         }
@@ -1184,7 +1345,7 @@ impl ClosedLoop {
     }
 
     /// Runs one state's event loop toward `goal`.
-    fn advance(cfg: &MeshConfig, st: &mut LoopState, goal: Goal) {
+    fn advance(cfg: &MeshConfig, st: &mut LoopState, goal: Goal) -> Result<(), EngineError> {
         let vcs = cfg.virtual_channels;
         let wheel = (cfg.link_delay.max(cfg.router_delay) + 2).next_power_of_two();
         let mut engine = Engine {
@@ -1195,9 +1356,11 @@ impl ClosedLoop {
             cap: cfg.buffer_flits.next_power_of_two(),
             ws: &mut st.ws,
             remaining: st.remaining,
+            shard: None,
         };
-        st.clock = engine.advance(st.clock, goal);
+        st.clock = engine.advance(st.clock, goal)?;
         st.remaining = engine.remaining;
+        Ok(())
     }
 
     /// Builds the message's worm and queues its flits at the source NI of
@@ -1257,7 +1420,12 @@ impl ClosedLoop {
     /// Injects `m` (nondecreasing injection order is the caller's
     /// invariant) and returns the cycle its tail flit reaches the
     /// destination NI, given all traffic injected so far.
-    pub(crate) fn send(&mut self, m: NetMessage) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Wedged`] if the router deadlocks before the answer
+    /// exists.
+    pub(crate) fn send(&mut self, m: NetMessage) -> Result<u64, EngineError> {
         // Cycles strictly below the horizon can no longer change: this
         // message's first flit cannot enter an NI before it, and neither
         // can any later message's.
@@ -1274,7 +1442,7 @@ impl ClosedLoop {
             Some(spec) => spec,
             None => LoopState::empty(),
         };
-        Self::advance(&self.cfg, &mut self.committed, Goal::Before(horizon));
+        Self::advance(&self.cfg, &mut self.committed, Goal::Before(horizon))?;
         // Committed deliveries are final — advance the watermark the
         // snapshot refresh skips below.
         while self.committed.finalized < self.committed.ws.worms.len()
@@ -1284,10 +1452,10 @@ impl ClosedLoop {
         }
         let w = self.add_worm(m);
         scratch.sync_from(&self.committed);
-        Self::advance(&self.cfg, &mut scratch, Goal::Deliver(w));
+        Self::advance(&self.cfg, &mut scratch, Goal::Deliver(w))?;
         let delivered = scratch.ws.worms[w as usize].delivered.expect("Deliver goal reached");
         self.spec = Some(scratch);
-        delivered
+        Ok(delivered)
     }
 
     /// Finishes the run: promotes the speculation (with no further sends it
@@ -1295,11 +1463,39 @@ impl ClosedLoop {
     /// one record per message in injection order, and hands per-channel
     /// utilization to the sink — byte-identical to what a batch
     /// [`FlitLevel`] produces for the same schedule.
-    pub(crate) fn finish_into<S: LogSink>(mut self, sink: &mut S) {
+    ///
+    /// With `sim_jobs > 1` the drain — the only whole-network advance left,
+    /// and the bulk of the remaining work on a large mesh — runs on the
+    /// sharded wavefront engine after splitting the committed mid-run
+    /// state; per-send answers were already returned and are untouched, so
+    /// `sim_jobs` cannot perturb them, and the drain itself is
+    /// cycle-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the drain wedges (the [`EngineError::Wedged`] display) —
+    /// the sink-returning `finish` contract has no error channel.
+    pub(crate) fn finish_into_jobs<S: LogSink>(mut self, sink: &mut S, sim_jobs: usize) {
         if let Some(spec) = self.spec.take() {
             self.committed = spec;
         }
-        Self::advance(&self.cfg, &mut self.committed, Goal::Drain);
+        let shards = shard::plan(sim_jobs, self.cfg.shape.height() as usize);
+        let result = if shards > 1 && self.committed.remaining > 0 {
+            let mut team = None;
+            shard::drain_sharded(
+                &self.cfg,
+                &mut self.committed.ws,
+                self.committed.clock,
+                self.committed.remaining,
+                shards,
+                &mut team,
+            )
+        } else {
+            Self::advance(&self.cfg, &mut self.committed, Goal::Drain)
+        };
+        if let Err(e) = result {
+            panic!("{e}");
+        }
         let cfg = self.cfg;
         let mut first_inject: Option<u64> = None;
         let mut last_delivery = 0u64;

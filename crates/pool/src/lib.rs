@@ -29,8 +29,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Resolves a `--jobs` knob: `0` means one worker per available hardware
 /// thread, anything else is taken literally.
@@ -40,6 +41,14 @@ pub fn resolve_jobs(jobs: usize) -> usize {
     } else {
         jobs
     }
+}
+
+/// Resolves a `--jobs` knob against an item count: the result never
+/// exceeds `items` (no point spawning workers with nothing to claim) and
+/// is always at least 1 so it can be used directly as a divisor or
+/// worker count.
+pub fn resolve_jobs_for(jobs: usize, items: usize) -> usize {
+    resolve_jobs(jobs).min(items).max(1)
 }
 
 /// Runs `f(0), f(1), …, f(count - 1)` across at most `jobs` scoped worker
@@ -98,6 +107,167 @@ where
         .collect()
 }
 
+/// A dispatched unit of work: boxed so a [`Team`]'s long-lived workers
+/// can run arbitrary closures without borrowing from the caller's stack.
+pub type Job = Box<dyn FnOnce() + Send>;
+
+struct TeamState {
+    /// Monotonic dispatch counter; bumping it wakes workers.
+    epoch: u64,
+    /// One slot per worker, filled at dispatch, taken by the worker.
+    jobs: Vec<Option<Job>>,
+    /// Workers that have not yet finished the current epoch.
+    remaining: usize,
+    /// First panic payload captured this epoch, rethrown by [`Team::run`].
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    shutdown: bool,
+}
+
+struct TeamShared {
+    state: Mutex<TeamState>,
+    /// Signaled when a new epoch's jobs are posted (or on shutdown).
+    work_ready: Condvar,
+    /// Signaled by the last worker to finish an epoch.
+    work_done: Condvar,
+}
+
+/// A long-lived worker team with barrier rendezvous, for callers that
+/// dispatch the *same* set of workers many times in a row (e.g. one
+/// simulation shard per worker, re-dispatched per drain) and cannot
+/// afford a thread spawn per round.
+///
+/// Unlike [`run_indexed`] — which is fork-join and claims indices from a
+/// cursor — a `Team` assigns exactly one [`Job`] per worker per
+/// [`run`](Team::run) call and blocks the caller until every worker has
+/// finished. Jobs are `'static` closures; share state with the caller
+/// through `Arc`s captured at dispatch time.
+///
+/// A panic inside any job is caught on the worker (keeping the
+/// rendezvous alive so sibling workers and the team itself stay usable)
+/// and rethrown verbatim from `run` on the calling thread.
+pub struct Team {
+    shared: Arc<TeamShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Team {
+    /// Spawns a team of exactly `workers.max(1)` threads.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(TeamShared {
+            state: Mutex::new(TeamState {
+                epoch: 0,
+                jobs: (0..workers).map(|_| None).collect(),
+                remaining: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || Self::worker(i, &shared))
+            })
+            .collect();
+        Team { shared, handles }
+    }
+
+    /// Spawns a team sized by [`resolve_jobs_for`]: the `jobs` knob
+    /// resolved against hardware parallelism, then capped at `items` so
+    /// no worker can ever sit idle by construction.
+    pub fn for_items(jobs: usize, items: usize) -> Self {
+        Self::new(resolve_jobs_for(jobs, items))
+    }
+
+    /// Number of worker threads in the team.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    fn worker(index: usize, shared: &TeamShared) {
+        let mut seen = 0u64;
+        loop {
+            let job = {
+                let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+                while !state.shutdown && state.epoch == seen {
+                    state = shared.work_ready.wait(state).unwrap_or_else(|e| e.into_inner());
+                }
+                if state.shutdown {
+                    return;
+                }
+                seen = state.epoch;
+                state.jobs[index].take()
+            };
+            let panicked =
+                job.and_then(|job| std::panic::catch_unwind(AssertUnwindSafe(job)).err());
+            let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(payload) = panicked {
+                state.panic.get_or_insert(payload);
+            }
+            state.remaining -= 1;
+            if state.remaining == 0 {
+                shared.work_done.notify_all();
+            }
+        }
+    }
+
+    /// Dispatches one job per worker and blocks until all have finished.
+    ///
+    /// Fewer jobs than workers is allowed (the surplus workers just
+    /// rendezvous); more jobs than workers is a caller bug and panics.
+    ///
+    /// # Panics
+    ///
+    /// Rethrows the first panic captured from any job, after the
+    /// barrier — the team itself remains usable afterwards.
+    pub fn run(&self, jobs: Vec<Job>) {
+        let workers = self.workers();
+        assert!(
+            jobs.len() <= workers,
+            "dispatched {} jobs to a team of {} workers",
+            jobs.len(),
+            workers
+        );
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert_eq!(state.remaining, 0, "run() while an epoch is in flight");
+        let mut it = jobs.into_iter();
+        for slot in state.jobs.iter_mut() {
+            *slot = it.next();
+        }
+        state.epoch += 1;
+        state.remaining = workers;
+        self.shared.work_ready.notify_all();
+        while state.remaining > 0 {
+            state = self.shared.work_done.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+        if let Some(payload) = state.panic.take() {
+            drop(state);
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl std::fmt::Debug for Team {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Team").field("workers", &self.workers()).finish()
+    }
+}
+
+impl Drop for Team {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +313,73 @@ mod tests {
             assert!(i != 5, "boom");
             i
         });
+    }
+
+    #[test]
+    fn resolve_jobs_for_caps_at_item_count() {
+        // `0` resolves to hardware threads but never exceeds the items.
+        assert_eq!(resolve_jobs_for(0, 2), resolve_jobs(0).min(2));
+        assert_eq!(resolve_jobs_for(16, 3), 3);
+        assert_eq!(resolve_jobs_for(2, 100), 2);
+        // Degenerate inputs still give a usable worker count.
+        assert_eq!(resolve_jobs_for(0, 0), 1);
+        assert_eq!(resolve_jobs_for(4, 1), 1);
+    }
+
+    #[test]
+    fn team_caps_workers_at_item_count() {
+        let team = Team::for_items(16, 3);
+        assert_eq!(team.workers(), 3);
+        let team = Team::for_items(16, 1);
+        assert_eq!(team.workers(), 1);
+        let team = Team::for_items(0, 2);
+        assert!(team.workers() <= 2);
+    }
+
+    #[test]
+    fn team_runs_jobs_across_epochs() {
+        use std::sync::atomic::AtomicU64;
+        let team = Team::new(3);
+        let total = Arc::new(AtomicU64::new(0));
+        for round in 0..5u64 {
+            let jobs: Vec<Job> = (0..3u64)
+                .map(|i| {
+                    let total = Arc::clone(&total);
+                    Box::new(move || {
+                        total.fetch_add(round * 10 + i, Ordering::Relaxed);
+                    }) as Job
+                })
+                .collect();
+            team.run(jobs);
+        }
+        // sum over rounds of (30*round + 3) = 30*10 + 15
+        assert_eq!(total.load(Ordering::Relaxed), 315);
+    }
+
+    #[test]
+    fn team_allows_fewer_jobs_than_workers() {
+        let team = Team::new(4);
+        let hit = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hit);
+        team.run(vec![Box::new(move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        })]);
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn team_survives_a_panicking_job() {
+        let team = Team::new(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            team.run(vec![Box::new(|| panic!("job blew up"))]);
+        }));
+        assert!(caught.is_err());
+        // The team is still usable after the rethrow.
+        let ok = Arc::new(AtomicUsize::new(0));
+        let o = Arc::clone(&ok);
+        team.run(vec![Box::new(move || {
+            o.store(7, Ordering::Relaxed);
+        })]);
+        assert_eq!(ok.load(Ordering::Relaxed), 7);
     }
 }

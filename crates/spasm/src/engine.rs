@@ -130,7 +130,9 @@ where
 {
     match cfg.engine {
         EngineKind::Recurrence => run_with(cfg, setup, body, OnlineWormhole::new(cfg.mesh)),
-        EngineKind::FlitLevel => run_with(cfg, setup, body, IncrementalFlit::new(cfg.mesh)),
+        EngineKind::FlitLevel { sim_jobs } => {
+            run_with(cfg, setup, body, IncrementalFlit::new(cfg.mesh).with_sim_jobs(sim_jobs))
+        }
     }
 }
 
@@ -1052,7 +1054,7 @@ mod tests {
         // completion, deterministically, with a consistent trace/log pair.
         let go = || {
             run(
-                cfg(4).with_engine(commchar_mesh::EngineKind::FlitLevel),
+                cfg(4).with_engine(commchar_mesh::EngineKind::flit()),
                 |m| m.alloc(64),
                 |ctx, &r| {
                     let p = ctx.proc_id();
@@ -1085,7 +1087,7 @@ mod tests {
         };
         let rec = run(cfg(4), |m| m.alloc(64), move |c, r| body(c, r));
         let flit = run(
-            cfg(4).with_engine(commchar_mesh::EngineKind::FlitLevel),
+            cfg(4).with_engine(commchar_mesh::EngineKind::flit()),
             |m| m.alloc(64),
             move |c, r| body(c, r),
         );

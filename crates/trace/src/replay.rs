@@ -139,7 +139,9 @@ impl CausalReplayer {
     pub fn try_replay(&self, trace: &CommTrace, kind: EngineKind) -> Result<NetLog, ReplayError> {
         match kind {
             EngineKind::Recurrence => self.replay_engine(trace, OnlineWormhole::new(self.cfg)),
-            EngineKind::FlitLevel => self.replay_engine(trace, IncrementalFlit::new(self.cfg)),
+            EngineKind::FlitLevel { sim_jobs } => {
+                self.replay_engine(trace, IncrementalFlit::new(self.cfg).with_sim_jobs(sim_jobs))
+            }
         }
     }
 
@@ -156,8 +158,9 @@ impl CausalReplayer {
             EngineKind::Recurrence => {
                 self.replay_engine(trace, OnlineWormhole::with_sink(self.cfg, sink))
             }
-            EngineKind::FlitLevel => {
-                self.replay_engine(trace, IncrementalFlit::with_sink(self.cfg, sink))
+            EngineKind::FlitLevel { sim_jobs } => {
+                let net = IncrementalFlit::with_sink(self.cfg, sink).with_sim_jobs(sim_jobs);
+                self.replay_engine(trace, net)
             }
         }
     }
@@ -415,7 +418,7 @@ mod tests {
         tr.push(ev(0, 0, 0, 1, 256));
         tr.push(ev(1, 1, 1, 2, 8).after(0));
         let cfg = MeshConfig::for_nodes(4);
-        let log = CausalReplayer::new(cfg).try_replay(&tr, EngineKind::FlitLevel).unwrap();
+        let log = CausalReplayer::new(cfg).try_replay(&tr, EngineKind::flit()).unwrap();
         assert_eq!(log.records().len(), 2);
         // The dependent send was injected no earlier than the delivery
         // time the flit engine reported for its dependency at send time.

@@ -11,18 +11,23 @@
 # check (the same workload characterized with --jobs 1 and --jobs 4 must
 # print identical reports), an engine diff (replaying the checked-in
 # fixture trace with --engine recurrence must stay byte-identical to the
-# output captured before the NetEngine refactor), and a streaming smoke
+# output captured before the NetEngine refactor), a streaming smoke
 # (a packed trace with a deliberately small block budget characterized
 # out-of-core with --stream must print byte-identically to the in-memory
-# --no-replay pass over the same events).
+# --no-replay pass over the same events), and a sharded-simulator smoke
+# (the same trace replayed with --engine flit at --sim-jobs 1 and
+# --sim-jobs 4 must print byte-identically: the wavefront shards are
+# cycle-identical to the serial event loop).
 #
 # Flags:
-#   --bench-smoke   additionally run the flit throughput, trace store,
-#                   characterization and closed-loop engine benches in
-#                   quick mode; they cross-check their fast paths against
-#                   references for identity and rewrite BENCH_flit.json /
-#                   BENCH_trace.json / BENCH_fit.json / BENCH_engine.json
-#                   so future PRs have perf baselines to compare against.
+#   --bench-smoke   additionally run the flit throughput, sharded
+#                   simulator, trace store, characterization and
+#                   closed-loop engine benches in quick mode; they
+#                   cross-check their fast paths against references for
+#                   identity and rewrite BENCH_flit.json /
+#                   BENCH_shard.json / BENCH_trace.json / BENCH_fit.json
+#                   / BENCH_engine.json so future PRs have perf baselines
+#                   to compare against.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -79,9 +84,16 @@ cargo run --release -q -- replay --trace tests/fixtures/engine_diff.trace.jsonl 
 diff tests/fixtures/engine_diff.replay.txt "$tmpdir/replay.rec.txt"
 cargo run --release -q -- replay --trace tests/fixtures/engine_diff.trace.jsonl --engine flit | sed 's/^/    /'
 
+echo "==> sharded simulator smoke (--sim-jobs 4 vs --sim-jobs 1 diff)"
+cargo run --release -q -- replay --trace tests/fixtures/engine_diff.trace.jsonl --engine flit --sim-jobs 1 >"$tmpdir/replay.s1.txt"
+cargo run --release -q -- replay --trace tests/fixtures/engine_diff.trace.jsonl --engine flit --sim-jobs 4 >"$tmpdir/replay.s4.txt"
+diff "$tmpdir/replay.s1.txt" "$tmpdir/replay.s4.txt"
+
 if [ "$bench_smoke" -eq 1 ]; then
     echo "==> flit throughput bench (quick smoke)"
     cargo run --release -p commchar-bench --bin bench_flit -- --quick
+    echo "==> sharded simulator bench (quick smoke)"
+    cargo run --release -p commchar-bench --bin bench_shard -- --quick
     echo "==> trace store bench (quick smoke)"
     cargo run --release -p commchar-bench --bin bench_trace -- --quick
     echo "==> characterization fit bench (quick smoke)"

@@ -80,7 +80,7 @@ pub fn parse_engine(s: &str) -> Result<EngineKind, CliError> {
 fn engine_tag(engine: EngineKind) -> &'static str {
     match engine {
         EngineKind::Recurrence => "",
-        EngineKind::FlitLevel => "flit engine; ",
+        EngineKind::FlitLevel { .. } => "flit engine; ",
     }
 }
 
@@ -270,7 +270,7 @@ pub fn cmd_replay(input: &[u8], engine: EngineKind) -> Result<String, CliError> 
         "replayed {} messages on a {} -node mesh{}",
         causal.messages,
         trace.nodes(),
-        if engine == EngineKind::FlitLevel { " (flit engine)" } else { "" }
+        if engine.is_flit() { " (flit engine)" } else { "" }
     );
     let _ = writeln!(
         out,
@@ -425,6 +425,11 @@ OPTIONS:
                     wormhole model, default) or flit (cycle-accurate flit-level
                     router run incrementally). The recurrence default keeps
                     output byte-identical to earlier releases.
+    --sim-jobs N    worker threads for the flit simulator itself (requires
+                    --engine flit): the mesh is partitioned into row bands
+                    run as a conservative-window wavefront. 1 = serial
+                    (default), 0 = one per hardware thread. Cycle-identical:
+                    output is byte-identical for any value.
     --streaming     replay with online statistics only (constant memory)
     --stream        characterize a packed trace block-by-block (constant memory)
     --no-replay     characterize without the network-behaviour section
@@ -625,8 +630,7 @@ mod tests {
 
     #[test]
     fn flit_engine_runs_every_command_surface() {
-        let common =
-            Common { procs: 4, scale: Scale::Tiny, seed: 1, engine: EngineKind::FlitLevel };
+        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1, engine: EngineKind::flit() };
         // run: closed-loop acquisition through the cycle-accurate router.
         let (report, trace) = cmd_run("is", common).unwrap();
         assert!(report.contains("ran is on 4 processors"));
@@ -636,18 +640,18 @@ mod tests {
         assert!(sig.contains("temporal attribute"));
         // replay: the header names the engine; the recurrence header does not.
         let jsonl = trace.to_jsonl();
-        let flit = cmd_replay(jsonl.as_bytes(), EngineKind::FlitLevel).unwrap();
+        let flit = cmd_replay(jsonl.as_bytes(), EngineKind::flit()).unwrap();
         assert!(flit.contains("(flit engine)"));
         let rec = cmd_replay(jsonl.as_bytes(), EngineKind::Recurrence).unwrap();
         assert!(!rec.contains("flit"));
-        let streaming = cmd_replay_streaming(jsonl.as_bytes(), EngineKind::FlitLevel).unwrap();
+        let streaming = cmd_replay_streaming(jsonl.as_bytes(), EngineKind::flit()).unwrap();
         assert!(streaming.contains("flit engine; streaming"));
     }
 
     #[test]
     fn engine_names_parse_and_reject() {
         assert_eq!(parse_engine("recurrence").unwrap(), EngineKind::Recurrence);
-        assert_eq!(parse_engine("flit").unwrap(), EngineKind::FlitLevel);
+        assert_eq!(parse_engine("flit").unwrap(), EngineKind::flit());
         assert!(parse_engine("csim").is_err());
     }
 

@@ -10,6 +10,7 @@ struct Args {
     out: Option<String>,
     trace: Option<String>,
     jobs: usize,
+    sim_jobs: Option<usize>,
     block_jobs: usize,
     block_len: usize,
     streaming: bool,
@@ -25,6 +26,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         out: None,
         trace: None,
         jobs: 0,
+        sim_jobs: None,
         block_jobs: 0,
         block_len: 0,
         streaming: false,
@@ -41,6 +43,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .ok_or("--jobs needs a value")?
                     .parse()
                     .map_err(|_| "--jobs needs an integer")?;
+            }
+            "--sim-jobs" => {
+                args.sim_jobs = Some(
+                    it.next()
+                        .ok_or("--sim-jobs needs a value")?
+                        .parse()
+                        .map_err(|_| "--sim-jobs needs an integer")?,
+                );
             }
             "--block-jobs" => {
                 args.block_jobs = it
@@ -87,6 +97,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             other if other.starts_with("--") => return Err(format!("unknown option {other:?}")),
             other => args.positional.push(other.to_string()),
         }
+    }
+    // `--sim-jobs` shards the flit simulator; position-independent of
+    // `--engine`, so it is folded into the engine after the loop.
+    if let Some(n) = args.sim_jobs {
+        if !args.common.engine.is_flit() {
+            return Err("--sim-jobs requires --engine flit".to_string());
+        }
+        args.common.engine = args.common.engine.with_sim_jobs(n);
     }
     Ok(args)
 }
