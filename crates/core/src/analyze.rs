@@ -77,7 +77,7 @@ pub fn try_analyze_trace(
     let seg = SegmentExtract::from_events(trace.nodes(), events).expect("events are sorted");
     let mut accum = StreamAccum::new(trace.nodes());
     accum.absorb(&seg).expect("a single segment is in order");
-    analyze_extract(accum.finish(), shape, jobs)
+    try_analyze_extract(accum.finish(), shape, jobs)
 }
 
 /// Blocks condensed to partials per worker-pool round; the sequential
@@ -129,12 +129,24 @@ pub fn try_analyze_blocks<R: BlockSource>(
         }
         base += n;
     }
-    analyze_extract(accum.finish(), shape, jobs)
+    try_analyze_extract(accum.finish(), shape, jobs)
 }
 
 /// The shared back half: grouped gap runs → parallel fits → spatial
 /// classification → volume attribute.
-fn analyze_extract(
+///
+/// Public because it is also the **online** funnel: a live producer that
+/// owns a [`StreamAccum`] (the `commchar-serve` session state, an engine
+/// feeding characterization mid-run) snapshots its accumulator, finishes
+/// it, and calls this — landing in exactly the fit path both offline
+/// drivers use, which is what makes a polled live report byte-identical
+/// to the offline analysis of the same events.
+///
+/// # Errors
+///
+/// [`CharError::DegenerateTemporal`] when fewer than two aggregate
+/// inter-arrival gaps have been observed.
+pub fn try_analyze_extract(
     x: StreamExtract,
     shape: MeshShape,
     jobs: usize,

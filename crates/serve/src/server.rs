@@ -1,0 +1,661 @@
+//! The characterization server: session state, connection multiplexing
+//! and the command state machine.
+//!
+//! ## Architecture
+//!
+//! One nonblocking acceptor + `workers` long-lived connection workers
+//! dispatched as a single [`commchar_pool::Team`] epoch. Each worker owns
+//! a private set of connections (new sockets are claimed from a shared
+//! queue), sweeps them with nonblocking reads, parses complete frames via
+//! [`decode_frame`] and answers in place —
+//! so hundreds of idle-ish clients multiplex over a handful of threads
+//! with no thread-per-connection explosion. Worker 0 additionally accepts
+//! new connections and runs the idle-session eviction sweep.
+//!
+//! ## Session state machine
+//!
+//! ```text
+//! OpenSession ──▶ OPEN ──TraceBlocks──▶ OPEN (absorb, ack)
+//!                  │  ╲──Poll──────────▶ OPEN (live report)
+//!                  │  ╲──bad block─────▶ FAILED (poisoned, typed reason)
+//!                  │  ╲──idle > limit──▶ evicted (UnknownSession after)
+//!                  └──CloseSession─────▶ closed (final report)
+//! ```
+//!
+//! Each open session owns the streaming-extraction state of the offline
+//! pipeline — a [`StreamAccum`] folding CCTRACE1 block payloads exactly
+//! as `characterize --stream` folds file blocks — so a `Poll` snapshots
+//! the accumulator and funnels it through
+//! [`commchar_core::analyze::try_analyze_extract`], the *same* fit path
+//! the offline drivers use. The final `CloseSession` report is therefore
+//! byte-identical to offline `characterize --no-replay` on the same
+//! events (pinned by tests and the `check.sh` serve smoke).
+//!
+//! ## Backpressure and eviction
+//!
+//! Block payloads land in a bounded per-session inbox before digestion;
+//! a frame that would overflow the inbox is refused with a typed
+//! [`ServeError::Backpressure`] frame (nothing is partially applied —
+//! the client retries after draining). Sessions idle longer than
+//! [`ServeConfig::idle_timeout`] are evicted by the housekeeping sweep
+//! and count into [`ServerStats::evictions`].
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use commchar_core::analyze::try_analyze_extract;
+use commchar_core::report::analysis_report;
+use commchar_core::CharError;
+use commchar_mesh::{MeshConfig, MeshShape};
+use commchar_trace::profile::{SegmentExtract, StreamAccum};
+use commchar_tracestore::decode_event_block;
+
+use crate::protocol::{
+    decode_frame, encode_frame, Msg, ServeError, ServerStats, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+};
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Connection worker threads (`0` = one per hardware thread).
+    pub workers: usize,
+    /// Worker fan-out for the distribution fits answering one poll. The
+    /// default of 1 keeps a poll on its connection worker; raise it when
+    /// few sessions poll huge per-source counts.
+    pub fit_jobs: usize,
+    /// Largest accepted frame payload, bytes.
+    pub max_frame: u32,
+    /// Per-session inbox capacity, bytes — the backpressure bound.
+    pub session_buffer: u64,
+    /// Idle time after which a session is evicted.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            fit_jobs: 1,
+            max_frame: DEFAULT_MAX_FRAME,
+            // 64 MiB: a generous burst allowance that still bounds a
+            // misbehaving client to a fixed footprint.
+            session_buffer: 64 << 20,
+            idle_timeout: Duration::from_secs(300),
+        }
+    }
+}
+
+/// Server-wide atomic counters (snapshotted into [`ServerStats`]).
+#[derive(Debug, Default)]
+struct Counters {
+    sessions_opened: AtomicU64,
+    sessions_closed: AtomicU64,
+    evictions: AtomicU64,
+    frames: AtomicU64,
+    frame_errors: AtomicU64,
+    events: AtomicU64,
+    bytes: AtomicU64,
+    polls: AtomicU64,
+}
+
+/// One live session: the online twin of the offline streaming pipeline.
+#[derive(Debug)]
+struct Session {
+    nodes: usize,
+    shape: MeshShape,
+    /// Last-activity clock, milliseconds since server start (atomic so
+    /// the eviction sweep can scan without taking session locks).
+    last_ms: AtomicU64,
+    inner: Mutex<SessionInner>,
+}
+
+#[derive(Debug)]
+struct SessionInner {
+    /// Received-but-undigested block payloads, FIFO. Bounded by
+    /// [`ServeConfig::session_buffer`].
+    inbox: VecDeque<Vec<u8>>,
+    inbox_bytes: u64,
+    /// The streaming accumulator — identical state to the offline
+    /// `--stream` pass after the same blocks.
+    accum: StreamAccum,
+    /// Events absorbed (digested, not merely buffered).
+    events: u64,
+    /// First streaming error, if any: the session is poisoned and every
+    /// later command answers `SessionFailed`.
+    failed: Option<ServeError>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    cfg: ServeConfig,
+    sessions: Mutex<HashMap<u64, Arc<Session>>>,
+    next_session: AtomicU64,
+    shutdown: AtomicBool,
+    counters: Counters,
+    start: Instant,
+}
+
+impl Shared {
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn stats(&self) -> ServerStats {
+        let c = &self.counters;
+        ServerStats {
+            sessions_open: self.sessions.lock().unwrap_or_else(|e| e.into_inner()).len() as u64,
+            sessions_opened: c.sessions_opened.load(Ordering::Relaxed),
+            sessions_closed: c.sessions_closed.load(Ordering::Relaxed),
+            evictions: c.evictions.load(Ordering::Relaxed),
+            frames: c.frames.load(Ordering::Relaxed),
+            frame_errors: c.frame_errors.load(Ordering::Relaxed),
+            events: c.events.load(Ordering::Relaxed),
+            bytes: c.bytes.load(Ordering::Relaxed),
+            polls: c.polls.load(Ordering::Relaxed),
+            uptime_ms: self.now_ms(),
+        }
+    }
+}
+
+fn char_error(session: u64, e: CharError) -> ServeError {
+    match e {
+        CharError::EmptyTrace => ServeError::Degenerate { gaps: 0 },
+        CharError::DegenerateTemporal { gaps } => ServeError::Degenerate { gaps: gaps as u64 },
+        CharError::Unsorted { prev, at } => ServeError::Unsorted { prev, at },
+        CharError::Store(reason) => {
+            ServeError::SessionFailed { session, reason: format!("store: {reason}") }
+        }
+    }
+}
+
+impl Session {
+    /// Drains the inbox into the accumulator. Any failure poisons the
+    /// session; remaining buffered blocks are dropped.
+    fn digest(&self, inner: &mut SessionInner, counters: &Counters) {
+        while let Some(payload) = inner.inbox.pop_front() {
+            inner.inbox_bytes -= payload.len() as u64;
+            if inner.failed.is_some() {
+                continue;
+            }
+            let events = match decode_event_block(&payload, self.nodes) {
+                Ok(events) => events,
+                Err(e) => {
+                    inner.failed = Some(ServeError::Store { reason: e.to_string() });
+                    continue;
+                }
+            };
+            let seg = match SegmentExtract::from_events(self.nodes, &events) {
+                Ok(seg) => seg,
+                Err(e) => {
+                    inner.failed = Some(ServeError::Unsorted { prev: e.prev, at: e.at });
+                    continue;
+                }
+            };
+            if let Err(e) = inner.accum.absorb(&seg) {
+                inner.failed = Some(ServeError::Unsorted { prev: e.prev, at: e.at });
+                continue;
+            }
+            inner.events += events.len() as u64;
+            counters.events.fetch_add(events.len() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshots the accumulator and runs the shared offline fit path.
+    fn report(
+        &self,
+        id: u64,
+        inner: &mut SessionInner,
+        fit_jobs: usize,
+    ) -> Result<String, ServeError> {
+        if let Some(e) = &inner.failed {
+            return Err(ServeError::SessionFailed { session: id, reason: e.to_string() });
+        }
+        let x = inner.accum.clone().finish();
+        let analysis =
+            try_analyze_extract(x, self.shape, fit_jobs).map_err(|e| char_error(id, e))?;
+        Ok(analysis_report(&analysis, "trace"))
+    }
+}
+
+/// Per-connection protocol state.
+struct Conn {
+    stream: TcpStream,
+    /// Unparsed received bytes (at most one partial frame after a sweep).
+    buf: Vec<u8>,
+    /// Whether the `Hello` handshake completed.
+    greeted: bool,
+    dead: bool,
+}
+
+/// What handling one message asks of the connection loop.
+struct Outcome {
+    reply: Msg,
+    close: bool,
+    shutdown: bool,
+}
+
+impl Outcome {
+    fn reply(reply: Msg) -> Self {
+        Outcome { reply, close: false, shutdown: false }
+    }
+}
+
+fn handle_msg(shared: &Shared, conn: &mut Conn, msg: Msg) -> Outcome {
+    if shared.shutdown.load(Ordering::Relaxed) {
+        return Outcome {
+            reply: Msg::Error(ServeError::ShuttingDown),
+            close: true,
+            shutdown: false,
+        };
+    }
+    if !conn.greeted {
+        return match msg {
+            Msg::Hello { version } if version == PROTOCOL_VERSION => {
+                conn.greeted = true;
+                Outcome::reply(Msg::HelloOk {
+                    version: PROTOCOL_VERSION,
+                    max_frame: shared.cfg.max_frame,
+                    session_buffer: shared.cfg.session_buffer,
+                })
+            }
+            Msg::Hello { version } => Outcome {
+                reply: Msg::Error(ServeError::BadVersion {
+                    client: version,
+                    server: PROTOCOL_VERSION,
+                }),
+                close: true,
+                shutdown: false,
+            },
+            _ => Outcome {
+                reply: Msg::Error(ServeError::Malformed {
+                    context: "expected Hello as the first command".to_string(),
+                }),
+                close: true,
+                shutdown: false,
+            },
+        };
+    }
+    match msg {
+        Msg::Hello { .. } => Outcome::reply(Msg::Error(ServeError::Malformed {
+            context: "duplicate Hello".to_string(),
+        })),
+        Msg::OpenSession { nodes } => {
+            if nodes == 0 || nodes > u16::MAX as u32 + 1 {
+                return Outcome::reply(Msg::Error(ServeError::Malformed {
+                    context: format!("cannot open a session over {nodes} nodes"),
+                }));
+            }
+            let id = shared.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+            let session = Arc::new(Session {
+                nodes: nodes as usize,
+                shape: MeshConfig::for_nodes(nodes as usize).shape,
+                last_ms: AtomicU64::new(shared.now_ms()),
+                inner: Mutex::new(SessionInner {
+                    inbox: VecDeque::new(),
+                    inbox_bytes: 0,
+                    accum: StreamAccum::new(nodes as usize),
+                    events: 0,
+                    failed: None,
+                }),
+            });
+            shared.sessions.lock().unwrap_or_else(|e| e.into_inner()).insert(id, session);
+            shared.counters.sessions_opened.fetch_add(1, Ordering::Relaxed);
+            Outcome::reply(Msg::SessionOpened { session: id })
+        }
+        Msg::TraceBlocks { session: id, blocks } => {
+            let Some(session) = lookup(shared, id) else {
+                return Outcome::reply(Msg::Error(ServeError::UnknownSession { session: id }));
+            };
+            session.last_ms.store(shared.now_ms(), Ordering::Relaxed);
+            let mut inner = session.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(e) = &inner.failed {
+                return Outcome::reply(Msg::Error(ServeError::SessionFailed {
+                    session: id,
+                    reason: e.to_string(),
+                }));
+            }
+            let incoming: u64 = blocks.iter().map(|b| b.len() as u64).sum();
+            if inner.inbox_bytes + incoming > shared.cfg.session_buffer {
+                return Outcome::reply(Msg::Error(ServeError::Backpressure {
+                    session: id,
+                    buffered: inner.inbox_bytes,
+                    capacity: shared.cfg.session_buffer,
+                }));
+            }
+            inner.inbox_bytes += incoming;
+            for b in blocks {
+                inner.inbox.push_back(b);
+            }
+            shared.counters.bytes.fetch_add(incoming, Ordering::Relaxed);
+            session.digest(&mut inner, &shared.counters);
+            if let Some(e) = &inner.failed {
+                return Outcome::reply(Msg::Error(ServeError::SessionFailed {
+                    session: id,
+                    reason: e.to_string(),
+                }));
+            }
+            Outcome::reply(Msg::BlocksAck {
+                session: id,
+                events: inner.events,
+                buffered: inner.inbox_bytes,
+            })
+        }
+        Msg::Poll { session: id } => {
+            let Some(session) = lookup(shared, id) else {
+                return Outcome::reply(Msg::Error(ServeError::UnknownSession { session: id }));
+            };
+            session.last_ms.store(shared.now_ms(), Ordering::Relaxed);
+            let mut inner = session.inner.lock().unwrap_or_else(|e| e.into_inner());
+            session.digest(&mut inner, &shared.counters);
+            match session.report(id, &mut inner, shared.cfg.fit_jobs) {
+                Ok(text) => {
+                    shared.counters.polls.fetch_add(1, Ordering::Relaxed);
+                    Outcome::reply(Msg::Report {
+                        session: id,
+                        events: inner.events,
+                        is_final: false,
+                        text,
+                    })
+                }
+                Err(e) => Outcome::reply(Msg::Error(e)),
+            }
+        }
+        Msg::CloseSession { session: id } => {
+            let Some(session) =
+                shared.sessions.lock().unwrap_or_else(|e| e.into_inner()).remove(&id)
+            else {
+                return Outcome::reply(Msg::Error(ServeError::UnknownSession { session: id }));
+            };
+            shared.counters.sessions_closed.fetch_add(1, Ordering::Relaxed);
+            let mut inner = session.inner.lock().unwrap_or_else(|e| e.into_inner());
+            session.digest(&mut inner, &shared.counters);
+            match session.report(id, &mut inner, shared.cfg.fit_jobs) {
+                Ok(text) => {
+                    shared.counters.polls.fetch_add(1, Ordering::Relaxed);
+                    Outcome::reply(Msg::Report {
+                        session: id,
+                        events: inner.events,
+                        is_final: true,
+                        text,
+                    })
+                }
+                // The session is gone either way — a degenerate close
+                // reports the typed error instead of a fabricated report.
+                Err(e) => Outcome::reply(Msg::Error(e)),
+            }
+        }
+        Msg::Stats => Outcome::reply(Msg::StatsReport(shared.stats())),
+        Msg::Shutdown => Outcome { reply: Msg::ShutdownOk, close: true, shutdown: true },
+        // Response opcodes arriving as commands are a client bug.
+        other => Outcome::reply(Msg::Error(ServeError::Malformed {
+            context: format!("response opcode sent as a command: {other:?}"),
+        })),
+    }
+}
+
+fn lookup(shared: &Shared, id: u64) -> Option<Arc<Session>> {
+    shared.sessions.lock().unwrap_or_else(|e| e.into_inner()).get(&id).cloned()
+}
+
+/// Writes a whole frame to a nonblocking socket, retrying `WouldBlock`
+/// with short sleeps up to a 10-second stall deadline.
+fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> std::io::Result<()> {
+    let mut written = 0;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while written < frame.len() {
+        match stream.write(&frame[written..]) {
+            Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() > deadline {
+                    return Err(std::io::ErrorKind::TimedOut.into());
+                }
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Per-sweep read budget per connection: enough to drain a burst, small
+/// enough that one firehose client cannot starve its worker's siblings.
+const READ_BUDGET: usize = 1 << 20;
+
+/// Sweeps one connection: drain readable bytes, parse and answer every
+/// complete frame. Returns true if any byte moved (progress).
+fn sweep_conn(shared: &Shared, conn: &mut Conn) -> bool {
+    let mut progress = false;
+    let mut chunk = [0u8; 64 * 1024];
+    let mut read = 0;
+    while read < READ_BUDGET {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => {
+                conn.buf.extend_from_slice(&chunk[..n]);
+                read += n;
+                progress = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    let mut pos = 0;
+    loop {
+        match decode_frame(&conn.buf[pos..], shared.cfg.max_frame) {
+            Ok(None) => break,
+            Ok(Some((msg, consumed))) => {
+                pos += consumed;
+                progress = true;
+                shared.counters.frames.fetch_add(1, Ordering::Relaxed);
+                let out = handle_msg(shared, conn, msg);
+                if write_frame(&mut conn.stream, &encode_frame(&out.reply)).is_err() {
+                    conn.dead = true;
+                }
+                if out.shutdown {
+                    shared.shutdown.store(true, Ordering::Relaxed);
+                }
+                if out.close {
+                    conn.dead = true;
+                }
+                if conn.dead {
+                    break;
+                }
+            }
+            Err(e) => {
+                // The byte stream is desynchronized: answer with the
+                // typed error and close.
+                shared.counters.frame_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(&mut conn.stream, &encode_frame(&Msg::Error(e)));
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    if pos > 0 {
+        conn.buf.drain(..pos);
+    }
+    progress
+}
+
+/// How often worker 0 scans for idle sessions.
+const EVICT_SWEEP_EVERY: Duration = Duration::from_millis(25);
+
+/// A bound characterization server. [`run`](Server::run) blocks the
+/// calling thread; [`spawn`](Server::spawn) runs it on a background
+/// thread and hands back a [`ServerHandle`] for tests and embedders.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds to `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind errors.
+    pub fn bind(addr: &str, cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            shared: Arc::new(Shared {
+                cfg,
+                sessions: Mutex::new(HashMap::new()),
+                next_session: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+                counters: Counters::default(),
+                start: Instant::now(),
+            }),
+        })
+    }
+
+    /// The bound address (reports the ephemeral port after `:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves until a `Shutdown` command arrives (or
+    /// [`ServerHandle::shutdown`] is called on a spawned server), then
+    /// returns the final counters.
+    ///
+    /// Connection work is multiplexed over a [`commchar_pool::Team`] of
+    /// [`ServeConfig::workers`] long-lived threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the listener cannot be switched to nonblocking mode.
+    pub fn run(self) -> ServerStats {
+        self.listener.set_nonblocking(true).expect("nonblocking listener");
+        let workers = commchar_pool::resolve_jobs(self.shared.cfg.workers);
+        let team = commchar_pool::Team::new(workers);
+        let listener = Arc::new(self.listener);
+        let pending: Arc<Mutex<VecDeque<TcpStream>>> = Arc::new(Mutex::new(VecDeque::new()));
+        let jobs: Vec<commchar_pool::Job> = (0..team.workers())
+            .map(|w| {
+                let shared = Arc::clone(&self.shared);
+                let listener = Arc::clone(&listener);
+                let pending = Arc::clone(&pending);
+                Box::new(move || worker_loop(w, &shared, &listener, &pending)) as commchar_pool::Job
+            })
+            .collect();
+        team.run(jobs);
+        self.shared.stats()
+    }
+
+    /// Runs the server on a background thread.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.addr;
+        let shared = Arc::clone(&self.shared);
+        let thread = std::thread::spawn(move || self.run());
+        ServerHandle { addr, shared, thread }
+    }
+}
+
+fn worker_loop(
+    index: usize,
+    shared: &Shared,
+    listener: &TcpListener,
+    pending: &Mutex<VecDeque<TcpStream>>,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut last_evict = Instant::now();
+    loop {
+        let mut progress = false;
+        if index == 0 {
+            // Accept duty: claim every waiting socket this sweep.
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        pending.lock().unwrap_or_else(|e| e.into_inner()).push_back(stream);
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+            // Housekeeping: evict idle sessions.
+            if last_evict.elapsed() >= EVICT_SWEEP_EVERY {
+                last_evict = Instant::now();
+                let timeout_ms = shared.cfg.idle_timeout.as_millis() as u64;
+                let now = shared.now_ms();
+                let mut sessions = shared.sessions.lock().unwrap_or_else(|e| e.into_inner());
+                let before = sessions.len();
+                sessions.retain(|_, s| {
+                    now.saturating_sub(s.last_ms.load(Ordering::Relaxed)) <= timeout_ms
+                });
+                let evicted = (before - sessions.len()) as u64;
+                if evicted > 0 {
+                    shared.counters.evictions.fetch_add(evicted, Ordering::Relaxed);
+                }
+            }
+        }
+        // Claim one pending connection per sweep: busy workers claim
+        // less often, so load balances itself.
+        if let Some(stream) = pending.lock().unwrap_or_else(|e| e.into_inner()).pop_front() {
+            conns.push(Conn { stream, buf: Vec::new(), greeted: false, dead: false });
+            progress = true;
+        }
+        for conn in &mut conns {
+            progress |= sweep_conn(shared, conn);
+        }
+        conns.retain(|c| !c.dead);
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        if !progress {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+/// Handle to a server spawned on a background thread.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    thread: std::thread::JoinHandle<ServerStats>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A live snapshot of the server counters (without a round-trip).
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Flags shutdown and joins the server thread, returning the final
+    /// counters.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from the server thread.
+    pub fn shutdown(self) -> ServerStats {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.thread.join().expect("server thread panicked")
+    }
+}

@@ -54,7 +54,7 @@ pub mod reader;
 mod varint;
 pub mod writer;
 
-use commchar_trace::CommTrace;
+use commchar_trace::{CommEvent, CommTrace};
 
 pub use reader::{
     profile_packed, unpack_netlog, unpack_trace, unpack_trace_parallel, BlockSource, FileReader,
@@ -209,8 +209,30 @@ pub fn load_trace(bytes: &[u8]) -> Result<CommTrace, TraceStoreError> {
     CommTrace::from_jsonl(text).map_err(TraceStoreError::Jsonl)
 }
 
-/// FNV-1a 32-bit checksum over a byte slice (the per-block checksum).
-pub(crate) fn fnv1a(bytes: &[u8]) -> u32 {
+/// Encodes one run of events as a standalone CCTRACE1 block payload — the
+/// exact bytes a [`TraceWriter`] would put inside one block frame, without
+/// the file header/footer. This is the unit the `commchar-serve` protocol
+/// ships in its `TraceBlocks` frames, so a served stream and a packed file
+/// share one column codec.
+pub fn encode_event_block(events: &[CommEvent]) -> Vec<u8> {
+    columns::encode_events(events)
+}
+
+/// Decodes one standalone CCTRACE1 block payload (the inverse of
+/// [`encode_event_block`]); `nodes` bounds endpoint validation exactly as
+/// the file reader does.
+///
+/// # Errors
+///
+/// A typed [`TraceStoreError`] on any corrupt-payload shape — truncation,
+/// varint overflow, out-of-range endpoints, bad kind codes.
+pub fn decode_event_block(payload: &[u8], nodes: usize) -> Result<Vec<CommEvent>, TraceStoreError> {
+    columns::decode_events(payload, nodes)
+}
+
+/// FNV-1a 32-bit checksum over a byte slice — the per-block checksum of
+/// the file format, shared by the `commchar-serve` frame protocol.
+pub fn fnv1a(bytes: &[u8]) -> u32 {
     let mut h: u32 = 0x811c_9dc5;
     for &b in bytes {
         h ^= b as u32;

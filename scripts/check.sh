@@ -14,19 +14,23 @@
 # output captured before the NetEngine refactor), a streaming smoke
 # (a packed trace with a deliberately small block budget characterized
 # out-of-core with --stream must print byte-identically to the in-memory
-# --no-replay pass over the same events), and a sharded-simulator smoke
+# --no-replay pass over the same events), a sharded-simulator smoke
 # (the same trace replayed with --engine flit at --sim-jobs 1 and
 # --sim-jobs 4 must print byte-identically: the wavefront shards are
-# cycle-identical to the serial event loop).
+# cycle-identical to the serial event loop), and a serve smoke (a server
+# on an ephemeral port, the fixture replayed through serve-feed with
+# mid-stream polls, and the polled final report diffed against offline
+# characterize --no-replay: the wire must not change a byte).
 #
 # Flags:
 #   --bench-smoke   additionally run the flit throughput, sharded
-#                   simulator, trace store, characterization and
-#                   closed-loop engine benches in quick mode; they
-#                   cross-check their fast paths against references for
-#                   identity and rewrite BENCH_flit.json /
-#                   BENCH_shard.json / BENCH_trace.json / BENCH_fit.json
-#                   / BENCH_engine.json so future PRs have perf baselines
+#                   simulator, trace store, characterization,
+#                   closed-loop engine and characterization-server
+#                   benches in quick mode; they cross-check their fast
+#                   paths against references for identity and rewrite
+#                   BENCH_flit.json / BENCH_shard.json / BENCH_trace.json
+#                   / BENCH_fit.json / BENCH_engine.json /
+#                   BENCH_serve.json so future PRs have perf baselines
 #                   to compare against.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -89,6 +93,26 @@ cargo run --release -q -- replay --trace tests/fixtures/engine_diff.trace.jsonl 
 cargo run --release -q -- replay --trace tests/fixtures/engine_diff.trace.jsonl --engine flit --sim-jobs 4 >"$tmpdir/replay.s4.txt"
 diff "$tmpdir/replay.s1.txt" "$tmpdir/replay.s4.txt"
 
+echo "==> serve smoke (serve-feed final report vs offline characterize diff)"
+cargo run --release -q -- serve --addr 127.0.0.1:0 >"$tmpdir/serve.addr" 2>"$tmpdir/serve.log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on //p' "$tmpdir/serve.addr" 2>/dev/null || true)"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "check.sh: serve did not report its address" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+cargo run --release -q -- serve-feed --trace "$tmpdir/t.jsonl" --addr "$addr" \
+    --block-len 11 --poll-every 2 --shutdown >"$tmpdir/sig.served.txt" 2>/dev/null
+wait "$serve_pid"
+cargo run --release -q -- characterize --trace "$tmpdir/t.jsonl" --no-replay >"$tmpdir/sig.offline.txt"
+diff "$tmpdir/sig.served.txt" "$tmpdir/sig.offline.txt"
+
 if [ "$bench_smoke" -eq 1 ]; then
     echo "==> flit throughput bench (quick smoke)"
     cargo run --release -p commchar-bench --bin bench_flit -- --quick
@@ -100,6 +124,8 @@ if [ "$bench_smoke" -eq 1 ]; then
     cargo run --release -p commchar-bench --bin bench_fit -- --quick
     echo "==> closed-loop engine bench (quick smoke)"
     cargo run --release -p commchar-bench --bin bench_engine -- --quick
+    echo "==> characterization server bench (quick smoke)"
+    cargo run --release -p commchar-bench --bin bench_serve -- --quick
 fi
 
 echo "check.sh: all gates passed"

@@ -14,11 +14,12 @@ use commchar_core::{
     characterize, run_workload_engine, synthesize, try_characterize_jobs, Workload,
 };
 use commchar_mesh::{EngineKind, MeshConfig};
+use commchar_serve::{ServeClient, ServeError};
 use commchar_trace::replay::CausalReplayer;
 use commchar_trace::CommTrace;
 use commchar_tracestore::writer::pack_trace_with_block_len;
 use commchar_tracestore::{
-    is_packed, load_trace, pack_trace, FileReader, TraceReader, TraceStoreError,
+    encode_event_block, is_packed, load_trace, pack_trace, FileReader, TraceReader, TraceStoreError,
 };
 
 /// Error type for CLI operations.
@@ -372,6 +373,67 @@ pub fn cmd_trace_stat(input: &[u8]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Events per wire block when `serve-feed` re-encodes a trace (matches
+/// the packed format's default block length).
+const FEED_BLOCK_LEN: usize = 4096;
+
+/// `commchar serve-feed --trace FILE --addr HOST:PORT [--block-len N]
+/// [--poll-every N] [--shutdown]`: the client driver — replays a saved
+/// trace (either format) through a running characterization server as
+/// CCTRACE1 block frames and returns `(final_report, status)`. The final
+/// report is the server's `CloseSession` response, byte-identical to
+/// `characterize --trace FILE --no-replay` on the same events (the
+/// `check.sh` serve smoke diffs exactly that). `poll_every > 0` also
+/// polls a live report every that many blocks — exercising mid-stream
+/// convergence — and `shutdown` asks the server to exit afterwards. The
+/// status line (block/poll counts) belongs on stderr.
+pub fn cmd_serve_feed(
+    addr: &str,
+    input: &[u8],
+    block_len: usize,
+    poll_every: usize,
+    shutdown: bool,
+) -> Result<(String, String), CliError> {
+    let trace = load_trace(input)?;
+    // The wire contract wants time order; mirror the offline driver,
+    // which sorts a copy of an unsorted trace before analysis.
+    let events = {
+        let mut v = trace.events().to_vec();
+        v.sort_by_key(|e| e.t);
+        v
+    };
+    let block_len = if block_len == 0 { FEED_BLOCK_LEN } else { block_len };
+    let to_cli = |e: ServeError| CliError(format!("serve-feed: {e}"));
+    let mut client = ServeClient::connect(addr).map_err(to_cli)?;
+    let session = client.open_session(trace.nodes() as u32).map_err(to_cli)?;
+    let mut blocks = 0usize;
+    let mut polls = 0usize;
+    for chunk in events.chunks(block_len.max(1)) {
+        client.send_blocks(session, vec![encode_event_block(chunk)]).map_err(to_cli)?;
+        blocks += 1;
+        if poll_every > 0 && blocks.is_multiple_of(poll_every) {
+            let (seen, _live) = client.poll(session).map_err(to_cli)?;
+            polls += 1;
+            debug_assert!(seen as usize <= events.len());
+        }
+    }
+    let (seen, report) = client.close_session(session).map_err(to_cli)?;
+    if shutdown {
+        client.shutdown_server().map_err(to_cli)?;
+    }
+    let status = format!(
+        "fed {} events in {} blocks to {} (session {}, {} mid-stream polls{}); server absorbed {}\n",
+        events.len(),
+        blocks,
+        addr,
+        session,
+        polls,
+        if shutdown { ", then shutdown" } else { "" },
+        seen,
+    );
+    Ok((report, status))
+}
+
 /// `commchar suite [--jobs N]`: the one-line-per-application summary, run
 /// across a pool of worker threads. Returns `(table, timing)`: the table
 /// is deterministic (byte-identical for any worker count, so it can be
@@ -413,6 +475,16 @@ COMMANDS:
     trace cat FILE                print a trace (either format) as JSON-lines
     trace stat FILE               summarize a trace file (format, sizes, ratio,
                                   per-block event counts and payload bytes)
+    serve [--addr HOST:PORT]      run the characterization server (CCSERVE1):
+                                  clients stream trace blocks over TCP and poll
+                                  live converging signature reports; prints
+                                  \"listening on ADDR\" then serves until a
+                                  Shutdown frame arrives
+    serve-feed --trace FILE       replay a saved trace through a running server
+                                  and print the final report (byte-identical to
+                                  characterize --trace FILE --no-replay);
+                                  --poll-every N polls mid-stream every N
+                                  blocks, --shutdown stops the server after
 
 OPTIONS:
     --procs N       processor count (default 8)
@@ -439,6 +511,21 @@ OPTIONS:
                     (default 4096)
     --packed        write run/generate trace output in the packed binary format
     --out FILE      write trace output to FILE instead of stdout
+    --addr A        serve / serve-feed: address to bind / connect to
+                    (default 127.0.0.1:7411; serve accepts :0 for an
+                    ephemeral port and prints the bound address)
+    --serve-workers N
+                    serve: connection worker threads; 0 = one per hardware
+                    thread (default 0)
+    --session-buffer N
+                    serve: per-session inbox capacity in bytes before the
+                    server answers with a Backpressure frame (default 64 MiB)
+    --idle-timeout N
+                    serve: evict sessions idle longer than N seconds
+                    (default 300)
+    --poll-every N  serve-feed: poll a live report every N blocks (default
+                    0 = only the final CloseSession report)
+    --shutdown      serve-feed: send a Shutdown frame after closing
 
 The suite table and the characterize reports are deterministic: any --jobs
 value produces byte-identical stdout; wall-clock and messages/sec figures
@@ -653,6 +740,40 @@ mod tests {
         assert_eq!(parse_engine("recurrence").unwrap(), EngineKind::Recurrence);
         assert_eq!(parse_engine("flit").unwrap(), EngineKind::flit());
         assert!(parse_engine("csim").is_err());
+    }
+
+    #[test]
+    fn serve_feed_report_matches_offline_characterize() {
+        let server = commchar_serve::Server::bind(
+            "127.0.0.1:0",
+            commchar_serve::ServeConfig { workers: 2, ..Default::default() },
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = server.spawn();
+        let common =
+            Common { procs: 4, scale: Scale::Tiny, seed: 1, engine: EngineKind::Recurrence };
+        let (_, trace) = cmd_run("3d-fft", common).unwrap();
+        let jsonl = trace.to_jsonl();
+        let offline = cmd_characterize_trace_only(jsonl.as_bytes(), 1).unwrap();
+        // Tiny blocks + mid-stream polls + a protocol shutdown at the end.
+        let (report, status) = cmd_serve_feed(&addr, jsonl.as_bytes(), 7, 2, true).unwrap();
+        assert_eq!(report, offline, "served final report must equal offline --no-replay");
+        assert!(status.contains("mid-stream polls"), "status: {status}");
+        assert!(status.contains("then shutdown"), "status: {status}");
+        // The packed form feeds identically (blocks are re-encoded).
+        handle.shutdown();
+    }
+
+    #[test]
+    fn serve_feed_surfaces_connection_errors_typed() {
+        // Nothing listens on a fresh ephemeral port once the listener drops.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let err = cmd_serve_feed(&addr, b"{\"nodes\":4}\n", 0, 0, false).unwrap_err();
+        assert!(err.0.contains("serve-feed:"), "unexpected error: {err}");
     }
 
     #[test]

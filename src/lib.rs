@@ -20,6 +20,8 @@
 //! - [`analytic`] — M/G/1 analytical mesh model fed by fitted signatures
 //! - [`core`] — the end-to-end characterization pipeline (including the
 //!   parallel [`core::suite::SuiteRunner`])
+//! - [`serve`] — the CCSERVE1 characterization server: framed TCP
+//!   protocol, concurrent online-fit sessions, live polled reports
 //! - [`cli`] — the `commchar` command-line tool's implementation
 //!
 //! See the repository `README.md` for a quickstart, `ARCHITECTURE.md` for
@@ -36,6 +38,7 @@ pub use commchar_apps as apps;
 pub use commchar_core as core;
 pub use commchar_des as des;
 pub use commchar_mesh as mesh;
+pub use commchar_serve as serve;
 pub use commchar_sp2 as sp2;
 pub use commchar_spasm as spasm;
 pub use commchar_stats as stats;

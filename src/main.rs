@@ -17,6 +17,12 @@ struct Args {
     stream: bool,
     no_replay: bool,
     packed: bool,
+    addr: String,
+    serve_workers: usize,
+    session_buffer: u64,
+    idle_timeout: u64,
+    poll_every: usize,
+    shutdown: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -33,6 +39,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         stream: false,
         no_replay: false,
         packed: false,
+        addr: "127.0.0.1:7411".to_string(),
+        serve_workers: 0,
+        session_buffer: 64 << 20,
+        idle_timeout: 300,
+        poll_every: 0,
+        shutdown: false,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -92,6 +104,38 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--seed needs an integer")?;
             }
+            "--addr" => {
+                args.addr = it.next().ok_or("--addr needs HOST:PORT")?.clone();
+            }
+            "--serve-workers" => {
+                args.serve_workers = it
+                    .next()
+                    .ok_or("--serve-workers needs a value")?
+                    .parse()
+                    .map_err(|_| "--serve-workers needs an integer")?;
+            }
+            "--session-buffer" => {
+                args.session_buffer = it
+                    .next()
+                    .ok_or("--session-buffer needs a value")?
+                    .parse()
+                    .map_err(|_| "--session-buffer needs an integer (bytes)")?;
+            }
+            "--idle-timeout" => {
+                args.idle_timeout = it
+                    .next()
+                    .ok_or("--idle-timeout needs a value")?
+                    .parse()
+                    .map_err(|_| "--idle-timeout needs an integer (seconds)")?;
+            }
+            "--poll-every" => {
+                args.poll_every = it
+                    .next()
+                    .ok_or("--poll-every needs a value")?
+                    .parse()
+                    .map_err(|_| "--poll-every needs an integer")?;
+            }
+            "--shutdown" => args.shutdown = true,
             "--out" => args.out = Some(it.next().ok_or("--out needs a path")?.clone()),
             "--trace" => args.trace = Some(it.next().ok_or("--trace needs a path")?.clone()),
             other if other.starts_with("--") => return Err(format!("unknown option {other:?}")),
@@ -215,6 +259,41 @@ fn run(argv: &[String]) -> Result<(), String> {
             let (table, timing) = cli::cmd_suite(args.common, args.jobs);
             eprint!("{timing}");
             emit(&table, &None)
+        }
+        Some("serve") => {
+            let cfg = commchar::serve::ServeConfig {
+                workers: args.serve_workers,
+                fit_jobs: args.jobs,
+                session_buffer: args.session_buffer,
+                idle_timeout: std::time::Duration::from_secs(args.idle_timeout),
+                ..Default::default()
+            };
+            let server = commchar::serve::Server::bind(&args.addr, cfg)
+                .map_err(|e| format!("binding {}: {e}", args.addr))?;
+            // The bound address goes out (and is flushed) before serving
+            // so scripts can capture an ephemeral port from :0.
+            println!("listening on {}", server.local_addr());
+            use std::io::Write as _;
+            std::io::stdout().flush().map_err(|e| e.to_string())?;
+            let stats = server.run();
+            eprintln!(
+                "served {} frames / {} events over {} sessions ({} evictions) in {} ms",
+                stats.frames, stats.events, stats.sessions_opened, stats.evictions, stats.uptime_ms
+            );
+            Ok(())
+        }
+        Some("serve-feed") => {
+            let input = read_trace(&args)?;
+            let (report, status) = cli::cmd_serve_feed(
+                &args.addr,
+                &input,
+                args.block_len,
+                args.poll_every,
+                args.shutdown,
+            )
+            .map_err(|e| e.0)?;
+            eprint!("{status}");
+            emit(&report, &args.out)
         }
         Some("help") | None => emit(&cli::usage(), &None),
         Some(other) => Err(format!("unknown command {other:?}; try `commchar help`")),
