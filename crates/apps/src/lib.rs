@@ -158,7 +158,9 @@ impl AppId {
     /// # Panics
     ///
     /// Panics on invalid processor counts (each kernel documents its own
-    /// constraints; all accept powers of two between 2 and 32).
+    /// constraints; all accept powers of two between 2 and 32, and the
+    /// suitably-sized kernels scale to 1024+ — e.g. [`sm::fft1d`] at any
+    /// power of two with `2·nprocs ≤ points`).
     pub fn run(self, nprocs: usize, scale: Scale) -> AppOutput {
         self.run_engine(nprocs, scale, commchar_mesh::EngineKind::Recurrence)
     }
@@ -180,7 +182,30 @@ impl AppId {
         scale: Scale,
         engine: commchar_mesh::EngineKind,
     ) -> AppOutput {
-        let cfg = commchar_spasm::MachineConfig::new(nprocs).with_engine(engine);
+        self.run_sim(nprocs, scale, engine, 1)
+    }
+
+    /// Like [`AppId::run_engine`] with an explicit shard count for the
+    /// execution-driven simulator's conservative-window parallel engine
+    /// (`sim_jobs`; 1 = serial, 0 = one shard per hardware thread).
+    ///
+    /// The shard count never changes simulation results — traces are
+    /// bit-identical for any value — only wall-clock time. Message-passing
+    /// kernels acquire traces without the simulator, so `sim_jobs` is
+    /// ignored there, like `engine`.
+    ///
+    /// # Panics
+    ///
+    /// Same constraints as [`AppId::run`].
+    pub fn run_sim(
+        self,
+        nprocs: usize,
+        scale: Scale,
+        engine: commchar_mesh::EngineKind,
+        sim_jobs: usize,
+    ) -> AppOutput {
+        let cfg =
+            commchar_spasm::MachineConfig::new(nprocs).with_engine(engine).with_sim_jobs(sim_jobs);
         match self {
             AppId::Fft1d => sm::fft1d::run_cfg(cfg, scale),
             AppId::Is => sm::is::run_cfg(cfg, scale),

@@ -30,7 +30,10 @@
 //! model, or the cycle-accurate flit-level router run incrementally.
 //! [`run_workload_engine`] and [`suite::SuiteRunner::with_engine`] select
 //! it (the CLI's `--engine` flag); [`run_workload`] keeps the recurrence
-//! default and its historical output byte-for-byte.
+//! default. [`run_workload_sim`] and [`suite::SuiteRunner::with_sim_jobs`]
+//! additionally shard the execution-driven simulator itself (the CLI's
+//! `--sim-jobs` flag) — event-identical to serial, so no output depends
+//! on it.
 //!
 //! # Example
 //!
@@ -106,8 +109,28 @@ pub fn run_workload_engine(
     scale: Scale,
     engine: EngineKind,
 ) -> Workload {
+    run_workload_sim(app, nprocs, scale, engine, 1)
+}
+
+/// Like [`run_workload_engine`] with an explicit shard count for the
+/// execution-driven simulator's conservative-window parallel engine
+/// (the CLI's `--sim-jobs`; 1 = serial, 0 = one shard per hardware
+/// thread). Sharding never changes the acquired workload — the trace and
+/// log are bit-identical for any value — only the wall-clock time of
+/// dynamic-strategy acquisition. Static-strategy applications ignore it.
+///
+/// # Panics
+///
+/// Panics on invalid processor counts for the chosen kernel.
+pub fn run_workload_sim(
+    app: AppId,
+    nprocs: usize,
+    scale: Scale,
+    engine: EngineKind,
+    sim_jobs: usize,
+) -> Workload {
     let mesh = MeshConfig::for_nodes(nprocs);
-    let out = app.run_engine(nprocs, scale, engine);
+    let out = app.run_sim(nprocs, scale, engine, sim_jobs);
     let netlog = match out.netlog {
         Some(log) => log, // dynamic strategy: closed-loop co-simulation
         None => CausalReplayer::new(mesh) // static strategy
@@ -460,16 +483,33 @@ mod tests {
         let synth = synthesize_phased(&w, &sig, 8, 5);
         assert!(!synth.is_empty());
         synth.check().unwrap();
-        // Rate variation of the phased synthetic trace should be much
-        // closer to the original than a flat renewal model's (≈1).
-        let orig = phases::phase_analysis(&w.trace, 8).rate_variation;
-        let phased = phases::phase_analysis(&synth, 8).rate_variation;
+        // The phased synthetic trace should reproduce the original's
+        // burst envelope — the share of traffic in each of the original's
+        // execution windows — where a flat renewal model spreads it
+        // uniformly. Compare all three traces on the *original's* window
+        // grid: re-deriving windows per trace would measure span drift
+        // (a single stray event near a window edge), not burstiness.
+        let grid = phases::phase_analysis(&w.trace, 8);
+        let envelope = |tr: &CommTrace| -> Vec<f64> {
+            let mut c = vec![0f64; grid.windows.len()];
+            for e in tr.events() {
+                let wi = grid
+                    .windows
+                    .iter()
+                    .position(|pw| e.t >= pw.start && e.t < pw.end)
+                    .unwrap_or(grid.windows.len() - 1);
+                c[wi] += 1.0;
+            }
+            let total: f64 = c.iter().sum();
+            c.iter().map(|x| x / total).collect()
+        };
+        let l1 =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
+        let orig = envelope(&w.trace);
         let flat_trace = synthesize(&sig, w.mesh).generate(w.netlog.summary().span, 5);
-        let flat = phases::phase_analysis(&flat_trace, 8).rate_variation;
-        assert!(
-            (phased.ln() - orig.ln()).abs() < (flat.ln() - orig.ln()).abs() + 0.2,
-            "phased {phased:.1} vs flat {flat:.1}, original {orig:.1}"
-        );
+        let phased = l1(&envelope(&synth), &orig);
+        let flat = l1(&envelope(&flat_trace), &orig);
+        assert!(phased < 0.2 && 2.0 * phased < flat, "phased L1 {phased:.3} vs flat L1 {flat:.3}");
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! - [`SimTime`] / [`SimDuration`] — integer simulated time (ticks).
 //! - [`Calendar`] — a stable event calendar: events with equal timestamps
 //!   dequeue in insertion order, which keeps simulations deterministic.
+//! - [`KeyedCalendar`] — a calendar ordered by `(time, key)` for partitioned
+//!   simulations, where insertion order is not stable under re-sharding;
+//!   each shard's calendar doubles as its local clock.
 //! - [`Facility`] — a single-server resource with a FIFO queue and
 //!   utilization accounting, mirroring CSIM's `facility` abstraction.
 //! - Statistics accumulators ([`RunningStats`], [`TimeWeighted`],
@@ -33,7 +36,7 @@ mod facility;
 mod stats;
 mod time;
 
-pub use calendar::Calendar;
+pub use calendar::{Calendar, KeyedCalendar};
 pub use facility::{Facility, FacilityStats};
 pub use stats::{CountTable, RunningStats, TimeWeighted};
 pub use time::{SimDuration, SimTime};

@@ -174,6 +174,22 @@ pub trait NetEngine {
     /// Finishes the simulation and returns the sink, with per-channel
     /// utilization over the observed span folded in.
     fn finish(self) -> Self::Sink;
+
+    /// A lower bound on the delivery latency of any message between two
+    /// distinct nodes: `send` never returns a delivery time earlier than
+    /// `msg.inject + min_latency()`. Conservative-window parallel drivers
+    /// use this as their lookahead — events less than `min_latency()` ahead
+    /// of a shard's clock cannot be affected by messages other shards have
+    /// not injected yet.
+    ///
+    /// The default is the zero-load latency of a minimal single-hop
+    /// message, which neither the wormhole recurrence (its per-hop
+    /// recurrence only ever *adds* waiting to the zero-load schedule) nor
+    /// the cycle-accurate flit router (pinned to the same zero-load model
+    /// at zero load, and contention only delays) can undercut.
+    fn min_latency(&self) -> u64 {
+        self.config().zero_load_latency(1, 1)
+    }
 }
 
 impl<S: LogSink> NetEngine for OnlineWormhole<S> {

@@ -12,7 +12,7 @@ pub use crate::protocol::Protocol;
 /// sized to the processor count.
 #[derive(Clone, Copy, Debug)]
 pub struct MachineConfig {
-    /// Number of processors (1–64; one per mesh node).
+    /// Number of processors (1–4096; one per mesh node).
     pub nprocs: usize,
     /// Private cache capacity in lines.
     pub cache_lines: usize,
@@ -40,6 +40,10 @@ pub struct MachineConfig {
     /// model by default; the cycle-accurate flit router as the
     /// high-fidelity alternative).
     pub engine: EngineKind,
+    /// Worker shards for the conservative-window parallel engine (1 =
+    /// serial; 0 = one per hardware thread). Any value yields bit-identical
+    /// results — see [`crate::run_with`].
+    pub sim_jobs: usize,
 }
 
 impl MachineConfig {
@@ -47,10 +51,10 @@ impl MachineConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `nprocs` is 0 or exceeds 64 (the directory uses a 64-bit
-    /// full-map sharer vector).
+    /// Panics if `nprocs` is 0 or exceeds 4096 (one mesh node per
+    /// processor; the full-map directory scales with the count).
     pub fn new(nprocs: usize) -> Self {
-        assert!((1..=64).contains(&nprocs), "nprocs must be in 1..=64");
+        assert!((1..=4096).contains(&nprocs), "nprocs must be in 1..=4096");
         MachineConfig {
             nprocs,
             cache_lines: 256,
@@ -65,6 +69,7 @@ impl MachineConfig {
             ctrl_bytes: 8,
             mesh: MeshConfig::for_nodes(nprocs),
             engine: EngineKind::Recurrence,
+            sim_jobs: 1,
         }
     }
 
@@ -143,6 +148,15 @@ impl MachineConfig {
         self
     }
 
+    /// Sets the shard count for the conservative-window parallel engine
+    /// (1 = serial; 0 = one shard per hardware thread). The shard count
+    /// never changes simulation results, only wall-clock time.
+    #[must_use]
+    pub fn with_sim_jobs(mut self, sim_jobs: usize) -> Self {
+        self.sim_jobs = sim_jobs;
+        self
+    }
+
     /// Words (u64) per cache block.
     pub fn block_words(&self) -> usize {
         (self.block_bytes / 8) as usize
@@ -172,7 +186,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "nprocs")]
     fn too_many_procs() {
-        let _ = MachineConfig::new(65);
+        let _ = MachineConfig::new(4097);
+    }
+
+    #[test]
+    fn kilo_processor_machines_are_allowed() {
+        let c = MachineConfig::new(1024).with_sim_jobs(8);
+        assert_eq!(c.mesh.shape.nodes(), 1024);
+        assert_eq!(c.sim_jobs, 8);
     }
 
     #[test]

@@ -1,27 +1,25 @@
-//! The execution-driven simulation engine: event loop, MSI directory
-//! protocol, synchronization, and the closed-loop network co-simulation.
+//! The execution-driven simulation front end: processor threads, the
+//! sharded event-loop engine, and run assembly.
 //!
 //! One OS thread runs per simulated processor; each shared access sends a
-//! request to this engine and blocks until the engine has simulated the
-//! access to completion. The engine only ever advances to the globally
-//! earliest action (pending processor request or protocol event), so the
-//! simulation is deterministic regardless of host scheduling, and network
-//! messages are injected in nondecreasing time order as the wormhole model
-//! requires.
+//! request to the engine and blocks until the engine has simulated the
+//! access to completion. The machine itself — caches, directory, event
+//! calendar — is partitioned into source-contiguous shards advanced in
+//! conservative time windows (see [`crate::shard`]); a single shard
+//! degenerates to the classic serial loop, and every shard count produces
+//! bit-identical results. Network messages are injected in nondecreasing
+//! time order at window edges, as the wormhole model requires.
 
-use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
-use commchar_des::{Calendar, SimTime};
-use commchar_mesh::{
-    EngineKind, IncrementalFlit, NetEngine, NetLog, NetMessage, NodeId, OnlineWormhole,
-};
-use commchar_trace::{CommEvent, CommTrace, EventKind};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use commchar_mesh::{EngineKind, IncrementalFlit, NetEngine, NetLog, OnlineWormhole};
+use crossbeam::channel::{unbounded, Sender};
 
-use crate::api::{Ctx, ProcMsg, ProcRequest, Reply, Setup};
-use crate::protocol::{iter_mask, Cache, DirState, LineState, Protocol};
+use crate::api::{Ctx, ProcMsg, Reply, Setup};
+use crate::shard::{self, ShardCore};
 use crate::MachineConfig;
+use commchar_trace::CommTrace;
 
 /// The output of an execution-driven run.
 #[derive(Debug)]
@@ -89,6 +87,15 @@ pub enum SpasmError {
         /// One status line per processor at the moment of the failure.
         report: String,
     },
+    /// The simulation stopped making progress with work still pending:
+    /// either the application deadlocked (every remaining processor is
+    /// blocked on a reply that can never come) or the conservative
+    /// windows wedged without any shard advancing — the cooperative
+    /// analogue of the flit router's `EngineError::Wedged`.
+    Wedged {
+        /// A per-participant account of the stuck state.
+        report: String,
+    },
 }
 
 impl std::fmt::Display for SpasmError {
@@ -101,6 +108,7 @@ impl std::fmt::Display for SpasmError {
                      (reply channel closed)\n{report}"
                 )
             }
+            SpasmError::Wedged { report } => write!(f, "{report}"),
         }
     }
 }
@@ -111,7 +119,10 @@ impl std::error::Error for SpasmError {}
 /// `cfg`, after `setup` has allocated and initialized shared memory.
 ///
 /// The network engine closing the co-simulation loop is chosen by
-/// `cfg.engine`; see [`run_with`] to supply one directly.
+/// `cfg.engine`; see [`run_with`] to supply one directly. The machine is
+/// advanced by `cfg.sim_jobs` worker shards
+/// ([`MachineConfig::with_sim_jobs`]); the shard count never changes the
+/// results, only the wall-clock time.
 ///
 /// The value returned by `setup` (typically a tuple of
 /// [`Region`](crate::Region)s plus
@@ -120,8 +131,9 @@ impl std::error::Error for SpasmError {}
 /// # Panics
 ///
 /// Panics if a processor thread panics, hangs up mid-simulation
-/// ([`SpasmError::ProcessorHungUp`]), or on protocol-level misuse
-/// (e.g. unlocking a lock the caller does not hold).
+/// ([`SpasmError::ProcessorHungUp`]), deadlocks
+/// ([`SpasmError::Wedged`]), or on protocol-level misuse (e.g. unlocking
+/// a lock the caller does not hold).
 pub fn run<R, S, B>(cfg: MachineConfig, setup: S, body: B) -> SpasmRun
 where
     R: Clone + Send + 'static,
@@ -147,662 +159,110 @@ where
     R: Clone + Send + 'static,
     S: FnOnce(&mut Setup) -> R,
     B: Fn(&mut Ctx, &R) + Send + Sync + 'static,
-    N: NetEngine<Sink = NetLog>,
+    N: NetEngine<Sink = NetLog> + Send + 'static,
+{
+    // A failed run means other threads may still be blocked on replies
+    // that will never come: panic before joining, as the old in-line
+    // expect did.
+    try_run_with(cfg, setup, body, net).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_with`], but surfacing engine-level failures (hung-up
+/// processors, application deadlock, wedged windows) as a typed
+/// [`SpasmError`] instead of a panic. Application panics inside `body`
+/// still propagate as panics.
+pub fn try_run_with<R, S, B, N>(
+    cfg: MachineConfig,
+    setup: S,
+    body: B,
+    net: N,
+) -> Result<SpasmRun, SpasmError>
+where
+    R: Clone + Send + 'static,
+    S: FnOnce(&mut Setup) -> R,
+    B: Fn(&mut Ctx, &R) + Send + Sync + 'static,
+    N: NetEngine<Sink = NetLog> + Send + 'static,
 {
     let mut s = Setup { mem: Vec::new(), nprocs: cfg.nprocs };
     let shared = setup(&mut s);
+    // Shared memory is atomics so shards on different threads can touch
+    // it without locks; the coherence protocol itself serializes every
+    // pair of conflicting accesses across window barriers, so Relaxed
+    // ordering suffices.
+    let mem: Arc<Vec<AtomicU64>> = Arc::new(s.mem.into_iter().map(AtomicU64::new).collect());
 
-    let (req_tx, req_rx) = unbounded::<ProcMsg>();
-    let mut reply_txs: Vec<Sender<Reply>> = Vec::with_capacity(cfg.nprocs);
-    let mut handles = Vec::with_capacity(cfg.nprocs);
+    let shards = commchar_pool::resolve_jobs_for(cfg.sim_jobs, cfg.nprocs);
+    let plan = shard::partition(cfg.nprocs, shards);
+
     let body = Arc::new(body);
-    for p in 0..cfg.nprocs {
-        let (tx, rx) = unbounded::<Reply>();
-        reply_txs.push(tx);
-        let mut ctx =
-            Ctx { proc: p, nprocs: cfg.nprocs, elapsed: 0, now: 0, tx: req_tx.clone(), rx };
-        let body = Arc::clone(&body);
-        let shared = shared.clone();
-        handles.push(
-            std::thread::Builder::new()
-                .name(format!("spasm-p{p}"))
-                .spawn(move || {
-                    // A panicking processor must tell the engine before it
-                    // dies, or every other processor would wait forever.
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        body(&mut ctx, &shared);
-                    }));
-                    match result {
-                        Ok(()) => ctx.finish(),
-                        Err(payload) => {
-                            ctx.fault();
-                            std::panic::resume_unwind(payload);
+    let mut cores = Vec::with_capacity(shards);
+    let mut handles = Vec::with_capacity(cfg.nprocs);
+    for (sid, &(lo, hi)) in plan.iter().enumerate() {
+        let (req_tx, req_rx) = unbounded::<ProcMsg>();
+        let mut reply_txs: Vec<Sender<Reply>> = Vec::with_capacity(hi - lo);
+        for p in lo..hi {
+            let (tx, rx) = unbounded::<Reply>();
+            reply_txs.push(tx);
+            let mut ctx =
+                Ctx { proc: p, nprocs: cfg.nprocs, elapsed: 0, now: 0, tx: req_tx.clone(), rx };
+            let body = Arc::clone(&body);
+            let shared = shared.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("spasm-p{p}"))
+                    // Processor bodies are shallow (a closure trapping on
+                    // every shared access); a small stack keeps
+                    // 1024-processor machines affordable.
+                    .stack_size(512 * 1024)
+                    .spawn(move || {
+                        // A panicking processor must tell the engine before
+                        // it dies, or every other processor would wait
+                        // forever.
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            body(&mut ctx, &shared);
+                        }));
+                        match result {
+                            Ok(()) => ctx.finish(),
+                            Err(payload) => {
+                                ctx.fault();
+                                std::panic::resume_unwind(payload);
+                            }
                         }
-                    }
-                })
-                .expect("failed to spawn processor thread"),
-        );
-    }
-    drop(req_tx);
-
-    let engine = Engine::new(cfg, s.mem, req_rx, reply_txs, net);
-    // A hung-up processor means other threads may still be blocked on
-    // replies that will never come: panic before joining, as the old
-    // in-line expect did.
-    let result = engine.run_loop().unwrap_or_else(|e| panic!("{e}"));
-    for h in handles {
-        h.join().expect("processor thread panicked");
-    }
-    result
-}
-
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Status {
-    Running,
-    Pending,
-    Blocked,
-    Done,
-}
-
-#[derive(Clone, Copy, Debug)]
-struct Txn {
-    proc: usize,
-    block: u64,
-    addr: usize,
-    write: bool,
-    /// Write value (ignored for reads).
-    value: u64,
-    /// Requester already held the line Shared (upgrade: control reply).
-    upgrade: bool,
-    acks_left: usize,
-    /// Owner that was recalled for a read and stays a sharer.
-    owner_kept: Option<usize>,
-    /// MESI: the reply grants the line exclusively.
-    exclusive: bool,
-}
-
-#[derive(Debug)]
-enum Event {
-    HomeReq(usize),
-    Inval(usize, usize),
-    AckHome(usize),
-    Recall(usize, usize),
-    WbHome(usize),
-    /// The home's reply is ready to leave for the requester (after the
-    /// directory/memory latency): inject it into the network now.
-    ReplySend(usize, u32, EventKind),
-    ReplyArrive(usize),
-    VictimWb {
-        block: u64,
-        proc: usize,
-    },
-    BarArrive {
-        id: u32,
-    },
-    BarRelease {
-        proc: usize,
-    },
-    LockReq {
-        id: u32,
-        proc: usize,
-    },
-    LockGrant {
-        proc: usize,
-    },
-    LockRel {
-        id: u32,
-        proc: usize,
-    },
-}
-
-#[derive(Debug, Default)]
-struct LockSt {
-    held: Option<usize>,
-    waiters: VecDeque<usize>,
-}
-
-struct Engine<N: NetEngine<Sink = NetLog>> {
-    cfg: MachineConfig,
-    mem: Vec<u64>,
-    caches: Vec<Cache>,
-    dir: HashMap<u64, DirState>,
-    active: HashMap<u64, usize>,
-    deferred: HashMap<u64, VecDeque<usize>>,
-    txns: Vec<Txn>,
-    net: N,
-    cal: Calendar<Event>,
-    trace: CommTrace,
-    resume_time: Vec<u64>,
-    pending: Vec<Option<(u64, ProcRequest)>>,
-    status: Vec<Status>,
-    reply_tx: Vec<Sender<Reply>>,
-    rx: Receiver<ProcMsg>,
-    running: usize,
-    msg_seq: u64,
-    locks: HashMap<u32, LockSt>,
-    bars: HashMap<u32, usize>,
-    max_time: u64,
-    reads: u64,
-    writes: u64,
-    hits: u64,
-    misses: u64,
-    barrier_episodes: u64,
-    lock_grants: u64,
-}
-
-impl<N: NetEngine<Sink = NetLog>> Engine<N> {
-    fn new(
-        cfg: MachineConfig,
-        mem: Vec<u64>,
-        rx: Receiver<ProcMsg>,
-        reply_tx: Vec<Sender<Reply>>,
-        net: N,
-    ) -> Self {
-        let n = cfg.nprocs;
-        Engine {
-            mem,
-            caches: (0..n).map(|_| Cache::new(cfg.cache_lines, cfg.associativity)).collect(),
-            dir: HashMap::new(),
-            active: HashMap::new(),
-            deferred: HashMap::new(),
-            txns: Vec::new(),
-            net,
-            cal: Calendar::new(),
-            trace: CommTrace::new(n),
-            resume_time: vec![0; n],
-            pending: vec![None; n],
-            status: vec![Status::Running; n],
-            reply_tx,
-            rx,
-            running: n,
-            msg_seq: 0,
-            locks: HashMap::new(),
-            bars: HashMap::new(),
-            max_time: 0,
-            reads: 0,
-            writes: 0,
-            hits: 0,
-            misses: 0,
-            barrier_episodes: 0,
-            lock_grants: 0,
-            cfg,
+                    })
+                    .expect("failed to spawn processor thread"),
+            );
         }
+        drop(req_tx);
+        cores.push(ShardCore::new(cfg, sid, lo, hi, Arc::clone(&mem), req_rx, reply_txs));
     }
 
-    fn block_of(&self, addr: usize) -> u64 {
-        (addr / self.cfg.block_words()) as u64
-    }
-
-    fn home_of(&self, block: u64) -> usize {
-        (block % self.cfg.nprocs as u64) as usize
-    }
-
-    /// Sends a protocol message through the mesh (or locally, if source
-    /// equals destination) and returns its delivery time.
-    fn send(&mut self, t: u64, src: usize, dst: usize, bytes: u32, kind: EventKind) -> u64 {
-        if src == dst {
-            return t + self.cfg.dir_latency;
-        }
-        let id = self.msg_seq;
-        self.msg_seq += 1;
-        // The event loop only advances to the globally earliest action, so
-        // injections are nondecreasing by construction; an ordering error
-        // here is an engine bug, not bad input.
-        let delivered = self
-            .net
-            .send(NetMessage {
-                id,
-                src: NodeId(src as u16),
-                dst: NodeId(dst as u16),
-                bytes,
-                inject: SimTime::from_ticks(t),
+    match shard::drive(cfg, cores, net) {
+        Ok(d) => {
+            for h in handles {
+                h.join().expect("processor thread panicked");
+            }
+            Ok(SpasmRun {
+                trace: d.trace,
+                netlog: d.netlog,
+                exec_cycles: d.exec_cycles,
+                nprocs: cfg.nprocs,
+                reads: d.reads,
+                writes: d.writes,
+                hits: d.hits,
+                misses: d.misses,
+                barriers: d.barriers,
+                locks: d.locks,
             })
-            .unwrap_or_else(|e| panic!("{e}"));
-        self.trace.push(CommEvent::new(id, t, src as u16, dst as u16, bytes, kind));
-        delivered.ticks()
-    }
-
-    fn schedule(&mut self, t: u64, ev: Event) {
-        self.cal.schedule(SimTime::from_ticks(t), ev);
-    }
-
-    fn resume(&mut self, proc: usize, time: u64, value: u64) -> Result<(), SpasmError> {
-        if self.reply_tx[proc].send(Reply { time, value }).is_err() {
-            return Err(SpasmError::ProcessorHungUp { proc, report: self.status_report() });
         }
-        self.resume_time[proc] = time;
-        self.max_time = self.max_time.max(time);
-        self.status[proc] = Status::Running;
-        self.running += 1;
-        Ok(())
-    }
-
-    /// One status line per processor — the same style of account the flit
-    /// router's wedge panic gives per undelivered worm.
-    fn status_report(&self) -> String {
-        use std::fmt::Write;
-        let mut out = String::from("processor status at failure:");
-        for (p, s) in self.status.iter().enumerate() {
-            let _ = write!(out, "\n  p{p}: {s:?} (last resumed at t={})", self.resume_time[p]);
+        Err(e) => {
+            // The shard cores (and with them every reply sender) are gone;
+            // processor threads die on the closed channels. Their panics
+            // are expected collateral — the typed error is the story.
+            for h in handles {
+                let _ = h.join();
+            }
+            Err(e)
         }
-        out
-    }
-
-    /// Blocks until every Running processor has delivered its next request.
-    fn gather(&mut self) {
-        while self.running > 0 {
-            let msg = self.rx.recv().expect("a processor thread died before finishing");
-            let t = self.resume_time[msg.proc] + msg.elapsed;
-            self.running -= 1;
-            match msg.req {
-                ProcRequest::Fault => {
-                    panic!("simulated processor p{} panicked; aborting the run", msg.proc);
-                }
-                ProcRequest::Finish => {
-                    self.status[msg.proc] = Status::Done;
-                    self.max_time = self.max_time.max(t);
-                }
-                req => {
-                    self.pending[msg.proc] = Some((t, req));
-                    self.status[msg.proc] = Status::Pending;
-                }
-            }
-        }
-    }
-
-    fn run_loop(mut self) -> Result<SpasmRun, SpasmError> {
-        loop {
-            self.gather();
-            let ev_t = self.cal.peek_time().map(SimTime::ticks);
-            let req = self
-                .pending
-                .iter()
-                .enumerate()
-                .filter_map(|(p, o)| o.as_ref().map(|&(t, _)| (t, p)))
-                .min();
-            match (ev_t, req) {
-                (None, None) => break,
-                (Some(et), Some((rt, _))) if et <= rt => self.process_event()?,
-                (_, Some((rt, p))) => self.process_request(p, rt)?,
-                (Some(_), None) => self.process_event()?,
-            }
-        }
-        assert!(
-            self.status.iter().all(|&s| s == Status::Done),
-            "application deadlock: simulation drained with blocked processors ({:?})",
-            self.status
-        );
-        let nprocs = self.cfg.nprocs;
-        Ok(SpasmRun {
-            trace: self.trace,
-            netlog: self.net.finish(),
-            exec_cycles: self.max_time,
-            nprocs,
-            reads: self.reads,
-            writes: self.writes,
-            hits: self.hits,
-            misses: self.misses,
-            barriers: self.barrier_episodes,
-            locks: self.lock_grants,
-        })
-    }
-
-    fn process_request(&mut self, p: usize, t: u64) -> Result<(), SpasmError> {
-        let (_, req) = self.pending[p].take().expect("request vanished");
-        self.status[p] = Status::Blocked;
-        match req {
-            ProcRequest::Read { addr } => {
-                self.reads += 1;
-                let block = self.block_of(addr);
-                if self.caches[p].lookup(block).is_some() {
-                    self.hits += 1;
-                    let v = self.mem[addr];
-                    self.resume(p, t + self.cfg.hit_latency, v)?;
-                } else {
-                    self.misses += 1;
-                    self.start_txn(p, block, addr, false, false, 0, t);
-                }
-            }
-            ProcRequest::Write { addr, value } => {
-                self.writes += 1;
-                let block = self.block_of(addr);
-                match self.caches[p].lookup(block) {
-                    Some(LineState::Modified) => {
-                        self.hits += 1;
-                        self.mem[addr] = value;
-                        self.resume(p, t + self.cfg.hit_latency, 0)?;
-                    }
-                    Some(LineState::Exclusive) => {
-                        // MESI: silent Exclusive -> Modified promotion.
-                        self.hits += 1;
-                        self.caches[p].set_state(block, LineState::Modified);
-                        self.mem[addr] = value;
-                        self.resume(p, t + self.cfg.hit_latency, 0)?;
-                    }
-                    Some(LineState::Shared) => {
-                        self.misses += 1;
-                        self.start_txn(p, block, addr, true, true, value, t);
-                    }
-                    None => {
-                        self.misses += 1;
-                        self.start_txn(p, block, addr, true, false, value, t);
-                    }
-                }
-            }
-            ProcRequest::Barrier { id } => {
-                let home = (id as usize) % self.cfg.nprocs;
-                let at = if p == home {
-                    t + self.cfg.sync_latency
-                } else {
-                    self.send(t, p, home, self.cfg.ctrl_bytes, EventKind::Sync)
-                };
-                self.schedule(at, Event::BarArrive { id });
-            }
-            ProcRequest::Lock { id } => {
-                let home = (id as usize) % self.cfg.nprocs;
-                let at = if p == home {
-                    t + self.cfg.sync_latency
-                } else {
-                    self.send(t, p, home, self.cfg.ctrl_bytes, EventKind::Sync)
-                };
-                self.schedule(at, Event::LockReq { id, proc: p });
-            }
-            ProcRequest::Unlock { id } => {
-                // Release is fire-and-forget from the processor's view.
-                self.resume(p, t + 1, 0)?;
-                let home = (id as usize) % self.cfg.nprocs;
-                let at = if p == home {
-                    t + self.cfg.sync_latency
-                } else {
-                    self.send(t, p, home, self.cfg.ctrl_bytes, EventKind::Sync)
-                };
-                self.schedule(at, Event::LockRel { id, proc: p });
-            }
-            ProcRequest::Finish | ProcRequest::Fault => {
-                unreachable!("finish/fault handled in gather")
-            }
-        }
-        Ok(())
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn start_txn(
-        &mut self,
-        p: usize,
-        block: u64,
-        addr: usize,
-        write: bool,
-        upgrade: bool,
-        value: u64,
-        t: u64,
-    ) {
-        let txn = self.txns.len();
-        self.txns.push(Txn {
-            proc: p,
-            block,
-            addr,
-            write,
-            value,
-            upgrade,
-            acks_left: 0,
-            owner_kept: None,
-            exclusive: false,
-        });
-        let home = self.home_of(block);
-        let at = if p == home {
-            t + self.cfg.dir_latency
-        } else {
-            self.send(t, p, home, self.cfg.ctrl_bytes, EventKind::Control) + self.cfg.dir_latency
-        };
-        self.schedule(at, Event::HomeReq(txn));
-    }
-
-    fn process_event(&mut self) -> Result<(), SpasmError> {
-        let (time, ev) = self.cal.pop().expect("event queue empty");
-        let t = time.ticks();
-        self.max_time = self.max_time.max(t);
-        match ev {
-            Event::HomeReq(txn) => self.home_req(txn, t),
-            Event::Recall(txn, owner) => self.recall_at_owner(txn, owner, t),
-            Event::WbHome(txn) => self.finish_home(txn, t),
-            Event::ReplySend(txn, bytes, kind) => {
-                let home = self.home_of(self.txns[txn].block);
-                let proc = self.txns[txn].proc;
-                let at = self.send(t, home, proc, bytes, kind);
-                self.schedule(at, Event::ReplyArrive(txn));
-            }
-            Event::Inval(txn, sharer) => self.inval_at_sharer(txn, sharer, t),
-            Event::AckHome(txn) => {
-                self.txns[txn].acks_left -= 1;
-                if self.txns[txn].acks_left == 0 {
-                    self.finish_home(txn, t);
-                }
-            }
-            Event::ReplyArrive(txn) => self.reply_arrive(txn, t)?,
-            Event::VictimWb { block, proc } => {
-                if self.dir.get(&block) == Some(&DirState::Modified(proc as u16)) {
-                    self.dir.insert(block, DirState::Uncached);
-                }
-            }
-            Event::BarArrive { id } => {
-                let count = self.bars.entry(id).or_insert(0);
-                *count += 1;
-                if *count == self.cfg.nprocs {
-                    *count = 0;
-                    self.barrier_episodes += 1;
-                    let home = (id as usize) % self.cfg.nprocs;
-                    for q in 0..self.cfg.nprocs {
-                        let at = if q == home {
-                            t + self.cfg.sync_latency
-                        } else {
-                            self.send(t, home, q, self.cfg.ctrl_bytes, EventKind::Sync)
-                        };
-                        self.schedule(at, Event::BarRelease { proc: q });
-                    }
-                }
-            }
-            Event::BarRelease { proc } => {
-                let at = t + self.cfg.sync_latency;
-                self.resume(proc, at, 0)?;
-            }
-            Event::LockReq { id, proc } => {
-                let home = (id as usize) % self.cfg.nprocs;
-                let st = self.locks.entry(id).or_default();
-                if st.held.is_none() {
-                    st.held = Some(proc);
-                    self.lock_grants += 1;
-                    let at = if proc == home {
-                        t + self.cfg.sync_latency
-                    } else {
-                        self.send(t, home, proc, self.cfg.ctrl_bytes, EventKind::Sync)
-                    };
-                    self.schedule(at, Event::LockGrant { proc });
-                } else {
-                    st.waiters.push_back(proc);
-                }
-            }
-            Event::LockGrant { proc } => {
-                self.resume(proc, t + self.cfg.sync_latency, 0)?;
-            }
-            Event::LockRel { id, proc } => {
-                let home = (id as usize) % self.cfg.nprocs;
-                let st = self.locks.get_mut(&id).expect("release of unknown lock");
-                assert_eq!(st.held, Some(proc), "lock {id} released by non-holder p{proc}");
-                st.held = None;
-                if let Some(q) = st.waiters.pop_front() {
-                    st.held = Some(q);
-                    self.lock_grants += 1;
-                    let at = if q == home {
-                        t + self.cfg.sync_latency
-                    } else {
-                        self.send(t, home, q, self.cfg.ctrl_bytes, EventKind::Sync)
-                    };
-                    self.schedule(at, Event::LockGrant { proc: q });
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// A coherence request (re)arrives at the home directory.
-    fn home_req(&mut self, txn_id: usize, t: u64) {
-        let txn = self.txns[txn_id];
-        if self.active.contains_key(&txn.block) {
-            self.deferred.entry(txn.block).or_default().push_back(txn_id);
-            return;
-        }
-        self.active.insert(txn.block, txn_id);
-        let home = self.home_of(txn.block);
-        let dir = self.dir.get(&txn.block).copied().unwrap_or(DirState::Uncached);
-        match dir {
-            DirState::Modified(owner) if owner as usize != txn.proc => {
-                let owner = owner as usize;
-                if !txn.write {
-                    self.txns[txn_id].owner_kept = Some(owner);
-                }
-                let at = if home == owner {
-                    t + self.cfg.dir_latency
-                } else {
-                    self.send(t, home, owner, self.cfg.ctrl_bytes, EventKind::Control)
-                };
-                self.schedule(at, Event::Recall(txn_id, owner));
-            }
-            DirState::Shared(_) if txn.write => {
-                let others = dir.sharers_except(txn.proc);
-                let count = others.count_ones() as usize;
-                if count == 0 {
-                    self.finish_home(txn_id, t);
-                } else {
-                    self.txns[txn_id].acks_left = count;
-                    for q in iter_mask(others) {
-                        let at = if q == home {
-                            t + self.cfg.dir_latency
-                        } else {
-                            self.send(t, home, q, self.cfg.ctrl_bytes, EventKind::Control)
-                        };
-                        self.schedule(at, Event::Inval(txn_id, q));
-                    }
-                }
-            }
-            _ => self.finish_home(txn_id, t),
-        }
-    }
-
-    /// The recall (flush/downgrade) arrives at the current owner.
-    fn recall_at_owner(&mut self, txn_id: usize, owner: usize, t: u64) {
-        let txn = self.txns[txn_id];
-        if txn.write {
-            self.caches[owner].invalidate(txn.block);
-        } else {
-            self.caches[owner].downgrade(txn.block);
-        }
-        let home = self.home_of(txn.block);
-        let at = if owner == home {
-            t + self.cfg.dir_latency
-        } else {
-            self.send(t, owner, home, self.cfg.block_bytes, EventKind::Data)
-        };
-        self.schedule(at, Event::WbHome(txn_id));
-    }
-
-    /// An invalidation arrives at a sharer: drop the line, acknowledge to
-    /// home.
-    fn inval_at_sharer(&mut self, txn_id: usize, sharer: usize, t: u64) {
-        let txn = self.txns[txn_id];
-        self.caches[sharer].invalidate(txn.block);
-        let home = self.home_of(txn.block);
-        let at = if sharer == home {
-            t + self.cfg.dir_latency
-        } else {
-            self.send(t, sharer, home, self.cfg.ctrl_bytes, EventKind::Control)
-        };
-        self.schedule(at, Event::AckHome(txn_id));
-    }
-
-    /// All protocol preconditions satisfied: update the directory and send
-    /// the reply to the requester.
-    fn finish_home(&mut self, txn_id: usize, t: u64) {
-        let txn = self.txns[txn_id];
-        let home = self.home_of(txn.block);
-        let entry = self.dir.entry(txn.block).or_insert(DirState::Uncached);
-        if txn.write {
-            *entry = DirState::Modified(txn.proc as u16);
-        } else if self.cfg.protocol == Protocol::Mesi
-            && txn.owner_kept.is_none()
-            && matches!(*entry, DirState::Uncached)
-        {
-            // MESI: a read miss to an uncached block is granted
-            // exclusively, so a subsequent write by this processor hits.
-            *entry = DirState::Modified(txn.proc as u16);
-            self.txns[txn_id].exclusive = true;
-        } else {
-            let mut st = match *entry {
-                DirState::Modified(_) => DirState::Uncached, // recalled above
-                other => other,
-            };
-            if let Some(owner) = txn.owner_kept {
-                st.add_sharer(owner);
-            }
-            st.add_sharer(txn.proc);
-            *entry = st;
-        }
-        // Data fetch unless this was a pure upgrade.
-        let (latency, bytes, kind) = if txn.upgrade {
-            (self.cfg.dir_latency, self.cfg.ctrl_bytes, EventKind::Control)
-        } else {
-            (self.cfg.mem_latency, self.cfg.block_bytes, EventKind::Data)
-        };
-        let inject = t + latency;
-        if txn.proc == home {
-            self.schedule(inject, Event::ReplyArrive(txn_id));
-        } else {
-            // The reply leaves at `inject > t`; other actions may be
-            // processed in between, so route the send through a calendar
-            // hop to keep network injections time-ordered.
-            self.schedule(inject, Event::ReplySend(txn_id, bytes, kind));
-        }
-    }
-
-    /// The reply reaches the requester: install the line and resume.
-    fn reply_arrive(&mut self, txn_id: usize, t: u64) -> Result<(), SpasmError> {
-        let txn = self.txns[txn_id];
-        let p = txn.proc;
-        let state = if txn.write {
-            LineState::Modified
-        } else if txn.exclusive {
-            LineState::Exclusive
-        } else {
-            LineState::Shared
-        };
-        if let Some((vblock, vstate)) = self.caches[p].insert(txn.block, state) {
-            if vstate == LineState::Modified {
-                let vhome = self.home_of(vblock);
-                let at = if p == vhome {
-                    t + self.cfg.dir_latency
-                } else {
-                    self.send(t, p, vhome, self.cfg.block_bytes, EventKind::Data)
-                };
-                self.schedule(at, Event::VictimWb { block: vblock, proc: p });
-            }
-            // Shared victims are dropped silently; stale directory entries
-            // just cost a harmless extra invalidation later.
-        }
-        if txn.write {
-            self.mem[txn.addr] = txn.value;
-        }
-        let value = self.mem[txn.addr];
-        self.resume(p, t + self.cfg.fill_latency, value)?;
-
-        // Unblock the next deferred request for this block, if any.
-        self.active.remove(&txn.block);
-        let next = self.deferred.get_mut(&txn.block).and_then(|q| q.pop_front());
-        if self.deferred.get(&txn.block).is_some_and(|q| q.is_empty()) {
-            self.deferred.remove(&txn.block);
-        }
-        if let Some(next) = next {
-            self.schedule(t, Event::HomeReq(next));
-        }
-        Ok(())
     }
 }
 

@@ -52,7 +52,8 @@ mod api;
 mod config;
 mod engine;
 mod protocol;
+mod shard;
 
 pub use api::{Ctx, Region, Setup};
 pub use config::{MachineConfig, Protocol};
-pub use engine::{run, run_with, SpasmError, SpasmRun};
+pub use engine::{run, run_with, try_run_with, SpasmError, SpasmRun};

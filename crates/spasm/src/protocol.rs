@@ -102,44 +102,99 @@ impl Cache {
     }
 }
 
-/// Full-map directory entry for one block. The sharer set is a 64-bit
-/// bitmask (hence the 64-processor limit). `Modified` also stands for a
+/// A growable full-map sharer bitmask: one bit per processor, stored as
+/// little-endian 64-bit words. Replaces the old single-`u64` mask so
+/// directories scale past 64 processors (the sharded engine targets 1024).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub(crate) struct SharerSet {
+    words: Vec<u64>,
+}
+
+impl SharerSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        SharerSet { words: Vec::new() }
+    }
+
+    /// The singleton set `{proc}`.
+    pub fn singleton(proc: usize) -> Self {
+        let mut s = SharerSet::new();
+        s.insert(proc);
+        s
+    }
+
+    /// Adds `proc` to the set.
+    pub fn insert(&mut self, proc: usize) {
+        let (w, b) = (proc / 64, proc % 64);
+        if self.words.len() <= w {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1u64 << b;
+    }
+
+    /// Removes `proc` from the set.
+    pub fn remove(&mut self, proc: usize) {
+        let (w, b) = (proc / 64, proc % 64);
+        if w < self.words.len() {
+            self.words[w] &= !(1u64 << b);
+        }
+    }
+
+    /// Whether the set contains no processors.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of processors in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates members in ascending processor order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut mask = word;
+            std::iter::from_fn(move || {
+                if mask == 0 {
+                    None
+                } else {
+                    let b = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+/// Full-map directory entry for one block. `Modified` also stands for a
 /// clean-exclusive owner under MESI — the recall path is identical.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub(crate) enum DirState {
     Uncached,
-    Shared(u64),
+    Shared(SharerSet),
     Modified(u16),
 }
 
 impl DirState {
-    /// Sharer bitmask excluding `except`.
-    pub fn sharers_except(&self, except: usize) -> u64 {
-        match *self {
-            DirState::Shared(mask) => mask & !(1u64 << except),
-            _ => 0,
+    /// The sharer set excluding `except` (empty unless `Shared`).
+    pub fn sharers_except(&self, except: usize) -> SharerSet {
+        match self {
+            DirState::Shared(set) => {
+                let mut s = set.clone();
+                s.remove(except);
+                s
+            }
+            _ => SharerSet::new(),
         }
     }
 
     pub fn add_sharer(&mut self, proc: usize) {
-        *self = match *self {
-            DirState::Shared(mask) => DirState::Shared(mask | (1u64 << proc)),
-            _ => DirState::Shared(1u64 << proc),
-        };
-    }
-}
-
-/// Iterates the set bits of a sharer mask in ascending processor order.
-pub(crate) fn iter_mask(mut mask: u64) -> impl Iterator<Item = usize> {
-    std::iter::from_fn(move || {
-        if mask == 0 {
-            None
-        } else {
-            let p = mask.trailing_zeros() as usize;
-            mask &= mask - 1;
-            Some(p)
+        match self {
+            DirState::Shared(set) => set.insert(proc),
+            _ => *self = DirState::Shared(SharerSet::singleton(proc)),
         }
-    })
+    }
 }
 
 #[cfg(test)]
@@ -212,10 +267,33 @@ mod tests {
         let mut d = DirState::Uncached;
         d.add_sharer(0);
         d.add_sharer(5);
-        assert_eq!(d, DirState::Shared(0b100001));
-        assert_eq!(d.sharers_except(0), 0b100000);
-        assert_eq!(iter_mask(d.sharers_except(9)).collect::<Vec<_>>(), vec![0, 5]);
+        let mut expect = SharerSet::new();
+        expect.insert(0);
+        expect.insert(5);
+        assert_eq!(d, DirState::Shared(expect));
+        assert_eq!(d.sharers_except(0).iter().collect::<Vec<_>>(), vec![5]);
+        assert_eq!(d.sharers_except(9).iter().collect::<Vec<_>>(), vec![0, 5]);
         let m = DirState::Modified(3);
-        assert_eq!(m.sharers_except(1), 0);
+        assert!(m.sharers_except(1).is_empty());
+    }
+
+    #[test]
+    fn sharer_set_scales_past_64_processors() {
+        let mut s = SharerSet::new();
+        for p in [0usize, 63, 64, 700, 1023] {
+            s.insert(p);
+        }
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 700, 1023]);
+        s.remove(700);
+        s.remove(700); // idempotent
+        s.remove(4000); // out-of-range no-op
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 1023]);
+        assert!(!s.is_empty());
+        for p in [0usize, 63, 64, 1023] {
+            s.remove(p);
+        }
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
     }
 }

@@ -58,7 +58,7 @@ use commchar_trace::{CommEvent, CommTrace};
 
 pub use reader::{
     profile_packed, unpack_netlog, unpack_trace, unpack_trace_parallel, BlockSource, FileReader,
-    TraceReader,
+    StreamBlockReader, TraceReader,
 };
 pub use writer::{pack_netlog, pack_trace, NetLogWriter, TraceWriter, DEFAULT_BLOCK_LEN};
 

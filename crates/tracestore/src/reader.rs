@@ -660,3 +660,187 @@ pub fn profile_packed(bytes: &[u8]) -> Result<TraceProfile, TraceStoreError> {
     reader.for_each_event(|e| accum.push(&e))?;
     Ok(accum.finish())
 }
+
+/// An incremental reader over a *non-seekable* CCTRACE1 byte stream — a
+/// pipe, a socket, stdin. Parses the header eagerly, then yields each
+/// checksum-verified block payload as it arrives, holding one block in
+/// memory at a time. This is what lets a live producer pipe a packed
+/// stream into a consumer (`commchar serve-feed --trace -`) while the
+/// file is still being written at the far end.
+///
+/// The seekable readers locate blocks through the trailing footer index,
+/// which a stream cannot reach first. Block frames are self-describing
+/// (`[u32le len][u32le fnv][payload]`), so this reader instead walks them
+/// sequentially and detects the end of the block run structurally: when a
+/// candidate frame fails its checksum or runs past end-of-stream, the
+/// remaining bytes are required to be a well-formed footer region
+/// (`[payload][u32le len][CCTFOOT1]` with a consistent length); if they
+/// are, the stream is cleanly finished, otherwise the original error
+/// stands. A corrupt mid-stream block therefore still surfaces as a
+/// [`TraceStoreError::ChecksumMismatch`] — the trailing real footer makes
+/// the length check fail — it is never silently swallowed as an early
+/// end.
+#[derive(Debug)]
+pub struct StreamBlockReader<R: std::io::Read> {
+    src: R,
+    kind: StreamKind,
+    nodes: usize,
+    blocks: usize,
+    done: bool,
+}
+
+impl<R: std::io::Read> StreamBlockReader<R> {
+    /// Opens the stream: reads and validates the magic + header.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceStoreError`] on I/O failure, a bad magic, an unknown stream
+    /// kind, or a malformed node-count varint.
+    pub fn new(mut src: R) -> Result<Self, TraceStoreError> {
+        let mut head = [0u8; 9]; // magic + kind byte
+        src.read_exact(&mut head).map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => TraceStoreError::BadMagic { found: Vec::new() },
+            _ => TraceStoreError::Io(e),
+        })?;
+        if head[..MAGIC.len()] != MAGIC {
+            return Err(TraceStoreError::BadMagic { found: head[..MAGIC.len()].to_vec() });
+        }
+        let kind = StreamKind::from_code(head[MAGIC.len()])?;
+        // The node count is an LEB128 varint, read byte-at-a-time (the
+        // stream cannot over-read and push back).
+        let mut nodes: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let mut b = [0u8; 1];
+            src.read_exact(&mut b)?;
+            if shift >= 64 || (shift == 63 && b[0] > 1) {
+                return Err(TraceStoreError::VarintOverflow { context: "node count" });
+            }
+            nodes |= ((b[0] & 0x7f) as u64) << shift;
+            if b[0] & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+        }
+        if kind == StreamKind::Events && nodes == 0 {
+            return Err(TraceStoreError::Corrupt("header declares zero nodes".into()));
+        }
+        Ok(StreamBlockReader { src, kind, nodes: nodes as usize, blocks: 0, done: false })
+    }
+
+    /// Stream kind from the header.
+    pub fn kind(&self) -> StreamKind {
+        self.kind
+    }
+
+    /// Processor count from the header.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Blocks yielded so far.
+    pub fn blocks_read(&self) -> usize {
+        self.blocks
+    }
+
+    /// Reads everything remaining on the stream.
+    fn drain(&mut self, into: &mut Vec<u8>) -> Result<(), TraceStoreError> {
+        self.src.read_to_end(into)?;
+        Ok(())
+    }
+
+    /// Checks that `tail` is a complete footer region: payload, a `u32le`
+    /// length that matches the payload, and the trailing magic.
+    fn is_footer_region(tail: &[u8]) -> bool {
+        let trailer = FOOTER_MAGIC.len() + 4;
+        if tail.len() < trailer || tail[tail.len() - FOOTER_MAGIC.len()..] != FOOTER_MAGIC {
+            return false;
+        }
+        let len_at = tail.len() - trailer;
+        let stored = &tail[len_at..len_at + 4];
+        u32::from_le_bytes(stored.try_into().expect("4 bytes")) as usize == len_at
+    }
+
+    /// Resolves an end-of-blocks candidate: `consumed` holds every byte
+    /// read past the last good block. Returns `Ok(None)` if the remainder
+    /// of the stream forms a valid footer region, otherwise `err`.
+    fn finish_or(
+        &mut self,
+        mut consumed: Vec<u8>,
+        err: TraceStoreError,
+    ) -> Result<Option<Vec<u8>>, TraceStoreError> {
+        self.drain(&mut consumed)?;
+        if Self::is_footer_region(&consumed) {
+            self.done = true;
+            return Ok(None);
+        }
+        Err(err)
+    }
+
+    /// Yields the next checksum-verified block payload, or `Ok(None)` once
+    /// the stream reaches its footer.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceStoreError`] on I/O failure, a mid-stream checksum mismatch,
+    /// or a stream that ends without a valid footer region.
+    pub fn next_block(&mut self) -> Result<Option<Vec<u8>>, TraceStoreError> {
+        if self.done {
+            return Ok(None);
+        }
+        let block = self.blocks;
+        let mut frame = [0u8; 8];
+        let mut got = 0;
+        while got < frame.len() {
+            match self.src.read(&mut frame[got..]) {
+                Ok(0) => {
+                    return self.finish_or(
+                        frame[..got].to_vec(),
+                        TraceStoreError::Truncated {
+                            context: "block frame header",
+                            needed: 8,
+                            have: got,
+                        },
+                    );
+                }
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(TraceStoreError::Io(e)),
+            }
+        }
+        let payload_len = u32::from_le_bytes(frame[..4].try_into().expect("4 bytes")) as usize;
+        let stored = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
+        let mut payload = vec![0u8; payload_len];
+        let mut have = 0;
+        while have < payload_len {
+            match self.src.read(&mut payload[have..]) {
+                Ok(0) => {
+                    let mut consumed = frame.to_vec();
+                    consumed.extend_from_slice(&payload[..have]);
+                    return self.finish_or(
+                        consumed,
+                        TraceStoreError::Truncated {
+                            context: "block payload",
+                            needed: payload_len,
+                            have,
+                        },
+                    );
+                }
+                Ok(n) => have += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(TraceStoreError::Io(e)),
+            }
+        }
+        let computed = fnv1a(&payload);
+        if computed != stored {
+            let mut consumed = frame.to_vec();
+            consumed.extend_from_slice(&payload);
+            return self.finish_or(
+                consumed,
+                TraceStoreError::ChecksumMismatch { block, stored, computed },
+            );
+        }
+        self.blocks += 1;
+        Ok(Some(payload))
+    }
+}

@@ -17,10 +17,14 @@
 # --no-replay pass over the same events), a sharded-simulator smoke
 # (the same trace replayed with --engine flit at --sim-jobs 1 and
 # --sim-jobs 4 must print byte-identically: the wavefront shards are
-# cycle-identical to the serial event loop), and a serve smoke (a server
-# on an ephemeral port, the fixture replayed through serve-feed with
-# mid-stream polls, and the polled final report diffed against offline
-# characterize --no-replay: the wire must not change a byte).
+# cycle-identical to the serial event loop), a sharded-machine smoke
+# (a shared-memory app acquired with --sim-jobs 1 and --sim-jobs 4 must
+# produce byte-identical packed traces and characterize reports: the
+# sharded execution-driven simulator is event-identical to serial), and
+# a serve smoke (a server on an ephemeral port, the fixture replayed
+# through serve-feed — once from a file, once streamed over stdin with
+# --trace - — and each final report diffed against offline characterize
+# --no-replay: the wire must not change a byte).
 #
 # Flags:
 #   --bench-smoke   additionally run the flit throughput, sharded
@@ -93,6 +97,15 @@ cargo run --release -q -- replay --trace tests/fixtures/engine_diff.trace.jsonl 
 cargo run --release -q -- replay --trace tests/fixtures/engine_diff.trace.jsonl --engine flit --sim-jobs 4 >"$tmpdir/replay.s4.txt"
 diff "$tmpdir/replay.s1.txt" "$tmpdir/replay.s4.txt"
 
+echo "==> sharded machine smoke (sm app --sim-jobs 4 vs --sim-jobs 1 diff)"
+cargo run --release -q -- run is --procs 8 --scale tiny --sim-jobs 1 --packed --out "$tmpdir/is.s1.cct" >"$tmpdir/is.s1.txt"
+cargo run --release -q -- run is --procs 8 --scale tiny --sim-jobs 4 --packed --out "$tmpdir/is.s4.cct" >"$tmpdir/is.s4.txt"
+diff "$tmpdir/is.s1.txt" "$tmpdir/is.s4.txt"
+cmp "$tmpdir/is.s1.cct" "$tmpdir/is.s4.cct"
+cargo run --release -q -- characterize is --procs 8 --scale tiny --sim-jobs 1 >"$tmpdir/is.sig.s1.txt"
+cargo run --release -q -- characterize is --procs 8 --scale tiny --sim-jobs 4 >"$tmpdir/is.sig.s4.txt"
+diff "$tmpdir/is.sig.s1.txt" "$tmpdir/is.sig.s4.txt"
+
 echo "==> serve smoke (serve-feed final report vs offline characterize diff)"
 cargo run --release -q -- serve --addr 127.0.0.1:0 >"$tmpdir/serve.addr" 2>"$tmpdir/serve.log" &
 serve_pid=$!
@@ -108,10 +121,15 @@ if [ -z "$addr" ]; then
     exit 1
 fi
 cargo run --release -q -- serve-feed --trace "$tmpdir/t.jsonl" --addr "$addr" \
-    --block-len 11 --poll-every 2 --shutdown >"$tmpdir/sig.served.txt" 2>/dev/null
+    --block-len 11 --poll-every 2 >"$tmpdir/sig.served.txt" 2>/dev/null
+# Second session: the same events streamed block-by-block over stdin
+# (--trace -), the live-producer path, then a protocol shutdown.
+cargo run --release -q -- serve-feed --trace - --addr "$addr" \
+    --poll-every 2 --shutdown <"$tmpdir/t.small.cct" >"$tmpdir/sig.piped.txt" 2>/dev/null
 wait "$serve_pid"
 cargo run --release -q -- characterize --trace "$tmpdir/t.jsonl" --no-replay >"$tmpdir/sig.offline.txt"
 diff "$tmpdir/sig.served.txt" "$tmpdir/sig.offline.txt"
+diff "$tmpdir/sig.piped.txt" "$tmpdir/sig.offline.txt"
 
 if [ "$bench_smoke" -eq 1 ]; then
     echo "==> flit throughput bench (quick smoke)"

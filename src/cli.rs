@@ -10,16 +10,15 @@ use commchar_apps::{AppId, Scale};
 use commchar_core::analyze::{try_analyze_blocks, try_analyze_trace};
 use commchar_core::report::{analysis_report, suite_table, suite_timing};
 use commchar_core::suite::{cell_matrix, SuiteRunner};
-use commchar_core::{
-    characterize, run_workload_engine, synthesize, try_characterize_jobs, Workload,
-};
+use commchar_core::{characterize, run_workload_sim, synthesize, try_characterize_jobs, Workload};
 use commchar_mesh::{EngineKind, MeshConfig};
 use commchar_serve::{ServeClient, ServeError};
 use commchar_trace::replay::CausalReplayer;
 use commchar_trace::CommTrace;
 use commchar_tracestore::writer::pack_trace_with_block_len;
 use commchar_tracestore::{
-    encode_event_block, is_packed, load_trace, pack_trace, FileReader, TraceReader, TraceStoreError,
+    encode_event_block, is_packed, load_trace, pack_trace, FileReader, StreamBlockReader,
+    StreamKind, TraceReader, TraceStoreError,
 };
 
 /// Error type for CLI operations.
@@ -96,11 +95,21 @@ pub struct Common {
     pub seed: u64,
     /// Closed-loop network engine (default recurrence).
     pub engine: EngineKind,
+    /// Shards for the execution-driven simulator's conservative-window
+    /// parallel engine (default 1 = serial; 0 = one per hardware thread).
+    /// Never changes output — sharded runs are event-identical to serial.
+    pub sim_jobs: usize,
 }
 
 impl Default for Common {
     fn default() -> Self {
-        Common { procs: 8, scale: Scale::Small, seed: 42, engine: EngineKind::Recurrence }
+        Common {
+            procs: 8,
+            scale: Scale::Small,
+            seed: 42,
+            engine: EngineKind::Recurrence,
+            sim_jobs: 1,
+        }
     }
 }
 
@@ -120,7 +129,7 @@ pub fn report_signature(w: &Workload, jobs: usize) -> Result<String, CliError> {
 /// `commchar run <app>`: run an application and return (report, trace).
 pub fn cmd_run(app: &str, common: Common) -> Result<(String, CommTrace), CliError> {
     let app = parse_app(app)?;
-    let w = run_workload_engine(app, common.procs, common.scale, common.engine);
+    let w = run_workload_sim(app, common.procs, common.scale, common.engine, common.sim_jobs);
     let report = format!(
         "ran {} on {} processors: {} messages, {} ticks\n",
         w.name,
@@ -136,7 +145,7 @@ pub fn cmd_run(app: &str, common: Common) -> Result<(String, CommTrace), CliErro
 /// does not depend on it.
 pub fn cmd_characterize_app(app: &str, common: Common, jobs: usize) -> Result<String, CliError> {
     let app = parse_app(app)?;
-    let w = run_workload_engine(app, common.procs, common.scale, common.engine);
+    let w = run_workload_sim(app, common.procs, common.scale, common.engine, common.sim_jobs);
     report_signature(&w, jobs)
 }
 
@@ -206,7 +215,7 @@ pub fn cmd_characterize_stream(
 /// trace of the same span.
 pub fn cmd_generate_trace(app: &str, common: Common) -> Result<CommTrace, CliError> {
     let app = parse_app(app)?;
-    let w = run_workload_engine(app, common.procs, common.scale, common.engine);
+    let w = run_workload_sim(app, common.procs, common.scale, common.engine, common.sim_jobs);
     let sig = characterize(&w);
     let model = synthesize(&sig, w.mesh);
     let span = w.netlog.summary().span.max(1);
@@ -434,6 +443,62 @@ pub fn cmd_serve_feed(
     Ok((report, status))
 }
 
+/// `commchar serve-feed --trace - [--addr HOST:PORT] [--poll-every N]
+/// [--shutdown]`: the streaming variant of [`cmd_serve_feed`] — reads a
+/// packed CCTRACE1 event stream from `input` *incrementally* and forwards
+/// each block frame to the server as it arrives, one block in memory at a
+/// time, so a live producer can pipe into a serving session while still
+/// writing. The producer's block framing is preserved verbatim on the
+/// wire (the file and wire formats share one block codec), so
+/// `--block-len` does not apply here.
+///
+/// # Errors
+///
+/// A [`CliError`] for a malformed or non-event stream, a mid-stream
+/// checksum mismatch, a truncated pipe, or any server/connection failure.
+pub fn cmd_serve_feed_stream(
+    addr: &str,
+    input: impl std::io::Read,
+    poll_every: usize,
+    shutdown: bool,
+) -> Result<(String, String), CliError> {
+    let mut reader = StreamBlockReader::new(input)?;
+    if reader.kind() != StreamKind::Events {
+        return Err(CliError(format!(
+            "serve-feed -: expected an events stream, got {}",
+            reader.kind().name()
+        )));
+    }
+    let to_cli = |e: ServeError| CliError(format!("serve-feed: {e}"));
+    let mut client = ServeClient::connect(addr).map_err(to_cli)?;
+    let session = client.open_session(reader.nodes() as u32).map_err(to_cli)?;
+    let mut blocks = 0usize;
+    let mut polls = 0usize;
+    while let Some(payload) = reader.next_block()? {
+        client.send_blocks(session, vec![payload]).map_err(to_cli)?;
+        blocks += 1;
+        if poll_every > 0 && blocks.is_multiple_of(poll_every) {
+            let _ = client.poll(session).map_err(to_cli)?;
+            polls += 1;
+        }
+    }
+    let (seen, report) = client.close_session(session).map_err(to_cli)?;
+    if shutdown {
+        client.shutdown_server().map_err(to_cli)?;
+    }
+    let status = format!(
+        "streamed {} blocks from stdin to {} (session {}, {} mid-stream polls{}); \
+         server absorbed {} events\n",
+        blocks,
+        addr,
+        session,
+        polls,
+        if shutdown { ", then shutdown" } else { "" },
+        seen,
+    );
+    Ok((report, status))
+}
+
 /// `commchar suite [--jobs N]`: the one-line-per-application summary, run
 /// across a pool of worker threads. Returns `(table, timing)`: the table
 /// is deterministic (byte-identical for any worker count, so it can be
@@ -443,7 +508,8 @@ pub fn cmd_serve_feed(
 /// (see [`SuiteRunner::run`]).
 pub fn cmd_suite(common: Common, jobs: usize) -> (String, String) {
     let cells = cell_matrix(AppId::all(), &[common.procs], &[common.scale], common.seed);
-    let report = SuiteRunner::new(jobs).with_engine(common.engine).run(cells);
+    let report =
+        SuiteRunner::new(jobs).with_engine(common.engine).with_sim_jobs(common.sim_jobs).run(cells);
     (suite_table(&report), suite_timing(&report))
 }
 
@@ -485,6 +551,9 @@ COMMANDS:
                                   characterize --trace FILE --no-replay);
                                   --poll-every N polls mid-stream every N
                                   blocks, --shutdown stops the server after
+    serve-feed --trace -          stream packed (CCTRACE1) blocks from stdin
+                                  instead, one block in memory at a time, so a
+                                  live producer can pipe into the session
 
 OPTIONS:
     --procs N       processor count (default 8)
@@ -497,11 +566,15 @@ OPTIONS:
                     wormhole model, default) or flit (cycle-accurate flit-level
                     router run incrementally). The recurrence default keeps
                     output byte-identical to earlier releases.
-    --sim-jobs N    worker threads for the flit simulator itself (requires
-                    --engine flit): the mesh is partitioned into row bands
-                    run as a conservative-window wavefront. 1 = serial
-                    (default), 0 = one per hardware thread. Cycle-identical:
-                    output is byte-identical for any value.
+    --sim-jobs N    worker threads for the simulators themselves, on any
+                    engine. Shared-memory apps (run/characterize/suite)
+                    shard the execution-driven CC-NUMA simulator into
+                    source-contiguous processor bands run as a
+                    conservative-window wavefront; with --engine flit the
+                    mesh router is additionally partitioned into row bands
+                    the same way. 1 = serial (default), 0 = one per
+                    hardware thread. Event-identical: output is
+                    byte-identical for any value.
     --streaming     replay with online statistics only (constant memory)
     --stream        characterize a packed trace block-by-block (constant memory)
     --no-replay     characterize without the network-behaviour section
@@ -546,8 +619,7 @@ mod tests {
 
     #[test]
     fn run_and_characterize_app() {
-        let common =
-            Common { procs: 4, scale: Scale::Tiny, seed: 1, engine: EngineKind::Recurrence };
+        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1, ..Common::default() };
         let (report, trace) = cmd_run("is", common).unwrap();
         assert!(report.contains("ran is on 4 processors"));
         assert!(!trace.is_empty());
@@ -558,9 +630,25 @@ mod tests {
     }
 
     #[test]
+    fn sim_jobs_does_not_change_dynamic_strategy_output() {
+        // The sharded execution-driven simulator must be invisible in the
+        // CLI's output: same run report, same trace, same signature.
+        let serial = Common { procs: 4, scale: Scale::Tiny, seed: 1, ..Common::default() };
+        let sharded = Common { sim_jobs: 4, ..serial };
+        let (rep_s, tr_s) = cmd_run("is", serial).unwrap();
+        let (rep_p, tr_p) = cmd_run("is", sharded).unwrap();
+        assert_eq!(rep_s, rep_p);
+        assert_eq!(tr_s.to_jsonl(), tr_p.to_jsonl(), "trace must not depend on --sim-jobs");
+        assert_eq!(
+            cmd_characterize_app("maxflow", serial, 1).unwrap(),
+            cmd_characterize_app("maxflow", sharded, 1).unwrap(),
+            "characterize report must not depend on --sim-jobs"
+        );
+    }
+
+    #[test]
     fn characterize_jobs_does_not_change_the_report() {
-        let common =
-            Common { procs: 4, scale: Scale::Tiny, seed: 1, engine: EngineKind::Recurrence };
+        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1, ..Common::default() };
         let serial = cmd_characterize_app("is", common, 1).unwrap();
         let parallel = cmd_characterize_app("is", common, 4).unwrap();
         assert_eq!(serial, parallel, "characterize report must not depend on --jobs");
@@ -586,8 +674,7 @@ mod tests {
 
     #[test]
     fn trace_roundtrip_through_cli() {
-        let common =
-            Common { procs: 4, scale: Scale::Tiny, seed: 1, engine: EngineKind::Recurrence };
+        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1, ..Common::default() };
         let (_, trace) = cmd_run("3d-fft", common).unwrap();
         let jsonl = trace.to_jsonl();
         let report = cmd_characterize_trace(jsonl.as_bytes(), 2, EngineKind::Recurrence).unwrap();
@@ -599,8 +686,7 @@ mod tests {
 
     #[test]
     fn trace_commands_roundtrip_both_formats() {
-        let common =
-            Common { procs: 4, scale: Scale::Tiny, seed: 1, engine: EngineKind::Recurrence };
+        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1, ..Common::default() };
         let (_, trace) = cmd_run("3d-fft", common).unwrap();
         let jsonl = trace.to_jsonl();
         let packed = cmd_trace_pack(jsonl.as_bytes(), 0).unwrap();
@@ -622,8 +708,7 @@ mod tests {
 
     #[test]
     fn trace_stat_reports_both_formats() {
-        let common =
-            Common { procs: 4, scale: Scale::Tiny, seed: 1, engine: EngineKind::Recurrence };
+        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1, ..Common::default() };
         let (_, trace) = cmd_run("nbody", common).unwrap();
         let jsonl = trace.to_jsonl();
         let packed = cmd_trace_pack(jsonl.as_bytes(), 0).unwrap();
@@ -638,8 +723,7 @@ mod tests {
 
     #[test]
     fn trace_stat_breaks_out_blocks() {
-        let common =
-            Common { procs: 4, scale: Scale::Tiny, seed: 1, engine: EngineKind::Recurrence };
+        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1, ..Common::default() };
         let (_, trace) = cmd_run("nbody", common).unwrap();
         let n = trace.len();
         assert!(n > 40, "need a multi-block trace, got {n} events");
@@ -654,8 +738,7 @@ mod tests {
 
     #[test]
     fn stream_and_no_replay_reports_are_identical() {
-        let common =
-            Common { procs: 4, scale: Scale::Tiny, seed: 1, engine: EngineKind::Recurrence };
+        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1, ..Common::default() };
         let (_, trace) = cmd_run("3d-fft", common).unwrap();
         let packed = cmd_trace_pack(trace.to_jsonl().as_bytes(), 37).unwrap();
         let batch = cmd_characterize_trace_only(&packed, 1).unwrap();
@@ -681,8 +764,7 @@ mod tests {
 
     #[test]
     fn generate_produces_parseable_trace() {
-        let common =
-            Common { procs: 4, scale: Scale::Tiny, seed: 9, engine: EngineKind::Recurrence };
+        let common = Common { procs: 4, scale: Scale::Tiny, seed: 9, ..Common::default() };
         let jsonl = cmd_generate("nbody", common).unwrap();
         let parsed = CommTrace::from_jsonl(&jsonl).unwrap();
         assert!(!parsed.is_empty());
@@ -691,8 +773,7 @@ mod tests {
 
     #[test]
     fn suite_runs_all_apps_and_is_deterministic_across_jobs() {
-        let common =
-            Common { procs: 4, scale: Scale::Tiny, seed: 1, engine: EngineKind::Recurrence };
+        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1, ..Common::default() };
         let (table, timing) = cmd_suite(common, 4);
         for a in AppId::all() {
             assert!(table.contains(a.name()), "suite table missing {a:?}");
@@ -705,8 +786,7 @@ mod tests {
 
     #[test]
     fn streaming_replay_reports_summary() {
-        let common =
-            Common { procs: 4, scale: Scale::Tiny, seed: 1, engine: EngineKind::Recurrence };
+        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1, ..Common::default() };
         let (_, trace) = cmd_run("3d-fft", common).unwrap();
         let out =
             cmd_replay_streaming(trace.to_jsonl().as_bytes(), EngineKind::Recurrence).unwrap();
@@ -717,7 +797,13 @@ mod tests {
 
     #[test]
     fn flit_engine_runs_every_command_surface() {
-        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1, engine: EngineKind::flit() };
+        let common = Common {
+            procs: 4,
+            scale: Scale::Tiny,
+            seed: 1,
+            engine: EngineKind::flit(),
+            ..Common::default()
+        };
         // run: closed-loop acquisition through the cycle-accurate router.
         let (report, trace) = cmd_run("is", common).unwrap();
         assert!(report.contains("ran is on 4 processors"));
@@ -751,8 +837,7 @@ mod tests {
         .unwrap();
         let addr = server.local_addr().to_string();
         let handle = server.spawn();
-        let common =
-            Common { procs: 4, scale: Scale::Tiny, seed: 1, engine: EngineKind::Recurrence };
+        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1, ..Common::default() };
         let (_, trace) = cmd_run("3d-fft", common).unwrap();
         let jsonl = trace.to_jsonl();
         let offline = cmd_characterize_trace_only(jsonl.as_bytes(), 1).unwrap();
@@ -763,6 +848,38 @@ mod tests {
         assert!(status.contains("then shutdown"), "status: {status}");
         // The packed form feeds identically (blocks are re-encoded).
         handle.shutdown();
+    }
+
+    #[test]
+    fn serve_feed_streams_packed_blocks_from_a_reader() {
+        let server = commchar_serve::Server::bind(
+            "127.0.0.1:0",
+            commchar_serve::ServeConfig { workers: 2, ..Default::default() },
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = server.spawn();
+        let common = Common { procs: 4, scale: Scale::Tiny, seed: 1, ..Common::default() };
+        let (_, trace) = cmd_run("3d-fft", common).unwrap();
+        let jsonl = trace.to_jsonl();
+        let offline = cmd_characterize_trace_only(jsonl.as_bytes(), 1).unwrap();
+        // Pipe-style input: the packed bytes arrive through an io::Read,
+        // tiny blocks force a multi-block stream with mid-stream polls.
+        let packed = pack_trace_with_block_len(&trace, 11);
+        let (report, status) = cmd_serve_feed_stream(&addr, &packed[..], 3, true).unwrap();
+        assert_eq!(report, offline, "streamed final report must equal offline --no-replay");
+        assert!(status.contains("streamed"), "status: {status}");
+        assert!(status.contains("mid-stream polls"), "status: {status}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn serve_feed_stream_rejects_non_packed_input() {
+        // JSON-lines cannot be streamed block-wise; the magic check fires
+        // before any connection is attempted.
+        let err =
+            cmd_serve_feed_stream("127.0.0.1:1", &b"{\"nodes\":4}\n"[..], 0, false).unwrap_err();
+        assert!(err.0.contains("bad magic"), "unexpected error: {err}");
     }
 
     #[test]

@@ -142,12 +142,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             other => args.positional.push(other.to_string()),
         }
     }
-    // `--sim-jobs` shards the flit simulator; position-independent of
-    // `--engine`, so it is folded into the engine after the loop.
+    // `--sim-jobs` shards whichever simulators the command runs: the
+    // execution-driven CC-NUMA machine behind shared-memory apps, and —
+    // position-independent of `--engine`, so it is folded in after the
+    // loop — the flit router's row bands when that engine is selected.
     if let Some(n) = args.sim_jobs {
-        if !args.common.engine.is_flit() {
-            return Err("--sim-jobs requires --engine flit".to_string());
-        }
+        args.common.sim_jobs = n;
         args.common.engine = args.common.engine.with_sim_jobs(n);
     }
     Ok(args)
@@ -283,15 +283,28 @@ fn run(argv: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some("serve-feed") => {
-            let input = read_trace(&args)?;
-            let (report, status) = cli::cmd_serve_feed(
-                &args.addr,
-                &input,
-                args.block_len,
-                args.poll_every,
-                args.shutdown,
-            )
-            .map_err(|e| e.0)?;
+            let path = args.trace.as_ref().ok_or("this command needs --trace FILE")?;
+            let (report, status) = if path == "-" {
+                // `-` streams CCTRACE1 blocks straight off stdin, one at a
+                // time, so a live producer can pipe into the server.
+                cli::cmd_serve_feed_stream(
+                    &args.addr,
+                    std::io::stdin().lock(),
+                    args.poll_every,
+                    args.shutdown,
+                )
+                .map_err(|e| e.0)?
+            } else {
+                let input = read_file(path)?;
+                cli::cmd_serve_feed(
+                    &args.addr,
+                    &input,
+                    args.block_len,
+                    args.poll_every,
+                    args.shutdown,
+                )
+                .map_err(|e| e.0)?
+            };
             eprint!("{status}");
             emit(&report, &args.out)
         }
