@@ -112,7 +112,7 @@ impl AnalyticModel {
                 let path: Vec<u32> = self
                     .mesh
                     .shape
-                    .xy_route(NodeId(s as u16), NodeId(d as u16))
+                    .route(NodeId(s as u16), NodeId(d as u16), self.mesh.routing)
                     .iter()
                     .map(|c| c.0)
                     .collect();
@@ -249,5 +249,27 @@ mod tests {
         let b = model.predict(&uniform_poisson(8, 0.001, 32));
         let ratio = b.max_channel_util / a.max_channel_util;
         assert!((ratio - 2.0).abs() < 0.05, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn torus_wrap_lowers_zero_load_and_spreads_load() {
+        use commchar_mesh::{Routing, Topology};
+
+        // Same traffic on a 4×4 torus: wrap links halve the average
+        // distance, so the predicted zero-load latency must drop, and the
+        // extra links spread the same load across more channels.
+        let mesh = AnalyticModel::new(MeshConfig::for_nodes(16));
+        let torus =
+            AnalyticModel::new(MeshConfig::for_nodes_net(16, Topology::Torus, Routing::Dimension));
+        let t = uniform_poisson(16, 0.001, 32);
+        let m = mesh.predict(&t);
+        let w = torus.predict(&t);
+        assert!(
+            w.mean_zero_load < m.mean_zero_load,
+            "{} vs {}",
+            w.mean_zero_load,
+            m.mean_zero_load
+        );
+        assert!(w.max_channel_util <= m.max_channel_util);
     }
 }

@@ -24,6 +24,16 @@
 //! - [`mp::mg`] — NAS MG: V-cycle multigrid with nearest-neighbour ghost
 //!   exchange and a p0-rooted residual reduction.
 //!
+//! Two collective-shaped workloads extend the paper's set so the suite
+//! can contrast topologies and routing policies on traffic with known
+//! communication shapes:
+//!
+//! - [`mp::allreduce`] — ring allreduce (reduce-scatter + allgather),
+//!   strictly nearest-neighbour traffic around the rank ring.
+//! - [`mp::halo`] — 2-D *periodic* halo exchange with a conservative
+//!   diffusion stencil; the process grid is itself a torus, so wraparound
+//!   network links carry its boundary exchanges natively.
+//!
 //! Every kernel checks its own numerical output (against closed forms or a
 //! sequential reference in tests) so the traffic being characterized comes
 //! from *correct* executions.
@@ -116,10 +126,15 @@ pub enum AppId {
     Fft3d,
     /// NAS MG multigrid (message passing).
     Mg,
+    /// Ring allreduce collective (message passing).
+    Allreduce,
+    /// 2-D periodic halo exchange (message passing).
+    Halo,
 }
 
 impl AppId {
-    /// All applications in the paper's presentation order.
+    /// All applications: the paper's seven in presentation order, then
+    /// the collective-shaped additions.
     pub fn all() -> &'static [AppId] {
         &[
             AppId::Fft1d,
@@ -129,6 +144,8 @@ impl AppId {
             AppId::Maxflow,
             AppId::Fft3d,
             AppId::Mg,
+            AppId::Allreduce,
+            AppId::Halo,
         ]
     }
 
@@ -142,13 +159,15 @@ impl AppId {
             AppId::Maxflow => "maxflow",
             AppId::Fft3d => "3d-fft",
             AppId::Mg => "mg",
+            AppId::Allreduce => "allreduce",
+            AppId::Halo => "halo",
         }
     }
 
     /// Strategy class.
     pub fn class(self) -> AppClass {
         match self {
-            AppId::Fft3d | AppId::Mg => AppClass::MessagePassing,
+            AppId::Fft3d | AppId::Mg | AppId::Allreduce | AppId::Halo => AppClass::MessagePassing,
             _ => AppClass::SharedMemory,
         }
     }
@@ -204,8 +223,33 @@ impl AppId {
         engine: commchar_mesh::EngineKind,
         sim_jobs: usize,
     ) -> AppOutput {
-        let cfg =
-            commchar_spasm::MachineConfig::new(nprocs).with_engine(engine).with_sim_jobs(sim_jobs);
+        self.run_net(nprocs, scale, engine, sim_jobs, commchar_mesh::MeshConfig::for_nodes(nprocs))
+    }
+
+    /// Like [`AppId::run_sim`] with an explicit network configuration —
+    /// topology (mesh or torus), routing policy and virtual-channel
+    /// budget. Shared-memory kernels run with `mesh` inside the closed
+    /// loop, so wraparound links and the routing policy steer their
+    /// execution; message-passing kernels acquire their traces network-free
+    /// (the configuration applies at causal replay), so `mesh` is ignored
+    /// there, like `engine` and `sim_jobs`.
+    ///
+    /// # Panics
+    ///
+    /// Same constraints as [`AppId::run`], plus `mesh` must have at least
+    /// `nprocs` nodes.
+    pub fn run_net(
+        self,
+        nprocs: usize,
+        scale: Scale,
+        engine: commchar_mesh::EngineKind,
+        sim_jobs: usize,
+        mesh: commchar_mesh::MeshConfig,
+    ) -> AppOutput {
+        let cfg = commchar_spasm::MachineConfig::new(nprocs)
+            .with_mesh(mesh)
+            .with_engine(engine)
+            .with_sim_jobs(sim_jobs);
         match self {
             AppId::Fft1d => sm::fft1d::run_cfg(cfg, scale),
             AppId::Is => sm::is::run_cfg(cfg, scale),
@@ -214,6 +258,8 @@ impl AppId {
             AppId::Maxflow => sm::maxflow::run_cfg(cfg, scale),
             AppId::Fft3d => mp::fft3d::run(nprocs, scale),
             AppId::Mg => mp::mg::run(nprocs, scale),
+            AppId::Allreduce => mp::allreduce::run(nprocs, scale),
+            AppId::Halo => mp::halo::run(nprocs, scale),
         }
     }
 }

@@ -1,4 +1,6 @@
 //! Message-passing kernels (static strategy, SP2-modelled execution).
 
+pub mod allreduce;
 pub mod fft3d;
+pub mod halo;
 pub mod mg;

@@ -13,7 +13,9 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use commchar_des::SimTime;
-use commchar_mesh::{FlitCycleReference, FlitLevel, MeshConfig, MeshModel, NetMessage, NodeId};
+use commchar_mesh::{
+    FlitCycleReference, FlitLevel, MeshConfig, MeshModel, NetMessage, NodeId, Routing, Topology,
+};
 
 /// Deterministic 64-bit LCG so workloads are fixed across runs/machines.
 struct Lcg(u64);
@@ -117,6 +119,15 @@ fn workloads(quick: bool) -> Vec<Workload> {
         Workload {
             name: "8x8_bursty_vc1",
             cfg: MeshConfig::new(8, 8),
+            msgs: bursts(42, 40 * scale, 15, 2000, 256, 512),
+        },
+        // Torus headline: the same burst traffic on an 8×8 torus under
+        // minimal-adaptive routing, so wraparound routes and the
+        // dateline/escape-VC discipline (4 VC classes) sit on the bench's
+        // hot path and their cost shows up in the trajectory file.
+        Workload {
+            name: "8x8_torus_contention",
+            cfg: MeshConfig::for_nodes_net(64, Topology::Torus, Routing::Adaptive),
             msgs: bursts(42, 40 * scale, 15, 2000, 256, 512),
         },
         Workload {
@@ -235,4 +246,15 @@ fn main() {
         "8x8_contention speedup {:.2}x below the 5x acceptance floor",
         headline.6
     );
+    // The torus floor only binds on hosts with ≥4 cores: tiny CI runners
+    // time-slice the single-threaded bench enough that ratios below the
+    // floor are scheduler noise, not a regression.
+    let torus = rows.iter().find(|r| r.0 == "8x8_torus_contention").expect("torus workload");
+    if host_cores >= 4 {
+        assert!(
+            torus.6 >= 4.0,
+            "8x8_torus_contention speedup {:.2}x below the 4x acceptance floor",
+            torus.6
+        );
+    }
 }

@@ -33,7 +33,10 @@
 //! default. [`run_workload_sim`] and [`suite::SuiteRunner::with_sim_jobs`]
 //! additionally shard the execution-driven simulator itself (the CLI's
 //! `--sim-jobs` flag) — event-identical to serial, so no output depends
-//! on it.
+//! on it. [`run_workload_net`] also selects the network itself — a torus
+//! with wraparound links and/or the minimal-adaptive routing policy (the
+//! CLI's `--topology` / `--routing` flags) — raising the virtual-channel
+//! budget to the escape-channel minimum the pair needs.
 //!
 //! # Example
 //!
@@ -55,7 +58,7 @@ pub mod report;
 pub mod suite;
 
 use commchar_apps::{AppClass, AppId, Scale};
-use commchar_mesh::{EngineKind, MeshConfig, NetLog, NetSummary};
+use commchar_mesh::{EngineKind, MeshConfig, NetLog, NetSummary, Routing, Topology};
 use commchar_stats::fit::{fit_best, FitResult};
 use commchar_stats::spatial::SpatialFit;
 use commchar_stats::Dist;
@@ -129,8 +132,33 @@ pub fn run_workload_sim(
     engine: EngineKind,
     sim_jobs: usize,
 ) -> Workload {
-    let mesh = MeshConfig::for_nodes(nprocs);
-    let out = app.run_sim(nprocs, scale, engine, sim_jobs);
+    run_workload_net(app, nprocs, scale, engine, sim_jobs, Topology::Mesh, Routing::Dimension)
+}
+
+/// Like [`run_workload_sim`] with an explicit network: the `topology`
+/// (mesh, or torus with wraparound links) and the `routing` policy
+/// (dimension-order, or minimal-adaptive). The network is built by
+/// [`MeshConfig::for_nodes_net`], which raises the virtual-channel budget
+/// to the escape-channel minimum the chosen (topology × routing) pair
+/// needs for deadlock freedom. Dynamic-strategy applications execute with
+/// that network in the closed loop; static-strategy traces are causally
+/// replayed through it. Mesh + dimension-order reproduces
+/// [`run_workload_sim`] exactly.
+///
+/// # Panics
+///
+/// Panics on invalid processor counts for the chosen kernel.
+pub fn run_workload_net(
+    app: AppId,
+    nprocs: usize,
+    scale: Scale,
+    engine: EngineKind,
+    sim_jobs: usize,
+    topology: Topology,
+    routing: Routing,
+) -> Workload {
+    let mesh = MeshConfig::for_nodes_net(nprocs, topology, routing);
+    let out = app.run_net(nprocs, scale, engine, sim_jobs, mesh);
     let netlog = match out.netlog {
         Some(log) => log, // dynamic strategy: closed-loop co-simulation
         None => CausalReplayer::new(mesh) // static strategy
@@ -615,6 +643,72 @@ mod tests {
     #[should_panic(expected = "degenerate trace")]
     fn characterize_panic_message_names_the_problem() {
         let _ = characterize(&degenerate_workload(1));
+    }
+
+    #[test]
+    fn net_default_reproduces_run_workload_sim() {
+        // Mesh + dimension-order is the historical configuration; the
+        // net-aware entry point must reproduce it to the byte.
+        let a = run_workload(AppId::Is, 4, Scale::Tiny);
+        let b = run_workload_net(
+            AppId::Is,
+            4,
+            Scale::Tiny,
+            EngineKind::Recurrence,
+            1,
+            Topology::Mesh,
+            Routing::Dimension,
+        );
+        assert_eq!(a.mesh, b.mesh);
+        assert_eq!(a.trace.to_jsonl(), b.trace.to_jsonl());
+        assert_eq!(a.netlog.records(), b.netlog.records());
+    }
+
+    #[test]
+    fn torus_pipeline_end_to_end_both_strategies() {
+        // Dynamic (IS, closed-loop flit router in the execution loop) and
+        // static (halo, causal replay) acquisition both run on a torus
+        // with minimal-adaptive routing, and the full characterization
+        // pipeline follows through.
+        for app in [AppId::Is, AppId::Halo] {
+            let w = run_workload_net(
+                app,
+                4,
+                Scale::Tiny,
+                EngineKind::flit(),
+                1,
+                Topology::Torus,
+                Routing::Adaptive,
+            );
+            assert_eq!(w.mesh.shape.topology(), Topology::Torus);
+            assert!(w.mesh.virtual_channels >= w.mesh.vc_classes());
+            let sig = characterize(&w);
+            assert!(sig.volume.messages > 0);
+            assert!(sig.network.mean_latency > 0.0);
+        }
+    }
+
+    #[test]
+    fn torus_wrap_links_shorten_ring_collectives() {
+        // The ring allreduce's rank-(p−1) → rank-0 message crosses the
+        // whole mesh but a single wrap link on the torus: same trace
+        // (static acquisition is network-free), strictly fewer mean hops.
+        let run = |topology| {
+            run_workload_net(
+                AppId::Allreduce,
+                8,
+                Scale::Tiny,
+                EngineKind::Recurrence,
+                1,
+                topology,
+                Routing::Dimension,
+            )
+        };
+        let mesh = run(Topology::Mesh);
+        let torus = run(Topology::Torus);
+        assert_eq!(mesh.trace.to_jsonl(), torus.trace.to_jsonl());
+        let (mh, th) = (mesh.netlog.summary().mean_hops, torus.netlog.summary().mean_hops);
+        assert!(th < mh, "torus mean hops {th} should beat mesh {mh}");
     }
 
     #[test]

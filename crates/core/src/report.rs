@@ -93,6 +93,8 @@ pub fn suite_table(report: &SuiteReport) -> String {
                 sig.class.name().to_string(),
                 r.cell.procs.to_string(),
                 r.cell.scale.name().to_string(),
+                r.cell.topology.name().to_string(),
+                r.cell.routing.name().to_string(),
                 r.messages.to_string(),
                 format!("{}", sig.temporal.aggregate.dist),
                 spatial_consensus(&sig.spatial),
@@ -106,6 +108,8 @@ pub fn suite_table(report: &SuiteReport) -> String {
             "class",
             "procs",
             "scale",
+            "topology",
+            "routing",
             "msgs",
             "inter-arrival fit",
             "spatial model",

@@ -1,6 +1,6 @@
 //! Network configuration.
 
-use crate::MeshShape;
+use crate::{MeshShape, Routing, Topology};
 
 /// Parameters of the 2-D mesh wormhole network.
 ///
@@ -33,6 +33,8 @@ pub struct MeshConfig {
     /// Virtual channels per physical channel (flit-accurate model only;
     /// the recurrence model treats the physical channel as one resource).
     pub virtual_channels: usize,
+    /// Route-computation policy (dimension-order or minimal-adaptive).
+    pub routing: Routing,
 }
 
 impl MeshConfig {
@@ -47,7 +49,25 @@ impl MeshConfig {
             link_delay: 1,
             buffer_flits: 2,
             virtual_channels: 1,
+            routing: Routing::Dimension,
         }
+    }
+
+    /// Convenience: near-square grid for `n` nodes with the chosen
+    /// topology and routing policy, with `virtual_channels` raised (never
+    /// lowered) to the [`Routing::vc_classes`] budget the combination
+    /// needs for deadlock freedom — so the resulting configuration is
+    /// always accepted by the flit-accurate router.
+    pub fn for_nodes_net(n: usize, topology: Topology, routing: Routing) -> Self {
+        let mesh = MeshShape::for_nodes(n);
+        let shape = match topology {
+            Topology::Mesh => mesh,
+            Topology::Torus => MeshShape::new_torus(mesh.width(), mesh.height()),
+        };
+        let cfg = MeshConfig { shape, ..MeshConfig::new(shape.width(), shape.height()) }
+            .with_routing(routing);
+        let vcs = cfg.virtual_channels.max(cfg.vc_classes());
+        cfg.with_virtual_channels(vcs)
     }
 
     /// Convenience: near-square mesh for `n` nodes.
@@ -132,6 +152,20 @@ impl MeshConfig {
         self
     }
 
+    /// Sets the route-computation policy.
+    #[must_use]
+    pub fn with_routing(mut self, routing: Routing) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Virtual-channel classes this configuration's (topology × routing)
+    /// pair needs for deadlock freedom — see [`Routing::vc_classes`]. The
+    /// flit-accurate router requires `virtual_channels >= vc_classes()`.
+    pub fn vc_classes(&self) -> usize {
+        self.routing.vc_classes(self.shape.topology())
+    }
+
     /// Total flits for a message with `payload` bytes: header flits plus
     /// payload flits, each rounded up to whole flits.
     pub fn flits_for(&self, payload: u32) -> u64 {
@@ -196,5 +230,22 @@ mod tests {
     #[should_panic(expected = "flit width")]
     fn zero_flit_width_rejected() {
         let _ = MeshConfig::new(2, 2).with_flit_bytes(0);
+    }
+
+    #[test]
+    fn for_nodes_net_covers_the_vc_class_budget() {
+        for topology in [Topology::Mesh, Topology::Torus] {
+            for routing in [Routing::Dimension, Routing::Adaptive] {
+                let cfg = MeshConfig::for_nodes_net(16, topology, routing);
+                assert_eq!(cfg.shape.topology(), topology);
+                assert_eq!(cfg.routing, routing);
+                assert!(cfg.virtual_channels >= cfg.vc_classes());
+            }
+        }
+        // Mesh + dimension reproduces the historical default exactly.
+        assert_eq!(
+            MeshConfig::for_nodes_net(16, Topology::Mesh, Routing::Dimension),
+            MeshConfig::for_nodes(16)
+        );
     }
 }

@@ -31,7 +31,7 @@ use commchar_des::SimTime;
 
 use crate::flit::ClosedLoop;
 use crate::sink::{LogSink, StreamingLog};
-use crate::{MeshConfig, NetLog, NetMessage, OnlineWormhole};
+use crate::{MeshConfig, NetLog, NetMessage, OnlineWormhole, Routing, Topology};
 
 /// An error surfaced by a closed-loop engine instead of a panic.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -58,6 +58,40 @@ pub enum EngineError {
         /// Human-readable wedge report (undelivered worms and progress).
         report: String,
     },
+    /// The flit-accurate router was configured with fewer virtual channels
+    /// than its (topology × routing) pair needs for deadlock freedom: the
+    /// torus dateline (escape) discipline and the adaptive XY/YX split
+    /// each require their own virtual-channel class (see
+    /// [`Routing::vc_classes`]). Raise `virtual_channels` — or build the
+    /// configuration with [`MeshConfig::for_nodes_net`], which sizes the
+    /// budget automatically.
+    UnsupportedTopology {
+        /// The configured topology.
+        topology: Topology,
+        /// The configured routing policy.
+        routing: Routing,
+        /// Virtual-channel classes the pair needs.
+        needed: usize,
+        /// Virtual channels actually configured.
+        have: usize,
+    },
+}
+
+impl EngineError {
+    /// Validates that `cfg` carries enough virtual channels for the
+    /// flit-accurate router's deadlock-freedom discipline.
+    pub(crate) fn check_flit(cfg: &MeshConfig) -> Result<(), EngineError> {
+        let needed = cfg.vc_classes();
+        if cfg.virtual_channels < needed {
+            return Err(EngineError::UnsupportedTopology {
+                topology: cfg.shape.topology(),
+                routing: cfg.routing,
+                needed,
+                have: cfg.virtual_channels,
+            });
+        }
+        Ok(())
+    }
 }
 
 impl std::fmt::Display for EngineError {
@@ -69,6 +103,14 @@ impl std::fmt::Display for EngineError {
                  (message {id} at {inject:?} after {last:?})"
             ),
             EngineError::Wedged { report } => write!(f, "{report}"),
+            EngineError::UnsupportedTopology { topology, routing, needed, have } => write!(
+                f,
+                "a {topology} with {routing} routing needs {needed} \
+                 virtual-channel class(es) for deadlock freedom, but only \
+                 {have} virtual channel(s) are configured — raise the \
+                 virtual-channel count (MeshConfig::for_nodes_net sizes it \
+                 automatically)"
+            ),
         }
     }
 }
@@ -239,9 +281,19 @@ impl IncrementalFlit {
     ///
     /// # Panics
     ///
-    /// Panics on a torus shape (the flit router is mesh-only).
+    /// Panics when the configuration lacks the virtual channels its
+    /// (topology × routing) pair needs for deadlock freedom — use
+    /// [`IncrementalFlit::try_new`] for the typed
+    /// [`EngineError::UnsupportedTopology`].
     pub fn new(cfg: MeshConfig) -> Self {
         IncrementalFlit::with_sink(cfg, NetLog::new())
+    }
+
+    /// [`new`](IncrementalFlit::new), surfacing an undersized
+    /// virtual-channel budget as [`EngineError::UnsupportedTopology`]
+    /// instead of a panic.
+    pub fn try_new(cfg: MeshConfig) -> Result<Self, EngineError> {
+        IncrementalFlit::try_with_sink(cfg, NetLog::new())
     }
 }
 
@@ -251,7 +303,8 @@ impl IncrementalFlit<StreamingLog> {
     ///
     /// # Panics
     ///
-    /// Panics on a torus shape (the flit router is mesh-only).
+    /// Panics on an undersized virtual-channel budget (see
+    /// [`IncrementalFlit::new`]).
     pub fn streaming(cfg: MeshConfig) -> Self {
         let nodes = cfg.shape.nodes();
         IncrementalFlit::with_sink(cfg, StreamingLog::new(nodes))
@@ -263,15 +316,26 @@ impl<S: LogSink> IncrementalFlit<S> {
     ///
     /// # Panics
     ///
-    /// Panics on a torus shape (the flit router is mesh-only).
+    /// Panics on an undersized virtual-channel budget (see
+    /// [`IncrementalFlit::new`]).
     pub fn with_sink(cfg: MeshConfig, sink: S) -> Self {
-        IncrementalFlit {
+        match IncrementalFlit::try_with_sink(cfg, sink) {
+            Ok(engine) => engine,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`with_sink`](IncrementalFlit::with_sink), surfacing an undersized
+    /// virtual-channel budget as [`EngineError::UnsupportedTopology`]
+    /// instead of a panic.
+    pub fn try_with_sink(cfg: MeshConfig, sink: S) -> Result<Self, EngineError> {
+        Ok(IncrementalFlit {
             cfg,
-            core: ClosedLoop::new(cfg),
+            core: ClosedLoop::try_new(cfg)?,
             sink,
             last_inject: SimTime::ZERO,
             sim_jobs: 1,
-        }
+        })
     }
 
     /// Sets the `--sim-jobs` worker count used for the final drain.

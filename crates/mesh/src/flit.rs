@@ -66,7 +66,10 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use crate::engine::EngineError;
 use crate::sink::LogSink;
-use crate::{MeshConfig, MeshModel, MsgRecord, NetLog, NetMessage, NodeId, StreamingLog};
+use crate::{
+    MeshConfig, MeshModel, MsgRecord, NetLog, NetMessage, NodeId, StreamingLog, HOP_PORT_BITS,
+    HOP_PORT_MASK,
+};
 
 mod shard;
 
@@ -331,12 +334,18 @@ impl FlitLevel {
     ///
     /// # Panics
     ///
-    /// Panics on a torus shape: the router model's XY routing needs escape
-    /// virtual channels for torus deadlock freedom, which it does not
-    /// implement — use [`OnlineWormhole`](crate::OnlineWormhole) for torus
-    /// studies.
+    /// Panics when the configuration lacks the virtual channels its
+    /// (topology × routing) pair needs for deadlock freedom (the torus
+    /// dateline escape classes, the adaptive XY/YX classes) — use
+    /// [`FlitLevel::try_new`] for the typed error.
     pub fn new(cfg: MeshConfig) -> Self {
         FlitLevel::with_sink(cfg, NetLog::new())
+    }
+
+    /// [`new`](FlitLevel::new), surfacing an undersized virtual-channel
+    /// budget as [`EngineError::UnsupportedTopology`] instead of a panic.
+    pub fn try_new(cfg: MeshConfig) -> Result<Self, EngineError> {
+        FlitLevel::try_with_sink(cfg, NetLog::new())
     }
 
     /// Finishes the simulation and returns the network log, including
@@ -360,13 +369,21 @@ impl<S: LogSink> FlitLevel<S> {
     ///
     /// # Panics
     ///
-    /// Panics on a torus shape (see [`FlitLevel::new`]).
+    /// Panics on an undersized virtual-channel budget (see
+    /// [`FlitLevel::new`]).
     pub fn with_sink(cfg: MeshConfig, sink: S) -> Self {
-        assert!(
-            cfg.shape.topology() == crate::Topology::Mesh,
-            "FlitLevel supports mesh topologies only"
-        );
-        FlitLevel {
+        match FlitLevel::try_with_sink(cfg, sink) {
+            Ok(model) => model,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`with_sink`](FlitLevel::with_sink), surfacing an undersized
+    /// virtual-channel budget as [`EngineError::UnsupportedTopology`]
+    /// instead of a panic.
+    pub fn try_with_sink(cfg: MeshConfig, sink: S) -> Result<Self, EngineError> {
+        EngineError::check_flit(&cfg)?;
+        Ok(FlitLevel {
             cfg,
             sink,
             busy: vec![0; cfg.shape.nodes() * NPORTS],
@@ -375,7 +392,7 @@ impl<S: LogSink> FlitLevel<S> {
             ws: Workspace::default(),
             sim_jobs: 1,
             team: None,
-        }
+        })
     }
 
     /// Sets the `--sim-jobs` worker count: `1` (the default) is the
@@ -584,22 +601,16 @@ fn out_channel_id(node: usize, port: usize) -> u32 {
     }
 }
 
-/// Appends the output-port sequence of the XY route from `src` to `dst`.
+/// Appends the packed per-hop route bytes from `src` to `dst` under the
+/// configuration's routing policy: `class << HOP_PORT_BITS | port` per
+/// inter-router hop, then an ejection byte. The class is the
+/// virtual-channel class the hop's head allocates from — the torus
+/// dateline (escape) discipline and the adaptive XY/YX split live
+/// entirely in these bytes, so the engine's hot loop just masks and
+/// shifts. Mesh + dimension packs every hop as class 0, the historical
+/// plain port byte.
 fn build_route(cfg: &MeshConfig, src: NodeId, dst: NodeId, routes: &mut Vec<u8>) {
-    let shape = cfg.shape;
-    let mut cur = shape.coord(src);
-    let goal = shape.coord(dst);
-    while cur.x != goal.x {
-        let (port, nx) = if goal.x > cur.x { (PORT_E, cur.x + 1) } else { (PORT_W, cur.x - 1) };
-        routes.push(port as u8);
-        cur.x = nx;
-    }
-    while cur.y != goal.y {
-        let (port, ny) = if goal.y > cur.y { (PORT_S, cur.y + 1) } else { (PORT_N, cur.y - 1) };
-        routes.push(port as u8);
-        cur.y = ny;
-    }
-    routes.push(PORT_LOCAL as u8);
+    cfg.shape.route_hops_into(src, dst, cfg.routing, routes);
 }
 
 /// What [`Engine::advance`] runs the event loop toward.
@@ -656,9 +667,12 @@ struct ShardCtx {
     /// authoritative on the *upstream* side (`occ`), so landings here
     /// skip the local `reserved` decrement.
     remote_fed: Vec<bool>,
-    /// Events for the lower-index neighbor shard, flushed at end of cycle.
+    /// Events for the *predecessor* band (across this shard's north
+    /// boundary), flushed at end of cycle. On a mesh that is always the
+    /// lower-index neighbor; on a torus, shard 0's predecessor is the
+    /// last shard via the wraparound links.
     out_lo: Vec<(u64, Ev)>,
-    /// Events for the higher-index neighbor shard.
+    /// Events for the *successor* band (across the south boundary).
     out_hi: Vec<(u64, Ev)>,
 }
 
@@ -666,6 +680,22 @@ impl ShardCtx {
     #[inline]
     fn is_remote(&self, node: usize) -> bool {
         node < self.lo || node >= self.hi
+    }
+
+    /// Outbox for the boundary crossed in direction `port`. Bands are
+    /// whole rows, so every cross-shard link is vertical and the *port*
+    /// names the edge unambiguously — north crosses to the predecessor
+    /// band, south to the successor. (Classifying by node index would
+    /// misroute torus wrap traffic: shard 0's north-wrap peer has the
+    /// numerically highest ids but belongs to the predecessor edge.)
+    #[inline]
+    fn outbox(&mut self, port: usize) -> &mut Vec<(u64, Ev)> {
+        debug_assert!(port == PORT_N || port == PORT_S, "cross-shard links are vertical");
+        if port == PORT_N {
+            &mut self.out_lo
+        } else {
+            &mut self.out_hi
+        }
     }
 }
 
@@ -785,19 +815,24 @@ impl Engine<'_> {
         self.ws.ring[(at & (self.wheel - 1)) as usize].push(o);
     }
 
-    /// Output port requested by `f` (O(1) via the hop cursor).
+    /// Output port requested by `f` (O(1) via the hop cursor; the class
+    /// bits above the port code are masked off).
     #[inline]
     fn flit_port(&self, f: &Flit) -> usize {
-        self.ws.routes[f.hop as usize] as usize
+        (self.ws.routes[f.hop as usize] & HOP_PORT_MASK) as usize
     }
 
+    /// The router and input port fed by `node`'s output `port`. The wrap
+    /// arms only ever fire on a torus — a mesh route never walks off an
+    /// edge.
     fn downstream(&self, node: usize, port: usize) -> (usize, usize) {
         let w = self.cfg.shape.width() as usize;
+        let nodes = self.cfg.shape.nodes();
         match port {
-            PORT_E => (node + 1, PORT_W),
-            PORT_W => (node - 1, PORT_E),
-            PORT_S => (node + w, PORT_N),
-            PORT_N => (node - w, PORT_S),
+            PORT_E => (if (node + 1).is_multiple_of(w) { node + 1 - w } else { node + 1 }, PORT_W),
+            PORT_W => (if node.is_multiple_of(w) { node + w - 1 } else { node - 1 }, PORT_E),
+            PORT_S => (if node + w >= nodes { node + w - nodes } else { node + w }, PORT_N),
+            PORT_N => (if node < w { node + nodes - w } else { node - w }, PORT_S),
             _ => unreachable!("ejection has no downstream router"),
         }
     }
@@ -964,7 +999,7 @@ impl Engine<'_> {
         for i in 0..rlen {
             let buf = self.ws.req[rbase + i];
             if let Some(f) = self.bfront(base + buf as usize) {
-                if self.ws.routes[f.hop as usize] as usize == out {
+                if (self.ws.routes[f.hop as usize] & HOP_PORT_MASK) as usize == out {
                     self.ws.req[rbase + keep] = buf;
                     keep += 1;
                     if f.ready <= t {
@@ -990,10 +1025,13 @@ impl Engine<'_> {
             }
             let (buf, f) = cand[idx];
             let ovc = match f.kind {
-                Kind::Head => match self.free_vc(o) {
-                    Some(vc) => vc,
-                    None => continue,
-                },
+                Kind::Head => {
+                    let class = (self.ws.routes[f.hop as usize] >> HOP_PORT_BITS) as usize;
+                    match self.free_vc(o, class) {
+                        Some(vc) => vc,
+                        None => continue,
+                    }
+                }
                 _ => match self.vc_of(o, f.worm) {
                     Some(vc) => vc,
                     None => continue, // owner not established yet
@@ -1058,18 +1096,18 @@ impl Engine<'_> {
             if remote {
                 // The feeder output lives in a neighbor shard: ship the
                 // pop as a credit event instead of touching its state.
-                // Row-major ids make a lower-shard feeder index `f < o`
-                // (serial semantics: next-cycle wakeup → label `t + 1`)
-                // and a higher-shard feeder `f > o` (same-cycle sweep
-                // visibility → label `t`, applied before the receiver
-                // scans `t`).
+                // The *label* follows the serial sweep's numeric rule — a
+                // numerically lower feeder index `f < o` gets a next-cycle
+                // wakeup (label `t + 1`), a higher one same-cycle sweep
+                // visibility (label `t`, applied before the receiver scans
+                // `t`). The *mailbox* follows the edge (the input port),
+                // which differs from the numeric order only on torus wrap
+                // links, where it keeps label-`t` credits flowing from
+                // numerically lower shards to higher ones.
                 let popped = (node * self.stride + buf) as u32;
                 let ctx = self.shard.as_mut().expect("checked above");
-                if fnode < ctx.lo {
-                    ctx.out_lo.push((t + 1, Ev::Pop { out: f, buf: popped }));
-                } else {
-                    ctx.out_hi.push((t, Ev::Pop { out: f, buf: popped }));
-                }
+                let at = if fnode < ctx.lo { t + 1 } else { t };
+                ctx.outbox(in_port).push((at, Ev::Pop { out: f, buf: popped }));
             } else {
                 self.ws.dirty[f as usize / 64] |= 1 << (f % 64);
                 if f as usize <= o {
@@ -1140,11 +1178,7 @@ impl Engine<'_> {
                 let slot = dn * self.stride + dbuf;
                 let ctx = self.shard.as_mut().expect("checked above");
                 ctx.occ[slot] += 1;
-                if dn < ctx.lo {
-                    ctx.out_lo.push((at, Ev::Landing(landing)));
-                } else {
-                    ctx.out_hi.push((at, Ev::Landing(landing)));
-                }
+                ctx.outbox(out).push((at, Ev::Landing(landing)));
             } else {
                 self.ws.reserved[dn * self.stride + dbuf] += 1;
                 match self.ws.due.back_mut() {
@@ -1161,16 +1195,25 @@ impl Engine<'_> {
         }
     }
 
-    /// A free output VC at `o`, searched round-robin (`vc_rr` is always
-    /// pre-reduced, so a conditional subtract replaces the modulo).
-    fn free_vc(&self, o: usize) -> Option<usize> {
+    /// A free output VC at `o` for a head of virtual-channel class
+    /// `class`, searched round-robin inside the class partition
+    /// `[class·v/n, (class+1)·v/n)` — heads may only allocate VCs of
+    /// their route hop's class, which is what makes each class's channel
+    /// dependencies acyclic (dateline escape on a torus, one dimension
+    /// order per class under adaptive routing). With a single class the
+    /// partition is the whole VC range and this reduces exactly to the
+    /// historical search.
+    fn free_vc(&self, o: usize, class: usize) -> Option<usize> {
         let v = self.vcs;
-        let vc_rr = self.ws.vc_rr[o];
-        (0..v)
+        let n = self.cfg.vc_classes();
+        let (lo, hi) = (class * v / n, (class + 1) * v / n);
+        let size = hi - lo;
+        let start = lo + self.ws.vc_rr[o] % size;
+        (0..size)
             .map(|i| {
-                let vc = vc_rr + i;
-                if vc >= v {
-                    vc - v
+                let vc = start + i;
+                if vc >= hi {
+                    vc - size
                 } else {
                     vc
                 }
@@ -1320,14 +1363,12 @@ pub(crate) struct ClosedLoop {
 }
 
 impl ClosedLoop {
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a torus shape (see [`FlitLevel::new`]).
-    pub(crate) fn new(cfg: MeshConfig) -> Self {
-        assert!(
-            cfg.shape.topology() == crate::Topology::Mesh,
-            "FlitLevel supports mesh topologies only"
-        );
+    /// [`EngineError::UnsupportedTopology`] on an undersized
+    /// virtual-channel budget (see [`FlitLevel::try_new`]).
+    pub(crate) fn try_new(cfg: MeshConfig) -> Result<Self, EngineError> {
+        EngineError::check_flit(&cfg)?;
         let mut ws = Workspace::default();
         let wheel = (cfg.link_delay.max(cfg.router_delay) + 2).next_power_of_two();
         ws.reset(
@@ -1336,12 +1377,12 @@ impl ClosedLoop {
             wheel as usize,
             cfg.buffer_flits.next_power_of_two(),
         );
-        ClosedLoop {
+        Ok(ClosedLoop {
             cfg,
             committed: LoopState { ws, clock: None, remaining: 0, finalized: 0 },
             spec: None,
             entered: vec![0; cfg.shape.nodes()],
-        }
+        })
     }
 
     /// Runs one state's event loop toward `goal`.

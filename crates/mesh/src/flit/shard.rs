@@ -31,6 +31,28 @@
 //! done, which lets neighbors leapfrog past idle regions cycle-skipping
 //! exactly like the serial event loop does.
 //!
+//! # Torus bands are a ring of shards
+//!
+//! On a torus the north/south wraparound links add one more boundary
+//! edge, between the first and the last band, so the shard chain closes
+//! into a ring: every shard has a cyclic predecessor and successor, and
+//! with two shards the pair is connected by *two* distinct edges. The
+//! mailboxes follow the edges (one per direction per edge), while the
+//! event labels keep the serial sweep's *numeric* rule — a pop credit
+//! travels at label `t` toward the numerically higher feeder and `t + 1`
+//! toward the lower one, regardless of which edge carries it. In-cycle
+//! information therefore still flows only from numerically lower shards
+//! to higher ones (the wrap edge carries label-`t` credits from shard 0
+//! to shard `K-1`, never the reverse), so the window generalizes without
+//! becoming circular: a numerically lower cyclic neighbor must have
+//! finished `t`, a higher one `t - 1`:
+//!
+//! ```text
+//! horizon(s) = min over cyclic neighbors j of:
+//!              fence[j] - 1   if j < s   (in-cycle sender)
+//!              fence[j]       if j > s   (deferred sender)
+//! ```
+//!
 //! # Boundary mailboxes
 //!
 //! All cross-shard effects travel as labeled events ([`Ev`]) through
@@ -72,7 +94,7 @@ use commchar_pool::{Job, Team};
 
 use super::{Engine, Ev, Kind, Landing, ShardCtx, Workspace, NPORTS};
 use crate::engine::EngineError;
-use crate::MeshConfig;
+use crate::{MeshConfig, Topology};
 
 /// Effective shard count for a `--sim-jobs` knob on a mesh with `rows`
 /// rows: resolved against hardware parallelism (`0` = one per hardware
@@ -133,10 +155,16 @@ struct Shared {
     wedged: AtomicBool,
     /// The wedge was a per-shard step-guard blowout, not an event drought.
     guard_tripped: AtomicBool,
-    /// `mail_up[s]`: events from shard `s` to shard `s + 1`.
-    mail_up: Vec<Mutex<Vec<(u64, Ev)>>>,
-    /// `mail_dn[s]`: events from shard `s + 1` to shard `s`.
-    mail_dn: Vec<Mutex<Vec<(u64, Ev)>>>,
+    /// `mail_succ[s]`: events from shard `s` across its south boundary to
+    /// its cyclic successor `(s + 1) % shards`. The last entry is used
+    /// only on a torus (the south wrap edge back to shard 0).
+    mail_succ: Vec<Mutex<Vec<(u64, Ev)>>>,
+    /// `mail_pred[s]`: events from shard `s` across its north boundary to
+    /// its cyclic predecessor; `mail_pred[0]` is the torus wrap edge.
+    mail_pred: Vec<Mutex<Vec<(u64, Ev)>>>,
+    /// The band ring closes (torus): the first and last shards are
+    /// neighbors via the wraparound links.
+    wrap: bool,
     /// The split clock: every shard resumes strictly after this cycle.
     clock0: Option<u64>,
 }
@@ -172,8 +200,9 @@ pub(super) fn drain_sharded(
         remaining: AtomicUsize::new(remaining),
         wedged: AtomicBool::new(false),
         guard_tripped: AtomicBool::new(false),
-        mail_up: (1..shards).map(|_| Mutex::new(Vec::new())).collect(),
-        mail_dn: (1..shards).map(|_| Mutex::new(Vec::new())).collect(),
+        mail_succ: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+        mail_pred: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+        wrap: cfg.shape.topology() == Topology::Torus,
         clock0: clock,
     });
 
@@ -241,15 +270,23 @@ fn split_shard(cfg: &MeshConfig, ws: &Workspace, lo: usize, hi: usize) -> ShardS
     };
 
     // Neighbor in the direction of port `p`, if the link exists (mesh
-    // edges have none). Input port `p` is *fed by* this neighbor, and the
-    // output port `p` *feeds* it — same direction index both ways.
+    // edges have none; torus edges wrap). Input port `p` is *fed by* this
+    // neighbor, and the output port `p` *feeds* it — same direction index
+    // both ways. Wrapped east/west peers stay inside the row band and are
+    // therefore always local; the vertical wrap links are the ones that
+    // cross between the first and last shards.
+    let wrap = cfg.shape.topology() == Topology::Torus;
     let neighbor = |node: usize, p: usize| -> Option<usize> {
         let (x, y) = (node % width, node / width);
         match p {
             super::PORT_E if x + 1 < width => Some(node + 1),
+            super::PORT_E if wrap && width > 1 => Some(node + 1 - width),
             super::PORT_W if x > 0 => Some(node - 1),
+            super::PORT_W if wrap && width > 1 => Some(node + width - 1),
             super::PORT_S if y + 1 < height => Some(node + width),
+            super::PORT_S if wrap && height > 1 => Some(node + width - nodes),
             super::PORT_N if y > 0 => Some(node - width),
+            super::PORT_N if wrap && height > 1 => Some(node + nodes - width),
             _ => None,
         }
     };
@@ -376,21 +413,39 @@ fn run_shard(s: usize, sh: &Shared, st: &mut ShardSlot) {
         if sh.wedged.load(Ordering::Acquire) || sh.remaining.load(Ordering::Acquire) == 0 {
             break;
         }
-        // The window: the left neighbor must have finished `t`, the right
-        // must have finished `t - 1`. Fences are read *before* draining
+        // The window: a numerically lower cyclic neighbor must have
+        // finished `t` (its pops travel at label `t`), a higher one
+        // `t - 1` (its events are labeled `t + 1` or later). On a mesh
+        // the neighbors are `s - 1` and `s + 1` where they exist; on a
+        // torus the chain closes into a ring and the same numeric rule
+        // applies to the wrap neighbor. Fences are read *before* draining
         // the mailboxes, so every event labeled within the window is
         // already present when its cycle runs.
-        let fl = if s == 0 { u64::MAX } else { sh.fences[s - 1].load(Ordering::Acquire) };
-        let fr =
-            if s + 1 == sh.shards { u64::MAX } else { sh.fences[s + 1].load(Ordering::Acquire) };
-        let horizon = fl.saturating_sub(1).min(fr);
+        let pred = (s + sh.shards - 1) % sh.shards;
+        let succ = (s + 1) % sh.shards;
+        let fence = |j: usize| sh.fences[j].load(Ordering::Acquire);
+        let horizon = if sh.wrap {
+            let bound = |j: usize| {
+                let f = fence(j);
+                if j < s {
+                    f.saturating_sub(1)
+                } else {
+                    f
+                }
+            };
+            bound(pred).min(bound(succ))
+        } else {
+            let fl = if s == 0 { u64::MAX } else { fence(s - 1) };
+            let fr = if s + 1 == sh.shards { u64::MAX } else { fence(s + 1) };
+            fl.saturating_sub(1).min(fr)
+        };
 
         let mut got = false;
-        if s > 0 {
-            got |= drain_mailbox(&sh.mail_up[s - 1], &mut st.inbox, &mut seq);
+        if sh.wrap || s > 0 {
+            got |= drain_mailbox(&sh.mail_succ[pred], &mut st.inbox, &mut seq);
         }
-        if s + 1 < sh.shards {
-            got |= drain_mailbox(&sh.mail_dn[s], &mut st.inbox, &mut seq);
+        if sh.wrap || s + 1 < sh.shards {
+            got |= drain_mailbox(&sh.mail_pred[succ], &mut st.inbox, &mut seq);
         }
         if got && is_dry {
             sh.dry[s].store(false, Ordering::Release);
@@ -463,11 +518,11 @@ fn run_shard(s: usize, sh: &Shared, st: &mut ShardSlot) {
                 // Flush boundary events *before* publishing the fence, so
                 // a neighbor observing `fence > t` finds every event of
                 // cycles `<= t` already in its mailbox.
-                if s > 0 && !st.ctx.out_lo.is_empty() {
-                    flush_mailbox(&sh.mail_dn[s - 1], &mut st.ctx.out_lo);
+                if !st.ctx.out_lo.is_empty() {
+                    flush_mailbox(&sh.mail_pred[s], &mut st.ctx.out_lo);
                 }
-                if s + 1 < sh.shards && !st.ctx.out_hi.is_empty() {
-                    flush_mailbox(&sh.mail_up[s], &mut st.ctx.out_hi);
+                if !st.ctx.out_hi.is_empty() {
+                    flush_mailbox(&sh.mail_succ[s], &mut st.ctx.out_hi);
                 }
                 if delivered > 0 {
                     sh.remaining.fetch_sub(delivered, Ordering::AcqRel);
@@ -543,8 +598,8 @@ fn flush_mailbox(mail: &Mutex<Vec<(u64, Ev)>>, out: &mut Vec<(u64, Ev)>) {
 }
 
 fn all_mailboxes_empty(sh: &Shared) -> bool {
-    sh.mail_up
+    sh.mail_succ
         .iter()
-        .chain(sh.mail_dn.iter())
+        .chain(sh.mail_pred.iter())
         .all(|m| m.lock().unwrap_or_else(|e| e.into_inner()).is_empty())
 }

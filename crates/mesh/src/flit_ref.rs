@@ -17,7 +17,11 @@
 
 use std::collections::VecDeque;
 
-use crate::{MeshConfig, MeshModel, MsgRecord, NetLog, NetMessage, NodeId};
+use crate::engine::EngineError;
+use crate::topology::Dir;
+use crate::{
+    MeshConfig, MeshModel, MsgRecord, NetLog, NetMessage, NodeId, HOP_PORT_BITS, HOP_PORT_MASK,
+};
 
 const PORT_E: usize = 0;
 const PORT_W: usize = 1;
@@ -64,18 +68,34 @@ impl OutPort {
         self.owners.iter().position(|&o| o == Some(worm))
     }
 
-    /// A free output VC, searched round-robin.
-    fn free_vc(&self) -> Option<usize> {
+    /// A free output VC for a head of virtual-channel class `class`,
+    /// searched round-robin inside the class partition
+    /// `[class·v/classes, (class+1)·v/classes)` — the dateline/escape
+    /// discipline (see the event-driven engine's `free_vc`). With one
+    /// class this is the whole VC range, the historical search.
+    fn free_vc(&self, class: usize, classes: usize) -> Option<usize> {
         let v = self.owners.len();
-        (0..v).map(|i| (self.vc_rr + i) % v).find(|&vc| self.owners[vc].is_none())
+        let (lo, hi) = (class * v / classes, (class + 1) * v / classes);
+        let size = hi - lo;
+        let start = lo + self.vc_rr % size;
+        (0..size)
+            .map(|i| {
+                let vc = start + i;
+                if vc >= hi {
+                    vc - size
+                } else {
+                    vc
+                }
+            })
+            .find(|&vc| self.owners[vc].is_none())
     }
 }
 
 #[derive(Debug)]
 struct Worm {
     msg: NetMessage,
-    /// `(node index, output port)` in visit order.
-    route: Vec<(usize, usize)>,
+    /// `(node index, output port, VC class)` in visit order.
+    route: Vec<(usize, usize, usize)>,
     flits: u64,
     delivered: Option<u64>,
 }
@@ -106,34 +126,41 @@ impl FlitCycleReference {
     ///
     /// # Panics
     ///
-    /// Panics on a torus shape: the router model's XY routing needs escape
-    /// virtual channels for torus deadlock freedom, which it does not
-    /// implement — use [`OnlineWormhole`](crate::OnlineWormhole) for torus
-    /// studies.
+    /// Panics when the configuration lacks the virtual channels its
+    /// (topology × routing) pair needs for deadlock freedom — use
+    /// [`FlitCycleReference::try_new`] for the typed error.
     pub fn new(cfg: MeshConfig) -> Self {
-        assert!(
-            cfg.shape.topology() == crate::Topology::Mesh,
-            "FlitCycleReference supports mesh topologies only"
-        );
-        FlitCycleReference { cfg }
+        match FlitCycleReference::try_new(cfg) {
+            Ok(model) => model,
+            Err(e) => panic!("{e}"),
+        }
     }
 
-    fn build_route(&self, src: NodeId, dst: NodeId) -> Vec<(usize, usize)> {
+    /// [`new`](FlitCycleReference::new), surfacing an undersized
+    /// virtual-channel budget as
+    /// [`EngineError::UnsupportedTopology`] instead of a panic.
+    pub fn try_new(cfg: MeshConfig) -> Result<Self, EngineError> {
+        EngineError::check_flit(&cfg)?;
+        Ok(FlitCycleReference { cfg })
+    }
+
+    /// Decodes the packed route bytes of [`MeshShape::route_hops`] into
+    /// `(node, port, class)` triples — the same routes (and dateline/
+    /// escape classes) the event-driven engine follows.
+    fn build_route(&self, src: NodeId, dst: NodeId) -> Vec<(usize, usize, usize)> {
         let shape = self.cfg.shape;
-        let mut route = Vec::new();
-        let mut cur = shape.coord(src);
-        let goal = shape.coord(dst);
-        while cur.x != goal.x {
-            let (port, nx) = if goal.x > cur.x { (PORT_E, cur.x + 1) } else { (PORT_W, cur.x - 1) };
-            route.push((shape.node_at(cur).index(), port));
-            cur.x = nx;
+        let hops = shape.route_hops(src, dst, self.cfg.routing);
+        let mut route = Vec::with_capacity(hops.len());
+        let mut node = src;
+        for &h in &hops[..hops.len() - 1] {
+            let port = (h & HOP_PORT_MASK) as usize;
+            let class = (h >> HOP_PORT_BITS) as usize;
+            route.push((node.index(), port, class));
+            let dir = [Dir::East, Dir::West, Dir::South, Dir::North][port];
+            node = shape.neighbour(node, dir).expect("route step off the grid");
         }
-        while cur.y != goal.y {
-            let (port, ny) = if goal.y > cur.y { (PORT_S, cur.y + 1) } else { (PORT_N, cur.y - 1) };
-            route.push((shape.node_at(cur).index(), port));
-            cur.y = ny;
-        }
-        route.push((shape.node_at(goal).index(), PORT_LOCAL));
+        debug_assert_eq!(node, dst, "route bytes did not land on the destination");
+        route.push((dst.index(), PORT_LOCAL, 0));
         route
     }
 }
@@ -164,30 +191,37 @@ impl Sim<'_> {
         }
     }
 
+    /// The router and input port fed by `node`'s output `port`. The wrap
+    /// arms only ever fire on a torus — a mesh route never walks off an
+    /// edge.
     fn downstream(&self, node: usize, port: usize) -> (usize, usize) {
         let w = self.cfg.shape.width() as usize;
+        let nodes = self.cfg.shape.nodes();
         match port {
-            PORT_E => (node + 1, PORT_W),
-            PORT_W => (node - 1, PORT_E),
-            PORT_S => (node + w, PORT_N),
-            PORT_N => (node - w, PORT_S),
+            PORT_E => (if (node + 1).is_multiple_of(w) { node + 1 - w } else { node + 1 }, PORT_W),
+            PORT_W => (if node.is_multiple_of(w) { node + w - 1 } else { node - 1 }, PORT_E),
+            PORT_S => (if node + w >= nodes { node + w - nodes } else { node + w }, PORT_N),
+            PORT_N => (if node < w { node + nodes - w } else { node - w }, PORT_S),
             _ => unreachable!("ejection has no downstream router"),
         }
     }
 
-    /// Route lookup: output port used by `worm` at `node`.
-    fn out_port(&self, worm: u32, node: usize) -> usize {
+    /// Route lookup: (output port, VC class) used by `worm` at `node` —
+    /// minimal routes are self-avoiding on both topologies, so the node
+    /// lookup is unambiguous.
+    fn out_port(&self, worm: u32, node: usize) -> (usize, usize) {
         self.worms[worm as usize]
             .route
             .iter()
-            .find(|&&(n, _)| n == node)
-            .map(|&(_, p)| p)
+            .find(|&&(n, _, _)| n == node)
+            .map(|&(_, p, c)| (p, c))
             .expect("worm visited a node off its route")
     }
 
     fn step(&mut self, t: u64) -> bool {
         let mut moved = false;
         let vcs = self.vcs;
+        let classes = self.cfg.vc_classes();
 
         // Phase 1: land in-flight flits whose channel traversal completed.
         let mut i = 0;
@@ -218,7 +252,7 @@ impl Sim<'_> {
                 let mut candidates: Vec<usize> = Vec::new();
                 for buf in 0..NPORTS * vcs {
                     if let Some(f) = self.buffers[node][buf].front() {
-                        if f.ready <= t && self.out_port(f.worm, node) == out {
+                        if f.ready <= t && self.out_port(f.worm, node).0 == out {
                             candidates.push(buf);
                         }
                     }
@@ -236,10 +270,13 @@ impl Sim<'_> {
                     let buf = candidates[(rr + k) % ncand];
                     let f = *self.buffers[node][buf].front().unwrap();
                     let ovc = match f.kind {
-                        Kind::Head => match self.outputs[node][out].free_vc() {
-                            Some(vc) => vc,
-                            None => continue,
-                        },
+                        Kind::Head => {
+                            let class = self.out_port(f.worm, node).1;
+                            match self.outputs[node][out].free_vc(class, classes) {
+                                Some(vc) => vc,
+                                None => continue,
+                            }
+                        }
                         _ => match self.outputs[node][out].vc_of(f.worm) {
                             Some(vc) => vc,
                             None => continue, // owner not established yet
@@ -307,7 +344,7 @@ impl Sim<'_> {
             for buf in 0..NPORTS * self.vcs {
                 if let Some(f) = self.buffers[node][buf].front() {
                     consider(f.ready);
-                    consider(self.outputs[node][self.out_port(f.worm, node)].busy_until);
+                    consider(self.outputs[node][self.out_port(f.worm, node).0].busy_until);
                 }
             }
         }
@@ -326,7 +363,7 @@ impl Sim<'_> {
             counts[worm as usize] += 1;
             if let Some(node) = node {
                 if let Some(pos) =
-                    self.worms[worm as usize].route.iter().position(|&(n, _)| n == node)
+                    self.worms[worm as usize].route.iter().position(|&(n, _, _)| n == node)
                 {
                     far[worm as usize] = far[worm as usize].max(pos);
                 }
@@ -531,8 +568,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "mesh topologies only")]
-    fn reference_rejects_torus() {
-        let _ = FlitCycleReference::new(MeshConfig::new_torus(4, 4));
+    fn undersized_vc_budget_is_a_typed_error() {
+        // A torus with the default single VC cannot host the dateline
+        // escape class — the constructor reports it instead of panicking.
+        let err = FlitCycleReference::try_new(MeshConfig::new_torus(4, 4)).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::UnsupportedTopology {
+                topology: crate::Topology::Torus,
+                routing: crate::Routing::Dimension,
+                needed: 2,
+                have: 1,
+            }
+        );
+        // With the class budget met the constructor accepts the torus.
+        assert!(FlitCycleReference::try_new(MeshConfig::new_torus(4, 4).with_virtual_channels(2))
+            .is_ok());
+    }
+
+    #[test]
+    fn reference_matches_online_at_zero_load_on_torus() {
+        let cfg = MeshConfig::new_torus(4, 4).with_virtual_channels(2);
+        let m = vec![msg(0, 0, 15, 32, 0)];
+        let flit = FlitCycleReference::new(cfg).simulate(&m);
+        let online = OnlineWormhole::new(cfg).simulate(&m);
+        assert_eq!(flit.records()[0].delivered, online.records()[0].delivered);
+        assert_eq!(flit.records()[0].hops, 2, "opposite corners wrap to 2 hops");
     }
 }

@@ -73,7 +73,10 @@ pub use flit::FlitLevel;
 pub use flit_ref::FlitCycleReference;
 pub use log::{MsgRecord, NetLog, NetSummary};
 pub use sink::{LogSink, StreamingLog};
-pub use topology::{ChannelId, Coord, MeshShape, NodeId, Topology};
+pub use topology::{
+    ChannelId, Coord, MeshShape, NodeId, Routing, Topology, HOP_PORT_BITS, HOP_PORT_LOCAL,
+    HOP_PORT_MASK,
+};
 pub use wormhole::OnlineWormhole;
 
 use commchar_des::SimTime;

@@ -1,4 +1,7 @@
-//! Mesh topology: node naming, coordinates, channel enumeration, XY routing.
+//! Mesh topology: node naming, coordinates, channel enumeration, and the
+//! routing abstraction (deterministic dimension-order and minimal-adaptive
+//! policies, topology-aware for both the open mesh and the wraparound
+//! torus).
 
 use std::fmt;
 
@@ -79,6 +82,10 @@ impl Dir {
             Dir::North => 3,
         }
     }
+
+    fn is_x(self) -> bool {
+        matches!(self, Dir::East | Dir::West)
+    }
 }
 
 /// Whether the 2-D grid wraps around (torus) or not (mesh).
@@ -88,11 +95,129 @@ pub enum Topology {
     #[default]
     Mesh,
     /// Wraparound grid: every row and column is a ring, halving the
-    /// average distance. Supported by the recurrence network model; the
-    /// flit-accurate router requires escape virtual channels for torus
-    /// deadlock freedom and currently rejects it.
+    /// average distance. Supported by every model; the flit-accurate
+    /// router keeps it deadlock-free with a dateline (escape) virtual-
+    /// channel discipline, which needs at least
+    /// [`Routing::vc_classes`] virtual channels per physical channel.
     Torus,
 }
+
+impl Topology {
+    /// The flag spelling of this topology (`"mesh"` / `"torus"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Topology::Mesh => "mesh",
+            Topology::Torus => "torus",
+        }
+    }
+
+    /// Parses a `--topology` flag value.
+    pub fn parse(s: &str) -> Option<Topology> {
+        match s {
+            "mesh" => Some(Topology::Mesh),
+            "torus" => Some(Topology::Torus),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How routes are computed — the policy half of the (topology × routing)
+/// matrix, selectable everywhere a [`MeshShape`] is.
+///
+/// Both policies are *deterministic*: the route for a (src, dst) pair is a
+/// pure function of the pair, so every model (the recurrence wormhole, the
+/// analytic queueing model, the flit-accurate router and its sharded
+/// variant) computes the identical path and simulation output never
+/// depends on worker count or message identity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Hash)]
+pub enum Routing {
+    /// Dimension-ordered (XY) routing: resolve the x offset first, then
+    /// the y offset. Deadlock-free on the mesh with a single virtual
+    /// channel; the historical behavior and the default.
+    #[default]
+    Dimension,
+    /// Minimal-adaptive routing in the O1TURN style: each (src, dst) pair
+    /// deterministically takes either the XY or the YX dimension order,
+    /// chosen by a pure hash of the pair so traffic spreads over both
+    /// minimal quadrant paths. The two orders live in disjoint
+    /// virtual-channel classes, which keeps the scheme deadlock-free
+    /// (each class on its own is dimension-ordered).
+    Adaptive,
+}
+
+impl Routing {
+    /// The flag spelling of this policy (`"dimension"` / `"adaptive"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Routing::Dimension => "dimension",
+            Routing::Adaptive => "adaptive",
+        }
+    }
+
+    /// Parses a `--routing` flag value.
+    pub fn parse(s: &str) -> Option<Routing> {
+        match s {
+            "dimension" => Some(Routing::Dimension),
+            "adaptive" => Some(Routing::Adaptive),
+            _ => None,
+        }
+    }
+
+    /// Virtual-channel classes this (topology × routing) pair needs for
+    /// deadlock freedom: the torus doubles for the dateline (escape)
+    /// discipline, adaptive routing doubles to separate the XY and YX
+    /// dimension orders. Mesh + dimension needs exactly one class — the
+    /// historical single-VC behavior.
+    pub fn vc_classes(self, topology: Topology) -> usize {
+        let dateline = match topology {
+            Topology::Mesh => 1,
+            Topology::Torus => 2,
+        };
+        let orders = match self {
+            Routing::Dimension => 1,
+            Routing::Adaptive => 2,
+        };
+        dateline * orders
+    }
+
+    /// Whether this (src, dst) pair routes y-first (YX order). Always
+    /// false under [`Routing::Dimension`]; under [`Routing::Adaptive`] a
+    /// pure hash of the pair picks the order.
+    fn y_first(self, src: NodeId, dst: NodeId) -> bool {
+        match self {
+            Routing::Dimension => false,
+            Routing::Adaptive => {
+                let h = (src.0 as u32)
+                    .wrapping_mul(0x9E37_79B1)
+                    .wrapping_add((dst.0 as u32).wrapping_mul(0x85EB_CA77));
+                (h >> 15) & 1 == 1
+            }
+        }
+    }
+}
+
+impl fmt::Display for Routing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Number of bits the output-port code occupies in a packed route hop;
+/// the virtual-channel class is stored in the bits above.
+pub const HOP_PORT_BITS: u8 = 3;
+
+/// Bitmask extracting the output-port code from a packed route hop.
+pub const HOP_PORT_MASK: u8 = (1 << HOP_PORT_BITS) - 1;
+
+/// Output-port code of the local (ejection) port in a packed route hop —
+/// one past the four `Dir` direction codes.
+pub const HOP_PORT_LOCAL: u8 = 4;
 
 /// The shape of a 2-D mesh and its routing/enumeration rules.
 ///
@@ -224,20 +349,98 @@ impl MeshShape {
 
     /// Deterministic dimension-ordered (XY) route from `src` to `dst`:
     /// injection channel, inter-router channels (x first, then y), ejection
-    /// channel.
+    /// channel. Shorthand for [`MeshShape::route`] with
+    /// [`Routing::Dimension`].
     ///
     /// # Panics
     ///
     /// Panics if `src == dst` — the network never sees self-messages.
     pub fn xy_route(self, src: NodeId, dst: NodeId) -> Vec<ChannelId> {
-        assert_ne!(src, dst, "self-messages do not enter the network");
+        self.route(src, dst, Routing::Dimension)
+    }
+
+    /// Deterministic minimal route from `src` to `dst` under `routing`:
+    /// injection channel, inter-router channels, ejection channel. Both
+    /// policies produce minimal routes, so
+    /// `route.len() == hop_distance + 2` on every topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` — the network never sees self-messages.
+    pub fn route(self, src: NodeId, dst: NodeId, routing: Routing) -> Vec<ChannelId> {
         let mut path = Vec::with_capacity(2 + self.hop_distance(src, dst) as usize);
         path.push(self.injection(src));
+        self.walk(src, dst, routing, |node, dir, _wrap| path.push(self.channel(node, dir)));
+        path.push(self.ejection(dst));
+        path
+    }
+
+    /// The route as packed per-hop bytes for the flit-accurate router:
+    /// one byte per inter-router hop (`class << HOP_PORT_BITS | dir
+    /// code`), then one ejection byte (`class 0`, port
+    /// [`HOP_PORT_LOCAL`]). The class is the virtual-channel class the
+    /// hop's head flit allocates from: the dateline bit flips to 1 on the
+    /// hop crossing a torus wrap link and stays set for the rest of that
+    /// dimension, and adaptive YX-ordered routes add
+    /// `Routing::Dimension.vc_classes(topology)` so the two dimension
+    /// orders use disjoint classes. Mesh + dimension packs every hop as
+    /// class 0 — the plain port byte of the single-class router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` — the network never sees self-messages.
+    pub fn route_hops(self, src: NodeId, dst: NodeId, routing: Routing) -> Vec<u8> {
+        let mut hops = Vec::with_capacity(1 + self.hop_distance(src, dst) as usize);
+        self.route_hops_into(src, dst, routing, &mut hops);
+        hops
+    }
+
+    /// [`route_hops`](MeshShape::route_hops), appending into `out` (the
+    /// flit router's shared route arena) instead of allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` — the network never sees self-messages.
+    pub fn route_hops_into(self, src: NodeId, dst: NodeId, routing: Routing, out: &mut Vec<u8>) {
+        let order_base = if routing.y_first(src, dst) {
+            Routing::Dimension.vc_classes(self.topology) as u8
+        } else {
+            0
+        };
+        let mut dateline = 0u8;
+        let mut last_x = None;
+        self.walk(src, dst, routing, |_node, dir, wrap| {
+            if last_x != Some(dir.is_x()) {
+                dateline = 0; // class resets at the dimension switch
+                last_x = Some(dir.is_x());
+            }
+            if wrap {
+                dateline = 1;
+            }
+            let class = order_base + dateline;
+            out.push((class << HOP_PORT_BITS) | dir.code() as u8);
+        });
+        out.push(HOP_PORT_LOCAL);
+    }
+
+    /// Walks the minimal route from `src` to `dst` under `routing`,
+    /// calling `step(node, dir, wraps)` for each inter-router hop —
+    /// `wraps` marks a hop crossing a torus wrap link (the dateline).
+    ///
+    /// Dimension order resolves x then y; adaptive order is decided per
+    /// (src, dst) by [`Routing::y_first`]. On a torus each dimension takes
+    /// the shorter way around; equidistant ties split by endpoint parity
+    /// so tied pairs do not all pile onto the same ring direction.
+    fn walk(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        routing: Routing,
+        mut step: impl FnMut(NodeId, Dir, bool),
+    ) {
+        assert_ne!(src, dst, "self-messages do not enter the network");
         let mut cur = self.coord(src);
         let goal = self.coord(dst);
-        // Per-dimension step: on a torus pick the shorter way around;
-        // equidistant ties split by endpoint parity so tied pairs do not
-        // all pile onto the same ring direction.
         let tie_forward = (src.0 ^ dst.0) & 1 == 0;
         let step_x = |cur: u16| -> (Dir, u16) {
             let fwd = (goal.x + self.width - cur) % self.width;
@@ -265,18 +468,29 @@ impl MeshShape {
                 (Dir::North, (cur + self.height - 1) % self.height)
             }
         };
-        while cur.x != goal.x {
-            let (dir, nx) = step_x(cur.x);
-            path.push(self.channel(self.node_at(cur), dir));
-            cur.x = nx;
+        let run_x = |cur: &mut Coord, step: &mut dyn FnMut(NodeId, Dir, bool)| {
+            while cur.x != goal.x {
+                let (dir, nx) = step_x(cur.x);
+                let wraps = (dir == Dir::East && nx == 0) || (dir == Dir::West && cur.x == 0);
+                step(self.node_at(*cur), dir, wraps);
+                cur.x = nx;
+            }
+        };
+        let run_y = |cur: &mut Coord, step: &mut dyn FnMut(NodeId, Dir, bool)| {
+            while cur.y != goal.y {
+                let (dir, ny) = step_y(cur.y);
+                let wraps = (dir == Dir::South && ny == 0) || (dir == Dir::North && cur.y == 0);
+                step(self.node_at(*cur), dir, wraps);
+                cur.y = ny;
+            }
+        };
+        if routing.y_first(src, dst) {
+            run_y(&mut cur, &mut step);
+            run_x(&mut cur, &mut step);
+        } else {
+            run_x(&mut cur, &mut step);
+            run_y(&mut cur, &mut step);
         }
-        while cur.y != goal.y {
-            let (dir, ny) = step_y(cur.y);
-            path.push(self.channel(self.node_at(cur), dir));
-            cur.y = ny;
-        }
-        path.push(self.ejection(dst));
-        path
     }
 
     /// The neighbour of `node` in direction `dir`, if it exists (wraps on
@@ -392,6 +606,104 @@ mod tests {
         assert_eq!(t.neighbour(NodeId(0), Dir::West), Some(NodeId(2)));
         assert_eq!(t.neighbour(NodeId(0), Dir::North), Some(NodeId(3)));
         assert_eq!(t.neighbour(NodeId(2), Dir::East), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn routing_names_round_trip() {
+        for r in [Routing::Dimension, Routing::Adaptive] {
+            assert_eq!(Routing::parse(r.name()), Some(r));
+        }
+        assert_eq!(Routing::parse("west-first"), None);
+        assert_eq!(Routing::default(), Routing::Dimension);
+        for t in [Topology::Mesh, Topology::Torus] {
+            assert_eq!(Topology::parse(t.name()), Some(t));
+        }
+        assert_eq!(Topology::parse("hypercube"), None);
+    }
+
+    #[test]
+    fn vc_class_budget_per_combination() {
+        assert_eq!(Routing::Dimension.vc_classes(Topology::Mesh), 1);
+        assert_eq!(Routing::Adaptive.vc_classes(Topology::Mesh), 2);
+        assert_eq!(Routing::Dimension.vc_classes(Topology::Torus), 2);
+        assert_eq!(Routing::Adaptive.vc_classes(Topology::Torus), 4);
+    }
+
+    #[test]
+    fn adaptive_routes_are_minimal_and_split_orders() {
+        for s in [MeshShape::new(5, 4), MeshShape::new_torus(5, 4)] {
+            let mut y_first_seen = false;
+            let mut x_first_seen = false;
+            for a in 0..s.nodes() {
+                for b in 0..s.nodes() {
+                    if a == b {
+                        continue;
+                    }
+                    let (a, b) = (NodeId::from(a), NodeId::from(b));
+                    let path = s.route(a, b, Routing::Adaptive);
+                    assert_eq!(path.len() as u32, s.hop_distance(a, b) + 2);
+                    assert_eq!(path[0], s.injection(a));
+                    assert_eq!(*path.last().unwrap(), s.ejection(b));
+                    // The hash must actually use both dimension orders.
+                    let ca = s.coord(a);
+                    let cb = s.coord(b);
+                    if ca.x != cb.x && ca.y != cb.y {
+                        let first = path[1].0 % 6;
+                        if first <= 1 {
+                            x_first_seen = true;
+                        } else {
+                            y_first_seen = true;
+                        }
+                    }
+                }
+            }
+            assert!(x_first_seen && y_first_seen, "adaptive never split orders on {s:?}");
+        }
+    }
+
+    #[test]
+    fn packed_hops_on_mesh_dimension_are_plain_port_bytes() {
+        let s = MeshShape::new(4, 4);
+        // 0 (0,0) -> 10 (2,2): E, E, S, S, eject — all class 0.
+        let hops = s.route_hops(NodeId(0), NodeId(10), Routing::Dimension);
+        assert_eq!(hops, vec![0, 0, 2, 2, HOP_PORT_LOCAL]);
+    }
+
+    #[test]
+    fn dateline_class_flips_on_the_wrap_hop() {
+        let t = MeshShape::new_torus(5, 1);
+        // 3 -> 0 forward: E (wraps 4->0 on the second hop).
+        let hops = t.route_hops(NodeId(3), NodeId(0), Routing::Dimension);
+        assert_eq!(hops.len(), 3);
+        assert_eq!(hops[0] & HOP_PORT_MASK, 0, "east");
+        assert_eq!(hops[0] >> HOP_PORT_BITS, 0, "before the dateline");
+        assert_eq!(hops[1] >> HOP_PORT_BITS, 1, "wrap hop crosses the dateline");
+        assert_eq!(*hops.last().unwrap(), HOP_PORT_LOCAL);
+        // Within one dimension the class never decreases (escape
+        // discipline), for every pair and policy.
+        let t = MeshShape::new_torus(6, 5);
+        for routing in [Routing::Dimension, Routing::Adaptive] {
+            for a in 0..t.nodes() {
+                for b in 0..t.nodes() {
+                    if a == b {
+                        continue;
+                    }
+                    let hops = t.route_hops(NodeId::from(a), NodeId::from(b), routing);
+                    let mut last: Option<(bool, u8)> = None;
+                    for &h in &hops[..hops.len() - 1] {
+                        let is_x = (h & HOP_PORT_MASK) <= 1;
+                        let class = h >> HOP_PORT_BITS;
+                        if let Some((lx, lc)) = last {
+                            if lx == is_x {
+                                assert!(class >= lc, "class dropped inside a dimension");
+                            }
+                        }
+                        last = Some((is_x, class));
+                        assert!((class as usize) < routing.vc_classes(Topology::Torus));
+                    }
+                }
+            }
+        }
     }
 
     #[test]

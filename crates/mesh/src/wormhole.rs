@@ -134,7 +134,7 @@ impl<S: LogSink> OnlineWormhole<S> {
             });
         }
         self.last_inject = msg.inject;
-        let path = self.cfg.shape.xy_route(msg.src, msg.dst);
+        let path = self.cfg.shape.route(msg.src, msg.dst, self.cfg.routing);
         let hop = self.cfg.hop_latency();
         let link = self.cfg.link_delay;
         let flits = self.cfg.flits_for(msg.bytes);
@@ -325,6 +325,33 @@ mod tests {
         assert!((a.mean_latency - b.mean_latency).abs() < 1e-9);
         assert!((a.mean_blocked - b.mean_blocked).abs() < 1e-9);
         assert_eq!(s.spatial_counts(), log.spatial_counts(16));
+    }
+
+    #[test]
+    fn torus_wrap_shortens_the_route() {
+        // Corner to corner on a 4×4: 6 mesh hops, but 2 torus hops via
+        // the wraparound links — the closed-form model must price the
+        // shorter route.
+        let mesh = MeshConfig::new(4, 4);
+        let torus = MeshConfig::new_torus(4, 4);
+        let d_mesh = OnlineWormhole::new(mesh).send(msg(0, 0, 15, 32, 0));
+        let d_torus = OnlineWormhole::new(torus).send(msg(0, 0, 15, 32, 0));
+        assert_eq!(torus.shape.hop_distance(NodeId(0), NodeId(15)), 2);
+        assert_eq!(d_torus.ticks(), torus.zero_load_latency(32, 2));
+        assert!(d_torus < d_mesh);
+    }
+
+    #[test]
+    fn adaptive_routing_is_latency_neutral_at_zero_load() {
+        // The recurrence model has no contention here, and minimal-
+        // adaptive routes have the same length as dimension-ordered ones.
+        let xy = MeshConfig::new(4, 4);
+        let ad = xy.with_routing(crate::Routing::Adaptive);
+        for (s, d) in [(0u16, 15u16), (3, 12), (5, 10)] {
+            let a = OnlineWormhole::new(xy).send(msg(0, s, d, 48, 0));
+            let b = OnlineWormhole::new(ad).send(msg(0, s, d, 48, 0));
+            assert_eq!(a, b, "{s}->{d}");
+        }
     }
 
     #[test]

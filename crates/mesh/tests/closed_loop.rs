@@ -14,7 +14,7 @@
 use commchar_des::SimTime;
 use commchar_mesh::{
     EngineError, FlitLevel, IncrementalFlit, MeshConfig, MeshModel, NetEngine, NetMessage, NodeId,
-    OnlineWormhole,
+    OnlineWormhole, Routing, Topology,
 };
 
 /// Deterministic 64-bit LCG (MMIX constants) — no external RNG crates.
@@ -110,6 +110,24 @@ fn closed_loop_matches_batch_across_shapes_and_vcs() {
                 let cfg = MeshConfig::new(w, h).with_virtual_channels(vcs);
                 let msgs = workload(seed * 31 + vcs as u64, nodes, 120, 6, 96);
                 assert_closed_loop_identical(cfg, &msgs, &format!("{w}x{h} vcs={vcs} seed={seed}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn closed_loop_matches_batch_across_topologies_and_routings() {
+    // The speculation/commit machinery must be oblivious to the routing
+    // policy and the wraparound links: every (topology × routing) cell,
+    // at the minimum legal VC budget and with headroom.
+    for topology in [Topology::Mesh, Topology::Torus] {
+        for routing in [Routing::Dimension, Routing::Adaptive] {
+            let base = MeshConfig::for_nodes_net(16, topology, routing);
+            for &vcs in &[base.vc_classes(), base.vc_classes() * 2] {
+                let cfg = base.with_virtual_channels(vcs);
+                let msgs = workload(23 + vcs as u64, 16, 120, 6, 96);
+                let label = format!("{topology} {routing} vcs={vcs}");
+                assert_closed_loop_identical(cfg, &msgs, &label);
             }
         }
     }

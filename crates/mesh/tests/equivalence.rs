@@ -9,7 +9,10 @@
 //! a concrete record diff.
 
 use commchar_des::SimTime;
-use commchar_mesh::{FlitCycleReference, FlitLevel, MeshConfig, MeshModel, NetMessage, NodeId};
+use commchar_mesh::{
+    EngineError, FlitCycleReference, FlitLevel, MeshConfig, MeshModel, NetMessage, NodeId, Routing,
+    Topology,
+};
 
 /// Deterministic 64-bit LCG (MMIX constants) — no external RNG crates.
 struct Lcg(u64);
@@ -145,7 +148,57 @@ fn event_driven_matches_reference_on_simultaneous_injections() {
 }
 
 #[test]
-#[should_panic(expected = "mesh topologies only")]
-fn flit_level_rejects_torus() {
-    let _ = FlitLevel::new(MeshConfig::new_torus(4, 4));
+fn event_driven_matches_reference_across_topologies_and_routings() {
+    // The full (topology × routing) matrix, sized so every VC-class
+    // budget is covered at its minimum and with headroom.
+    for topology in [Topology::Mesh, Topology::Torus] {
+        for routing in [Routing::Dimension, Routing::Adaptive] {
+            let base = MeshConfig::for_nodes_net(16, topology, routing);
+            for &vcs in &[base.vc_classes(), base.vc_classes() * 2] {
+                let cfg = base.with_virtual_channels(vcs);
+                for seed in 0..2u64 {
+                    let msgs = workload(seed * 17 + vcs as u64, 16, 120, 6, 96);
+                    let label = format!("{topology} {routing} vcs={vcs} seed={seed}");
+                    assert_identical(cfg, &msgs, &label);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn event_driven_matches_reference_under_torus_hotspot() {
+    for routing in [Routing::Dimension, Routing::Adaptive] {
+        let cfg = MeshConfig::for_nodes_net(36, Topology::Torus, routing);
+        let msgs = hotspot(workload(11, 36, 160, 4, 64), 36);
+        assert_identical(cfg, &msgs, &format!("torus hotspot {routing}"));
+    }
+}
+
+#[test]
+fn undersized_vc_budget_is_a_typed_error_not_a_panic() {
+    // A torus needs an escape-VC class per dateline state; adaptive
+    // routing doubles the budget. Both shortfalls surface as the typed
+    // `UnsupportedTopology` error rather than a constructor panic.
+    let err = FlitLevel::try_new(MeshConfig::new_torus(4, 4)).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            EngineError::UnsupportedTopology {
+                topology: Topology::Torus,
+                routing: Routing::Dimension,
+                needed: 2,
+                have: 1,
+            }
+        ),
+        "unexpected error: {err}"
+    );
+
+    let cfg = MeshConfig::new_torus(4, 4).with_routing(Routing::Adaptive).with_virtual_channels(2);
+    let err = FlitLevel::try_new(cfg).unwrap_err();
+    assert!(
+        matches!(err, EngineError::UnsupportedTopology { needed: 4, have: 2, .. }),
+        "unexpected error: {err}"
+    );
+    assert!(FlitLevel::try_new(cfg.with_virtual_channels(4)).is_ok());
 }

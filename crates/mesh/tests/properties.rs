@@ -2,12 +2,23 @@
 
 use commchar_des::SimTime;
 use commchar_mesh::{
-    FlitLevel, MeshConfig, MeshModel, MeshShape, NetMessage, NodeId, OnlineWormhole,
+    FlitLevel, MeshConfig, MeshModel, MeshShape, NetMessage, NodeId, OnlineWormhole, Routing,
+    Topology,
 };
 use proptest::prelude::*;
 
 fn arb_shape() -> impl Strategy<Value = MeshShape> {
     (1u16..8, 1u16..8).prop_map(|(w, h)| MeshShape::new(w, h))
+}
+
+/// A shape of either topology plus either routing policy, as two coin
+/// flips alongside the dimensions.
+fn arb_net() -> impl Strategy<Value = (MeshShape, Routing)> {
+    (1u16..8, 1u16..8, 0u8..2, 0u8..2).prop_map(|(w, h, torus, adaptive)| {
+        let shape = if torus == 1 { MeshShape::new_torus(w, h) } else { MeshShape::new(w, h) };
+        let routing = if adaptive == 1 { Routing::Adaptive } else { Routing::Dimension };
+        (shape, routing)
+    })
 }
 
 /// Random message batches on a shape (self-messages filtered out).
@@ -44,6 +55,39 @@ proptest! {
         let mut seen = std::collections::HashSet::new();
         for c in &path {
             prop_assert!(seen.insert(*c), "repeated channel in route");
+        }
+    }
+
+    /// Route/distance invariants over the full (topology × routing)
+    /// matrix: wrap-aware `hop_distance` and every routing policy agree
+    /// on route length (`distance + 2`, counting injection + ejection),
+    /// endpoints are correct, and routes are simple paths — i.e. the
+    /// adaptive policy stays *minimal* on both topologies.
+    #[test]
+    fn routes_are_minimal_on_both_topologies(
+        net in arb_net(),
+        a in 0u16..64,
+        b in 0u16..64,
+    ) {
+        let (shape, routing) = net;
+        let n = shape.nodes() as u16;
+        let (src, dst) = (NodeId(a % n), NodeId(b % n));
+        prop_assume!(src != dst);
+        let path = shape.route(src, dst, routing);
+        prop_assert_eq!(path[0], shape.injection(src));
+        prop_assert_eq!(*path.last().unwrap(), shape.ejection(dst));
+        prop_assert_eq!(path.len() as u32, shape.hop_distance(src, dst) + 2);
+        let mut seen = std::collections::HashSet::new();
+        for c in &path {
+            prop_assert!(seen.insert(*c), "repeated channel in route");
+        }
+        // The torus never routes the long way: distance is bounded by
+        // half the ring in each dimension.
+        if shape.topology() == Topology::Mesh {
+            prop_assert_eq!(path.len(), shape.xy_route(src, dst).len());
+        } else {
+            let bound = shape.width() as u32 / 2 + shape.height() as u32 / 2;
+            prop_assert!(shape.hop_distance(src, dst) <= bound);
         }
     }
 

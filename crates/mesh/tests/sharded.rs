@@ -12,9 +12,17 @@
 
 use commchar_des::SimTime;
 use commchar_mesh::{
-    EngineError, FlitLevel, IncrementalFlit, MeshConfig, MeshModel, NetMessage, NodeId,
+    EngineError, FlitLevel, IncrementalFlit, MeshConfig, MeshModel, NetMessage, NodeId, Routing,
 };
 use proptest::prelude::*;
+
+/// A torus config with exactly the minimum VC budget for its routing
+/// policy — the tightest (most deadlock-prone) legal configuration.
+fn torus_cfg(w: u16, h: u16, routing: Routing) -> MeshConfig {
+    let cfg = MeshConfig::new_torus(w, h).with_routing(routing);
+    let vcs = cfg.vc_classes().max(cfg.virtual_channels);
+    cfg.with_virtual_channels(vcs)
+}
 
 /// Deterministic 64-bit LCG (MMIX constants) — no external RNG crates.
 struct Lcg(u64);
@@ -174,6 +182,42 @@ fn closed_loop_per_send_feedback_is_sim_jobs_invariant() {
     assert_eq!(a.utilization(), b.utilization(), "drained utilization diverged");
 }
 
+/// The torus wrap links make the shard chain a ring: the first and last
+/// bands exchange boundary traffic directly. Every shard count must stay
+/// byte-identical to the serial drain, under both routing policies —
+/// including two shards (the pair is then connected by *two* edges) and
+/// one shard per row.
+#[test]
+fn sharded_matches_serial_on_torus_across_routings_and_jobs() {
+    for routing in [Routing::Dimension, Routing::Adaptive] {
+        for &(w, h) in &[(4u16, 4u16), (6, 5), (8, 8)] {
+            let cfg = torus_cfg(w, h, routing);
+            let nodes = (w * h) as usize;
+            for seed in 0..2u64 {
+                let msgs = workload(seed * 43 + w as u64, nodes, 120, 6, 96);
+                let rows = h as usize;
+                let jobs = [1usize, 2, 3, rows, rows + 3];
+                let label = format!("torus {w}x{h} {routing} s={seed}");
+                assert_sharded_identical(cfg, &msgs, &jobs, &label);
+            }
+        }
+    }
+}
+
+/// Deadlock-freedom soak: heavily contended torus traffic (hotspot
+/// overlay, minimum VC budget, deep bursts) must drain to completion on
+/// both routing policies at every shard count — a cyclic channel
+/// dependency or a wavefront stall on the wrap edge would surface here
+/// as a `Wedged` panic or a hang.
+#[test]
+fn contended_torus_traffic_drains_without_wedging() {
+    for routing in [Routing::Dimension, Routing::Adaptive] {
+        let cfg = torus_cfg(6, 6, routing);
+        let msgs = hotspot(workload(13, 36, 240, 3, 96), 36);
+        assert_sharded_identical(cfg, &msgs, &[2, 3, 6, 9], &format!("torus soak {routing}"));
+    }
+}
+
 /// A wedge must surface as a typed error whose display carries the
 /// human-readable report verbatim.
 #[test]
@@ -196,6 +240,29 @@ proptest! {
         seed in 0u64..1u64 << 32,
     ) {
         let cfg = MeshConfig::new(w, h).with_virtual_channels(vcs);
+        let nodes = (w * h) as usize;
+        let msgs = workload(seed, nodes, 60, 7, 80);
+        let serial = FlitLevel::new(cfg).simulate(&msgs);
+        let sharded = FlitLevel::new(cfg).with_sim_jobs(jobs).simulate(&msgs);
+        prop_assert_eq!(serial.records(), sharded.records());
+        prop_assert_eq!(serial.utilization(), sharded.utilization());
+    }
+
+    /// The same randomized pin on a torus, over both routing policies and
+    /// a VC budget at or above the class minimum. Shapes down to 2×2
+    /// exercise the degenerate double-edge wrap links.
+    #[test]
+    fn sharded_torus_engine_is_cycle_identical(
+        w in 2u16..7,
+        h in 2u16..7,
+        adaptive in 0u8..2,
+        extra_vcs in 0usize..3,
+        jobs in 1usize..10,
+        seed in 0u64..1u64 << 32,
+    ) {
+        let routing = if adaptive == 1 { Routing::Adaptive } else { Routing::Dimension };
+        let base = torus_cfg(w, h, routing);
+        let cfg = base.with_virtual_channels(base.virtual_channels + extra_vcs);
         let nodes = (w * h) as usize;
         let msgs = workload(seed, nodes, 60, 7, 80);
         let serial = FlitLevel::new(cfg).simulate(&msgs);

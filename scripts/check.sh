@@ -20,8 +20,12 @@
 # cycle-identical to the serial event loop), a sharded-machine smoke
 # (a shared-memory app acquired with --sim-jobs 1 and --sim-jobs 4 must
 # produce byte-identical packed traces and characterize reports: the
-# sharded execution-driven simulator is event-identical to serial), and
-# a serve smoke (a server on an ephemeral port, the fixture replayed
+# sharded execution-driven simulator is event-identical to serial), a
+# torus smoke (a workload run and characterized end-to-end with
+# --engine flit --topology torus, where the sharded flit router at
+# --sim-jobs 1 and --sim-jobs 4 must print byte-identical reports: band
+# sharding stays deterministic under wraparound routes and escape VCs),
+# and a serve smoke (a server on an ephemeral port, the fixture replayed
 # through serve-feed — once from a file, once streamed over stdin with
 # --trace - — and each final report diffed against offline characterize
 # --no-replay: the wire must not change a byte).
@@ -105,6 +109,12 @@ cmp "$tmpdir/is.s1.cct" "$tmpdir/is.s4.cct"
 cargo run --release -q -- characterize is --procs 8 --scale tiny --sim-jobs 1 >"$tmpdir/is.sig.s1.txt"
 cargo run --release -q -- characterize is --procs 8 --scale tiny --sim-jobs 4 >"$tmpdir/is.sig.s4.txt"
 diff "$tmpdir/is.sig.s1.txt" "$tmpdir/is.sig.s4.txt"
+
+echo "==> torus smoke (--topology torus, --sim-jobs 4 vs --sim-jobs 1 diff)"
+cargo run --release -q -- run allreduce --procs 8 --scale tiny --engine flit --topology torus --routing adaptive | sed 's/^/    /'
+cargo run --release -q -- characterize is --procs 8 --scale tiny --engine flit --topology torus --sim-jobs 1 >"$tmpdir/torus.sig.s1.txt"
+cargo run --release -q -- characterize is --procs 8 --scale tiny --engine flit --topology torus --sim-jobs 4 >"$tmpdir/torus.sig.s4.txt"
+diff "$tmpdir/torus.sig.s1.txt" "$tmpdir/torus.sig.s4.txt"
 
 echo "==> serve smoke (serve-feed final report vs offline characterize diff)"
 cargo run --release -q -- serve --addr 127.0.0.1:0 >"$tmpdir/serve.addr" 2>"$tmpdir/serve.log" &

@@ -10,8 +10,8 @@ use commchar_apps::{AppId, Scale};
 use commchar_core::analyze::{try_analyze_blocks, try_analyze_trace};
 use commchar_core::report::{analysis_report, suite_table, suite_timing};
 use commchar_core::suite::{cell_matrix, SuiteRunner};
-use commchar_core::{characterize, run_workload_sim, synthesize, try_characterize_jobs, Workload};
-use commchar_mesh::{EngineKind, MeshConfig};
+use commchar_core::{characterize, run_workload_net, synthesize, try_characterize_jobs, Workload};
+use commchar_mesh::{EngineKind, MeshConfig, Routing, Topology};
 use commchar_serve::{ServeClient, ServeError};
 use commchar_trace::replay::CausalReplayer;
 use commchar_trace::CommTrace;
@@ -75,6 +75,24 @@ pub fn parse_engine(s: &str) -> Result<EngineKind, CliError> {
     EngineKind::parse(s).ok_or_else(|| CliError(format!("unknown engine {s:?} (recurrence|flit)")))
 }
 
+/// Parses a topology name (`mesh|torus`).
+///
+/// # Errors
+///
+/// Returns an error naming the valid topologies otherwise.
+pub fn parse_topology(s: &str) -> Result<Topology, CliError> {
+    Topology::parse(s).ok_or_else(|| CliError(format!("unknown topology {s:?} (mesh|torus)")))
+}
+
+/// Parses a routing-policy name (`dimension|adaptive`).
+///
+/// # Errors
+///
+/// Returns an error naming the valid policies otherwise.
+pub fn parse_routing(s: &str) -> Result<Routing, CliError> {
+    Routing::parse(s).ok_or_else(|| CliError(format!("unknown routing {s:?} (dimension|adaptive)")))
+}
+
 /// Header fragment naming a non-default engine ("" for the default, so
 /// recurrence output stays byte-identical to earlier releases).
 fn engine_tag(engine: EngineKind) -> &'static str {
@@ -99,6 +117,11 @@ pub struct Common {
     /// parallel engine (default 1 = serial; 0 = one per hardware thread).
     /// Never changes output — sharded runs are event-identical to serial.
     pub sim_jobs: usize,
+    /// Network topology (default mesh; torus adds wraparound links and
+    /// the escape virtual channels they need).
+    pub topology: Topology,
+    /// Route-computation policy (default dimension-order).
+    pub routing: Routing,
 }
 
 impl Default for Common {
@@ -109,6 +132,8 @@ impl Default for Common {
             seed: 42,
             engine: EngineKind::Recurrence,
             sim_jobs: 1,
+            topology: Topology::Mesh,
+            routing: Routing::Dimension,
         }
     }
 }
@@ -126,10 +151,24 @@ pub fn report_signature(w: &Workload, jobs: usize) -> Result<String, CliError> {
     Ok(commchar_core::report::signature_report(&sig))
 }
 
+/// Acquires a workload under the full set of common options: engine,
+/// simulator shards, topology and routing policy.
+fn run_common(app: AppId, common: Common) -> Workload {
+    run_workload_net(
+        app,
+        common.procs,
+        common.scale,
+        common.engine,
+        common.sim_jobs,
+        common.topology,
+        common.routing,
+    )
+}
+
 /// `commchar run <app>`: run an application and return (report, trace).
 pub fn cmd_run(app: &str, common: Common) -> Result<(String, CommTrace), CliError> {
     let app = parse_app(app)?;
-    let w = run_workload_sim(app, common.procs, common.scale, common.engine, common.sim_jobs);
+    let w = run_common(app, common);
     let report = format!(
         "ran {} on {} processors: {} messages, {} ticks\n",
         w.name,
@@ -145,22 +184,24 @@ pub fn cmd_run(app: &str, common: Common) -> Result<(String, CommTrace), CliErro
 /// does not depend on it.
 pub fn cmd_characterize_app(app: &str, common: Common, jobs: usize) -> Result<String, CliError> {
     let app = parse_app(app)?;
-    let w = run_workload_sim(app, common.procs, common.scale, common.engine, common.sim_jobs);
+    let w = run_common(app, common);
     report_signature(&w, jobs)
 }
 
 /// `commchar characterize --trace <file contents> [--jobs N]`: signature
 /// report for a saved trace (replayed causally through a fitted-size
-/// mesh). Accepts either trace format, sniffed by magic bytes. `jobs`
-/// parallelizes the per-source fits; the report text does not depend on
-/// it.
+/// network of the chosen topology and routing policy). Accepts either
+/// trace format, sniffed by magic bytes. `jobs` parallelizes the
+/// per-source fits; the report text does not depend on it.
 pub fn cmd_characterize_trace(
     input: &[u8],
     jobs: usize,
     engine: EngineKind,
+    topology: Topology,
+    routing: Routing,
 ) -> Result<String, CliError> {
     let trace = load_trace(input)?;
-    let mesh = MeshConfig::for_nodes(trace.nodes());
+    let mesh = MeshConfig::for_nodes_net(trace.nodes(), topology, routing);
     let netlog = CausalReplayer::new(mesh)
         .try_replay(&trace, engine)
         .map_err(|e| CliError(e.to_string()))?;
@@ -215,7 +256,7 @@ pub fn cmd_characterize_stream(
 /// trace of the same span.
 pub fn cmd_generate_trace(app: &str, common: Common) -> Result<CommTrace, CliError> {
     let app = parse_app(app)?;
-    let w = run_workload_sim(app, common.procs, common.scale, common.engine, common.sim_jobs);
+    let w = run_common(app, common);
     let sig = characterize(&w);
     let model = synthesize(&sig, w.mesh);
     let span = w.netlog.summary().span.max(1);
@@ -232,9 +273,14 @@ pub fn cmd_generate(app: &str, common: Common) -> Result<String, CliError> {
 /// trace, at the price of per-message records (quantiles become
 /// histogram-approximate). Accepts either trace format, sniffed by magic
 /// bytes.
-pub fn cmd_replay_streaming(input: &[u8], engine: EngineKind) -> Result<String, CliError> {
+pub fn cmd_replay_streaming(
+    input: &[u8],
+    engine: EngineKind,
+    topology: Topology,
+    routing: Routing,
+) -> Result<String, CliError> {
     let trace = load_trace(input)?;
-    let mesh = MeshConfig::for_nodes(trace.nodes());
+    let mesh = MeshConfig::for_nodes_net(trace.nodes(), topology, routing);
     let stream = CausalReplayer::new(mesh)
         .try_replay_streaming(&trace, engine)
         .map_err(|e| CliError(e.to_string()))?;
@@ -242,9 +288,10 @@ pub fn cmd_replay_streaming(input: &[u8], engine: EngineKind) -> Result<String, 
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "replayed {} messages on a {} -node mesh ({}streaming, {} histogram bins)",
+        "replayed {} messages on a {} -node {} ({}streaming, {} histogram bins)",
         s.messages,
         trace.nodes(),
+        topology.name(),
         engine_tag(engine),
         stream.latency_histogram().bins()
     );
@@ -268,18 +315,24 @@ pub fn cmd_replay_streaming(input: &[u8], engine: EngineKind) -> Result<String, 
 /// comparison, which always uses the recurrence model as the fixed
 /// open-loop baseline). Accepts either trace format, sniffed by magic
 /// bytes.
-pub fn cmd_replay(input: &[u8], engine: EngineKind) -> Result<String, CliError> {
+pub fn cmd_replay(
+    input: &[u8],
+    engine: EngineKind,
+    topology: Topology,
+    routing: Routing,
+) -> Result<String, CliError> {
     let trace = load_trace(input)?;
-    let mesh = MeshConfig::for_nodes(trace.nodes());
+    let mesh = MeshConfig::for_nodes_net(trace.nodes(), topology, routing);
     let rep = CausalReplayer::new(mesh);
     let causal = rep.try_replay(&trace, engine).map_err(|e| CliError(e.to_string()))?.summary();
     let naive = rep.replay_naive(&trace).summary();
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "replayed {} messages on a {} -node mesh{}",
+        "replayed {} messages on a {} -node {}{}",
         causal.messages,
         trace.nodes(),
+        topology.name(),
         if engine.is_flit() { " (flit engine)" } else { "" }
     );
     let _ = writeln!(
@@ -506,8 +559,28 @@ pub fn cmd_serve_feed_stream(
 /// messages/sec figures and belongs on stderr. Any worker budget left
 /// over by the cell fan-out flows down to each cell's per-source fits
 /// (see [`SuiteRunner::run`]).
+///
+/// Every application runs on the network selected by
+/// `--topology`/`--routing`; the collective-shaped workloads (allreduce,
+/// halo) additionally run on every *other* (topology × routing) pair, so
+/// the table always carries the network-contrast rows — the same
+/// known-shape traffic characterized across dimension-ordered and
+/// minimal-adaptive routing on both the mesh and the wraparound torus.
 pub fn cmd_suite(common: Common, jobs: usize) -> (String, String) {
-    let cells = cell_matrix(AppId::all(), &[common.procs], &[common.scale], common.seed);
+    let mut cells = cell_matrix(AppId::all(), &[common.procs], &[common.scale], common.seed)
+        .into_iter()
+        .map(|c| c.with_net(common.topology, common.routing))
+        .collect::<Vec<_>>();
+    for app in [AppId::Allreduce, AppId::Halo] {
+        let base = cell_matrix(&[app], &[common.procs], &[common.scale], common.seed)[0];
+        for topology in [Topology::Mesh, Topology::Torus] {
+            for routing in [Routing::Dimension, Routing::Adaptive] {
+                if (topology, routing) != (common.topology, common.routing) {
+                    cells.push(base.with_net(topology, routing));
+                }
+            }
+        }
+    }
     let report =
         SuiteRunner::new(jobs).with_engine(common.engine).with_sim_jobs(common.sim_jobs).run(cells);
     (suite_table(&report), suite_timing(&report))
@@ -534,8 +607,11 @@ COMMANDS:
                                   accepts --block-jobs for parallel decoding)
     generate <app> [--out FILE]   emit a synthetic trace from the fitted model
     replay --trace FILE           replay a saved trace (causal vs naive)
-    suite                         characterize all seven applications in parallel
-                                  (run/characterize/replay/suite accept --engine)
+    suite                         characterize every application in parallel, plus
+                                  (topology × routing) contrast rows for the
+                                  collective-shaped workloads (allreduce, halo)
+                                  (run/characterize/replay/suite accept --engine,
+                                  --topology and --routing)
     trace pack FILE --out FILE    convert a trace to the packed binary format
                                   (--block-len sets events per block)
     trace cat FILE                print a trace (either format) as JSON-lines
@@ -566,6 +642,15 @@ OPTIONS:
                     wormhole model, default) or flit (cycle-accurate flit-level
                     router run incrementally). The recurrence default keeps
                     output byte-identical to earlier releases.
+    --topology T    network topology: mesh (default) or torus. The torus adds
+                    wraparound links in both dimensions; the flit engine
+                    crosses its datelines on escape virtual channels, and the
+                    VC budget is raised automatically to the deadlock-freedom
+                    minimum of the (topology × routing) pair.
+    --routing R     route computation: dimension (dimension-ordered XY,
+                    default) or adaptive (minimal-adaptive: a deterministic
+                    per-pair choice between the XY and YX minimal orders,
+                    each running in its own virtual-channel class).
     --sim-jobs N    worker threads for the simulators themselves, on any
                     engine. Shared-memory apps (run/characterize/suite)
                     shard the execution-driven CC-NUMA simulator into
@@ -608,7 +693,7 @@ Trace files may be JSON-lines or the packed columnar format (CCTRACE1);
 every command that reads a trace sniffs the format from the magic bytes.
 
 APPLICATIONS:
-    1d-fft is cholesky nbody maxflow 3d-fft mg
+    1d-fft is cholesky nbody maxflow 3d-fft mg allreduce halo
 "
     .to_string()
 }
@@ -616,6 +701,9 @@ APPLICATIONS:
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const MESH: Topology = Topology::Mesh;
+    const DIM: Routing = Routing::Dimension;
 
     #[test]
     fn run_and_characterize_app() {
@@ -660,8 +748,9 @@ mod tests {
         let mut tr = CommTrace::new(4);
         tr.push(commchar_trace::CommEvent::new(0, 0, 0, 1, 8, commchar_trace::EventKind::Data));
         tr.push(commchar_trace::CommEvent::new(1, 9, 0, 1, 8, commchar_trace::EventKind::Data));
-        let err = cmd_characterize_trace(tr.to_jsonl().as_bytes(), 1, EngineKind::Recurrence)
-            .unwrap_err();
+        let err =
+            cmd_characterize_trace(tr.to_jsonl().as_bytes(), 1, EngineKind::Recurrence, MESH, DIM)
+                .unwrap_err();
         assert!(err.0.contains("degenerate"), "unexpected error: {err}");
     }
 
@@ -677,9 +766,10 @@ mod tests {
         let common = Common { procs: 4, scale: Scale::Tiny, seed: 1, ..Common::default() };
         let (_, trace) = cmd_run("3d-fft", common).unwrap();
         let jsonl = trace.to_jsonl();
-        let report = cmd_characterize_trace(jsonl.as_bytes(), 2, EngineKind::Recurrence).unwrap();
+        let report =
+            cmd_characterize_trace(jsonl.as_bytes(), 2, EngineKind::Recurrence, MESH, DIM).unwrap();
         assert!(report.contains("processors  : 4"));
-        let replay = cmd_replay(jsonl.as_bytes(), EngineKind::Recurrence).unwrap();
+        let replay = cmd_replay(jsonl.as_bytes(), EngineKind::Recurrence, MESH, DIM).unwrap();
         assert!(replay.contains("causal:"));
         assert!(replay.contains("naive :"));
     }
@@ -696,13 +786,16 @@ mod tests {
         assert_eq!(cmd_trace_pack(&packed, 0).unwrap(), packed);
         // every trace-consuming command accepts the packed form too.
         let rec = EngineKind::Recurrence;
-        let from_jsonl = cmd_characterize_trace(jsonl.as_bytes(), 1, rec).unwrap();
-        let from_packed = cmd_characterize_trace(&packed, 1, rec).unwrap();
+        let from_jsonl = cmd_characterize_trace(jsonl.as_bytes(), 1, rec, MESH, DIM).unwrap();
+        let from_packed = cmd_characterize_trace(&packed, 1, rec, MESH, DIM).unwrap();
         assert_eq!(from_jsonl, from_packed);
-        assert_eq!(cmd_replay(jsonl.as_bytes(), rec).unwrap(), cmd_replay(&packed, rec).unwrap());
         assert_eq!(
-            cmd_replay_streaming(jsonl.as_bytes(), rec).unwrap(),
-            cmd_replay_streaming(&packed, rec).unwrap()
+            cmd_replay(jsonl.as_bytes(), rec, MESH, DIM).unwrap(),
+            cmd_replay(&packed, rec, MESH, DIM).unwrap()
+        );
+        assert_eq!(
+            cmd_replay_streaming(jsonl.as_bytes(), rec, MESH, DIM).unwrap(),
+            cmd_replay_streaming(&packed, rec, MESH, DIM).unwrap()
         );
     }
 
@@ -758,7 +851,7 @@ mod tests {
     fn trace_commands_reject_garbage_with_typed_errors() {
         let err = cmd_trace_cat(b"CCTRACE1\xffgarbage").unwrap_err();
         assert!(err.0.contains("stream kind"), "unexpected error: {err}");
-        let err = cmd_replay(b"not json at all", EngineKind::Recurrence).unwrap_err();
+        let err = cmd_replay(b"not json at all", EngineKind::Recurrence, MESH, DIM).unwrap_err();
         assert!(err.0.contains("line 1"), "unexpected error: {err}");
     }
 
@@ -780,8 +873,51 @@ mod tests {
         }
         assert!(table.contains("synth ratio"));
         assert!(timing.contains("worker"));
+        // The collective workloads also run on every non-default
+        // (topology × routing) pair — the network-contrast rows.
+        assert!(table.contains("torus"), "missing torus contrast rows:\n{table}");
+        assert!(table.contains("adaptive"), "missing adaptive contrast rows:\n{table}");
         let (serial_table, _) = cmd_suite(common, 1);
         assert_eq!(table, serial_table, "suite table must not depend on --jobs");
+    }
+
+    #[test]
+    fn torus_and_adaptive_flow_through_the_cli() {
+        let common = Common {
+            procs: 4,
+            scale: Scale::Tiny,
+            seed: 1,
+            engine: EngineKind::flit(),
+            topology: Topology::Torus,
+            routing: Routing::Adaptive,
+            ..Common::default()
+        };
+        // Acquisition end-to-end on the torus with the adaptive policy,
+        // for both strategies, through the cycle-accurate engine.
+        let (report, trace) = cmd_run("allreduce", common).unwrap();
+        assert!(report.contains("ran allreduce on 4 processors"));
+        let sig = cmd_characterize_app("is", common, 1).unwrap();
+        assert!(sig.contains("network behaviour"));
+        // Replay names the topology in its header.
+        let jsonl = trace.to_jsonl();
+        let out =
+            cmd_replay(jsonl.as_bytes(), EngineKind::flit(), Topology::Torus, Routing::Adaptive)
+                .unwrap();
+        assert!(out.contains("-node torus"), "replay header: {out}");
+        let streaming =
+            cmd_replay_streaming(jsonl.as_bytes(), EngineKind::Recurrence, Topology::Torus, DIM)
+                .unwrap();
+        assert!(streaming.contains("-node torus"), "streaming header: {streaming}");
+    }
+
+    #[test]
+    fn topology_and_routing_names_parse_and_reject() {
+        assert_eq!(parse_topology("torus").unwrap(), Topology::Torus);
+        assert_eq!(parse_topology("mesh").unwrap(), Topology::Mesh);
+        assert!(parse_topology("hypercube").is_err());
+        assert_eq!(parse_routing("adaptive").unwrap(), Routing::Adaptive);
+        assert_eq!(parse_routing("dimension").unwrap(), Routing::Dimension);
+        assert!(parse_routing("fully-adaptive").is_err());
     }
 
     #[test]
@@ -789,7 +925,8 @@ mod tests {
         let common = Common { procs: 4, scale: Scale::Tiny, seed: 1, ..Common::default() };
         let (_, trace) = cmd_run("3d-fft", common).unwrap();
         let out =
-            cmd_replay_streaming(trace.to_jsonl().as_bytes(), EngineKind::Recurrence).unwrap();
+            cmd_replay_streaming(trace.to_jsonl().as_bytes(), EngineKind::Recurrence, MESH, DIM)
+                .unwrap();
         assert!(out.contains("streaming"));
         assert!(out.contains("mean latency"));
         assert!(out.contains("inter-arrival"));
@@ -813,11 +950,12 @@ mod tests {
         assert!(sig.contains("temporal attribute"));
         // replay: the header names the engine; the recurrence header does not.
         let jsonl = trace.to_jsonl();
-        let flit = cmd_replay(jsonl.as_bytes(), EngineKind::flit()).unwrap();
+        let flit = cmd_replay(jsonl.as_bytes(), EngineKind::flit(), MESH, DIM).unwrap();
         assert!(flit.contains("(flit engine)"));
-        let rec = cmd_replay(jsonl.as_bytes(), EngineKind::Recurrence).unwrap();
+        let rec = cmd_replay(jsonl.as_bytes(), EngineKind::Recurrence, MESH, DIM).unwrap();
         assert!(!rec.contains("flit"));
-        let streaming = cmd_replay_streaming(jsonl.as_bytes(), EngineKind::flit()).unwrap();
+        let streaming =
+            cmd_replay_streaming(jsonl.as_bytes(), EngineKind::flit(), MESH, DIM).unwrap();
         assert!(streaming.contains("flit engine; streaming"));
     }
 

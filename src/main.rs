@@ -97,6 +97,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.common.engine = cli::parse_engine(it.next().ok_or("--engine needs a value")?)
                     .map_err(|e| e.0)?;
             }
+            "--topology" => {
+                args.common.topology =
+                    cli::parse_topology(it.next().ok_or("--topology needs a value")?)
+                        .map_err(|e| e.0)?;
+            }
+            "--routing" => {
+                args.common.routing =
+                    cli::parse_routing(it.next().ok_or("--routing needs a value")?)
+                        .map_err(|e| e.0)?;
+            }
             "--seed" => {
                 args.common.seed = it
                     .next()
@@ -209,8 +219,14 @@ fn run(argv: &[String]) -> Result<(), String> {
                 if args.no_replay {
                     cli::cmd_characterize_trace_only(&input, args.jobs).map_err(|e| e.0)?
                 } else {
-                    cli::cmd_characterize_trace(&input, args.jobs, args.common.engine)
-                        .map_err(|e| e.0)?
+                    cli::cmd_characterize_trace(
+                        &input,
+                        args.jobs,
+                        args.common.engine,
+                        args.common.topology,
+                        args.common.routing,
+                    )
+                    .map_err(|e| e.0)?
                 }
             } else {
                 let app =
@@ -226,10 +242,12 @@ fn run(argv: &[String]) -> Result<(), String> {
         }
         Some("replay") => {
             let input = read_trace(&args)?;
+            let (topology, routing) = (args.common.topology, args.common.routing);
             let text = if args.streaming {
-                cli::cmd_replay_streaming(&input, args.common.engine).map_err(|e| e.0)?
+                cli::cmd_replay_streaming(&input, args.common.engine, topology, routing)
+                    .map_err(|e| e.0)?
             } else {
-                cli::cmd_replay(&input, args.common.engine).map_err(|e| e.0)?
+                cli::cmd_replay(&input, args.common.engine, topology, routing).map_err(|e| e.0)?
             };
             emit(&text, &None)
         }
